@@ -1,0 +1,1 @@
+bench/fig3.ml: Abcast Array List Option Paxos Printf Ringpaxos Sim Simnet Stdlib Util

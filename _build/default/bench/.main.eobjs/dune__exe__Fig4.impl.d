@@ -1,0 +1,1 @@
+bench/fig4.ml: Array Btree List Printf Ringpaxos Sim Simnet Smr Stdlib Util

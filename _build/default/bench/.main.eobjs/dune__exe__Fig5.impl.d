@@ -1,0 +1,1 @@
+bench/fig5.ml: Abcast Array Fig3 Fun List Multiring Option Paxos Printf Ringpaxos Sim Simnet Util

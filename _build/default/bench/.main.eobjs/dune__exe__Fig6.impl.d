@@ -1,0 +1,1 @@
+bench/fig6.ml: List Printf Psmr Sim Simnet Smr Util

@@ -1,0 +1,1 @@
+bench/fig7.ml: Cloud Float List Printf Util

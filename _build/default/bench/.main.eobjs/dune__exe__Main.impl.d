@@ -1,0 +1,1 @@
+bench/main.ml: Array Fig3 Fig4 Fig5 Fig6 Fig7 List Micro Printf Sys

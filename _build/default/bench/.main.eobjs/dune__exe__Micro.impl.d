@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Btree Hashtbl Instance List Measure Printf Ringpaxos Sim Simnet Smr Staged Test Time Toolkit Util

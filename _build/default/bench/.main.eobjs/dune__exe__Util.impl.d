@@ -1,0 +1,1 @@
+bench/util.ml: Printf Sim Simnet String

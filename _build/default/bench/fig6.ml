@@ -1,0 +1,89 @@
+(* Chapter 6 experiments: parallel state-machine replication. *)
+
+let n_objects = 4096
+let duration = 1.0
+let warm = 0.4
+
+let run ?(approach = Psmr.Psmr) ?(n_workers = 4) ?(dep_pct = 0) ?(skew = 0.0) ~clients () =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 11) in
+  let rng = Sim.Rng.create 12 in
+  let zipf =
+    if skew > 0.0 then Some (Sim.Rng.Zipf.create rng ~n:n_objects ~s:skew) else None
+  in
+  let gen _ =
+    let obj =
+      match zipf with Some z -> Sim.Rng.Zipf.draw z | None -> Sim.Rng.int rng n_objects
+    in
+    { Psmr.obj; dependent = Sim.Rng.int rng 100 < dep_pct; size = 128 }
+  in
+  (* 10 us/command for SDPE's scheduler: command parsing plus conflict
+     tracking, the CBASE-style cost the paper's comparison assumes. *)
+  let config =
+    { Psmr.default_config with approach; n_workers; exec_cost = 2.0e-5; sched_cost = 1.0e-5 }
+  in
+  let sys = Psmr.create net config ~n_clients:clients ~gen in
+  Psmr.start sys;
+  Sim.Engine.run engine ~until:duration;
+  let m = Psmr.metrics sys in
+  (Smr.Metrics.kcps m ~from:warm ~till:duration, Smr.Metrics.lat_mean_ms m)
+
+let approaches =
+  [ ("Sequential", Psmr.Sequential);
+    ("Pipelined", Psmr.Pipelined);
+    ("SDPE", Psmr.Sdpe);
+    ("P-SMR", Psmr.Psmr) ]
+
+let sweep ~dep_pct title =
+  Util.header title;
+  Printf.printf "%-12s %8s %10s %10s\n" "approach" "clients" "kcps" "lat(ms)";
+  List.iter
+    (fun (name, approach) ->
+      List.iter
+        (fun clients ->
+          let k, l = run ~approach ~dep_pct ~clients () in
+          Printf.printf "%-12s %8d %10.1f %10.2f\n" name clients k l)
+        [ 16; 64; 200 ])
+    approaches
+
+let fig6_3 () = sweep ~dep_pct:0 "Fig 6.3 - independent commands (4 workers)"
+let fig6_4 () = sweep ~dep_pct:100 "Fig 6.4 - dependent commands (4 workers)"
+
+let fig6_5 () =
+  Util.header "Fig 6.5 - mixed workloads: % of dependent commands (4 workers, 200 clients)";
+  Printf.printf "%-12s %8s %10s %10s\n" "approach" "dep%" "kcps" "lat(ms)";
+  List.iter
+    (fun (name, approach) ->
+      List.iter
+        (fun dep_pct ->
+          let k, l = run ~approach ~dep_pct ~clients:200 () in
+          Printf.printf "%-12s %8d %10.1f %10.2f\n" name dep_pct k l)
+        [ 0; 10; 25; 50; 100 ])
+    approaches
+
+let scalability ~skew title =
+  Util.header title;
+  Printf.printf "%-12s %8s %10s %10s\n" "approach" "workers" "kcps" "lat(ms)";
+  List.iter
+    (fun (name, approach) ->
+      List.iter
+        (fun w ->
+          let k, l = run ~approach ~n_workers:w ~skew ~clients:200 () in
+          Printf.printf "%-12s %8d %10.1f %10.2f\n" name w k l)
+        [ 1; 2; 4; 8 ])
+    [ ("SDPE", Psmr.Sdpe); ("P-SMR", Psmr.Psmr) ]
+
+let fig6_6 () = scalability ~skew:0.0 "Fig 6.6 - scalability, uniform workload"
+let fig6_7 () = scalability ~skew:1.0 "Fig 6.7 - scalability, skewed (zipf s=1) workload"
+
+let table6_1 () =
+  Util.header "Table 6.1 - approaches to parallelizing SMR";
+  print_string (Psmr.render_table_6_1 ())
+
+let all () =
+  table6_1 ();
+  fig6_3 ();
+  fig6_4 ();
+  fig6_5 ();
+  fig6_6 ();
+  fig6_7 ()

@@ -1,0 +1,55 @@
+(* Chapter 7 experiments: Paxos libraries in the cloud. *)
+
+let table7_1 () =
+  Util.header "Tables 7.1/7.2 - evaluated configurations";
+  print_string (Cloud.render_configs ());
+  print_newline ()
+
+let fig7_2 () =
+  Util.header "Fig 7.2 - peak performance in the cloud";
+  Printf.printf "%-14s %12s %10s %10s\n" "library" "thr(Mbps)" "kcps" "lat(ms)";
+  List.iter
+    (fun lib ->
+      let r = Cloud.run ~lib ~duration:6.0 () in
+      Printf.printf "%-14s %12.1f %10.1f %10.2f\n" (Cloud.lib_name lib) r.Cloud.mbps
+        r.Cloud.kcps r.Cloud.lat_ms)
+    Cloud.all_libs
+
+let failure_figure ~lib ~hetero title =
+  Util.header title;
+  let r = Cloud.run ~lib ~hetero ~kill_leader_at:6.0 ~duration:18.0 () in
+  Printf.printf "(leader killed at t=6s; steady %.1f Mbps; outage %.1fs; recovered=%b)\n"
+    r.Cloud.mbps r.Cloud.outage r.Cloud.recovered;
+  Printf.printf "%-6s %12s\n" "t(s)" "Mbps";
+  List.iter
+    (fun (t, v) -> if Float.rem t 1.0 < 0.26 then Printf.printf "%-6.1f %12.1f\n" t v)
+    r.Cloud.series
+
+let fig7_3 () =
+  failure_figure ~lib:Cloud.S_paxos ~hetero:true
+    "Fig 7.3 - S-Paxos, heterogeneous configuration, leader crash"
+
+let fig7_4 () =
+  failure_figure ~lib:Cloud.Openreplica ~hetero:true
+    "Fig 7.4 - OpenReplica, heterogeneous configuration, leader crash"
+
+let fig7_5 () =
+  failure_figure ~lib:Cloud.U_ring ~hetero:true
+    "Fig 7.5 - U-Ring Paxos, heterogeneous configuration, coordinator crash"
+
+let fig7_6 () =
+  failure_figure ~lib:Cloud.Libpaxos ~hetero:false
+    "Fig 7.6 - Libpaxos, coordinator crash"
+
+let fig7_7 () =
+  failure_figure ~lib:Cloud.Libpaxos_plus ~hetero:false
+    "Fig 7.7 - Libpaxos+, coordinator crash"
+
+let all () =
+  table7_1 ();
+  fig7_2 ();
+  fig7_3 ();
+  fig7_4 ();
+  fig7_5 ();
+  fig7_6 ();
+  fig7_7 ()

@@ -1,0 +1,15 @@
+(* Shared plumbing for the experiment harness: environments, load
+   generation and paper-style output formatting. *)
+
+type Simnet.payload += Payload of int
+
+let fresh ?(seed = 7) ?config () =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create ?config engine (Sim.Rng.create seed) in
+  (engine, net)
+
+let header title =
+  let line = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n%!" title line
+
+let cpu_pct busy ~from ~till = Sim.Stats.Busy.utilization busy ~from ~till

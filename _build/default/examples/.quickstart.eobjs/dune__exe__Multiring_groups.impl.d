@@ -1,0 +1,1 @@
+examples/multiring_groups.ml: Array Hpsmr List Printf Simnet String

@@ -1,0 +1,1 @@
+examples/multiring_groups.mli:

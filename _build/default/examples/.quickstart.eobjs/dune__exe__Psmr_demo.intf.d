@@ -1,0 +1,1 @@
+examples/psmr_demo.mli:

@@ -1,0 +1,1 @@
+examples/replicated_btree.ml: Array Hpsmr Printf

@@ -1,0 +1,1 @@
+lib/abcast/analysis.ml: Buffer List Printf

@@ -1,0 +1,1 @@
+lib/abcast/analysis.mli:

@@ -1,0 +1,1 @@
+lib/abcast/lcr.ml: Array Fun List Map Paxos Printf Ringpaxos Simnet Stdlib Storage

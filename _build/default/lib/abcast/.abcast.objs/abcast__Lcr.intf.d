@@ -1,0 +1,1 @@
+lib/abcast/lcr.mli: Paxos Ringpaxos Simnet Storage

@@ -1,0 +1,1 @@
+lib/abcast/loadgen.ml: List Simnet

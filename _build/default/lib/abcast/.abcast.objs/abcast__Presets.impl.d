@@ -1,0 +1,1 @@
+lib/abcast/presets.ml: Paxos

@@ -1,0 +1,1 @@
+lib/abcast/presets.mli: Paxos

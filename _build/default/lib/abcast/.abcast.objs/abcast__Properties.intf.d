@@ -1,0 +1,1 @@
+lib/abcast/properties.mli:

@@ -1,0 +1,1 @@
+lib/abcast/recorder.ml: List Paxos Sim

@@ -1,0 +1,1 @@
+lib/abcast/recorder.mli: Paxos Sim

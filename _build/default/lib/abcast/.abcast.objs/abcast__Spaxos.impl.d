@@ -1,0 +1,1 @@
+lib/abcast/spaxos.ml: Array Hashtbl List Paxos Printf Queue Sim Simnet Stdlib

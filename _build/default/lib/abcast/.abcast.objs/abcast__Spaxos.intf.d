@@ -1,0 +1,1 @@
+lib/abcast/spaxos.mli: Paxos Simnet

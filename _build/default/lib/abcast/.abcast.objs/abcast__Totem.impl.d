@@ -1,0 +1,1 @@
+lib/abcast/totem.ml: Array Hashtbl List Paxos Printf Queue Simnet Stdlib

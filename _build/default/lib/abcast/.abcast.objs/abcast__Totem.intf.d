@@ -1,0 +1,1 @@
+lib/abcast/totem.mli: Paxos Simnet

@@ -1,0 +1,67 @@
+type row = {
+  algorithm : string;
+  cls : string;
+  comm_steps : string;
+  comm_steps_at : int -> int;
+  processes : string;
+  processes_at : int -> int;
+  synchrony : string;
+}
+
+let table_3_1 =
+  [ { algorithm = "LCR";
+      cls = "comm. history";
+      comm_steps = "2f";
+      comm_steps_at = (fun f -> 2 * f);
+      processes = "f+1";
+      processes_at = (fun f -> f + 1);
+      synchrony = "strong" };
+    { algorithm = "Totem";
+      cls = "privilege";
+      comm_steps = "4f+3";
+      comm_steps_at = (fun f -> (4 * f) + 3);
+      processes = "2f+1";
+      processes_at = (fun f -> (2 * f) + 1);
+      synchrony = "weak" };
+    { algorithm = "Ring+FD";
+      cls = "privilege";
+      comm_steps = "f^2+2f";
+      comm_steps_at = (fun f -> (f * f) + (2 * f));
+      processes = "f(f+1)+1";
+      processes_at = (fun f -> (f * (f + 1)) + 1);
+      synchrony = "weak" };
+    { algorithm = "S-Paxos";
+      cls = "-";
+      comm_steps = "5";
+      comm_steps_at = (fun _ -> 5);
+      processes = "2f+1";
+      processes_at = (fun f -> (2 * f) + 1);
+      synchrony = "weak" };
+    { algorithm = "M-Ring Paxos";
+      cls = "-";
+      comm_steps = "f+3";
+      comm_steps_at = (fun f -> f + 3);
+      processes = "2f+1";
+      processes_at = (fun f -> (2 * f) + 1);
+      synchrony = "weak" };
+    { algorithm = "U-Ring Paxos";
+      cls = "-";
+      comm_steps = "5f";
+      comm_steps_at = (fun f -> 5 * f);
+      processes = "2f+1";
+      processes_at = (fun f -> (2 * f) + 1);
+      synchrony = "weak" } ]
+
+let render ?(f = 2) () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-14s %-15s %-12s %-6s %-10s %-6s %s\n" "Algorithm" "Class"
+       "Comm.steps" (Printf.sprintf "@f=%d" f) "Processes" (Printf.sprintf "@f=%d" f)
+       "Synchrony");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-14s %-15s %-12s %-6d %-10s %-6d %s\n" r.algorithm r.cls
+           r.comm_steps (r.comm_steps_at f) r.processes (r.processes_at f) r.synchrony))
+    table_3_1;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Analytic comparisons: Table 3.1 (atomic broadcast algorithms) and the
+    qualitative Table 6.1 lives in {!Psmr} (parallel SMR approaches). *)
+
+type row = {
+  algorithm : string;
+  cls : string;  (** protocol class of §3.4 *)
+  comm_steps : string;  (** formula in f *)
+  comm_steps_at : int -> int;  (** evaluated at a given f *)
+  processes : string;
+  processes_at : int -> int;
+  synchrony : string;
+}
+
+(** The six rows of Table 3.1. *)
+val table_3_1 : row list
+
+(** [render ?f ()] formats the table, also evaluating formulas at [f]. *)
+val render : ?f:int -> unit -> string

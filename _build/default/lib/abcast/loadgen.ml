@@ -1,0 +1,41 @@
+let period_of ~rate_mbps ~size =
+  if rate_mbps <= 0.0 then infinity else float_of_int (size * 8) /. (rate_mbps *. 1e6)
+
+let constant net ~rate_mbps ~size submit =
+  let period = period_of ~rate_mbps ~size in
+  if period = infinity then fun () -> ()
+  else Simnet.every net ~period (fun () -> ignore (submit size))
+
+let staircase net ~steps ~size submit =
+  let stopped = ref false in
+  let current : (unit -> unit) option ref = ref None in
+  List.iter
+    (fun (start, rate) ->
+      ignore
+        (Simnet.after net start (fun () ->
+             if not !stopped then begin
+               (match !current with Some stop -> stop () | None -> ());
+               current := Some (constant net ~rate_mbps:rate ~size submit)
+             end)))
+    steps;
+  fun () ->
+    stopped := true;
+    match !current with Some stop -> stop () | None -> ()
+
+let oscillating net ~period ~low_mbps ~high_mbps ~size submit =
+  let stopped = ref false in
+  let current : (unit -> unit) option ref = ref None in
+  let high = ref true in
+  let rec flip () =
+    if not !stopped then begin
+      (match !current with Some stop -> stop () | None -> ());
+      let rate = if !high then high_mbps else low_mbps in
+      high := not !high;
+      current := Some (constant net ~rate_mbps:rate ~size submit);
+      ignore (Simnet.after net period flip)
+    end
+  in
+  flip ();
+  fun () ->
+    stopped := true;
+    match !current with Some stop -> stop () | None -> ()

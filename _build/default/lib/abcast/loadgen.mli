@@ -1,0 +1,25 @@
+(** Open-loop load generation for the throughput experiments. *)
+
+(** [constant net ~rate_mbps ~size submit] calls [submit size] at the
+    message rate corresponding to [rate_mbps]; returns a stop thunk.
+    [submit] returning [false] (client buffer full) is counted but the
+    generator keeps its pace. *)
+val constant :
+  Simnet.t -> rate_mbps:float -> size:int -> (int -> bool) -> unit -> unit
+
+(** [staircase net ~steps ~size submit] increases the rate at fixed wall
+    times: [steps] is a list of [(start_time_s, rate_mbps)]. *)
+val staircase :
+  Simnet.t -> steps:(float * float) list -> size:int -> (int -> bool) -> unit -> unit
+
+(** [oscillating net ~period ~low ~high ~size submit] alternates between two
+    rates every [period] seconds (Fig. 5.10's variable-rate workload). *)
+val oscillating :
+  Simnet.t ->
+  period:float ->
+  low_mbps:float ->
+  high_mbps:float ->
+  size:int ->
+  (int -> bool) ->
+  unit ->
+  unit

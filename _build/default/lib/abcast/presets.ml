@@ -1,0 +1,40 @@
+let libpaxos =
+  { Paxos.Basic.default_config with
+    dissemination = `Mcast;
+    window = 4;
+    batch_bytes = 0;
+    extra_cpu_per_instance = 6.0e-4;
+    repair_timeout = 0.05 }
+
+let libpaxos_plus =
+  { Paxos.Basic.default_config with
+    dissemination = `Mcast;
+    window = 32;
+    batch_bytes = 8192;
+    extra_cpu_per_instance = 2.0e-4;
+    repair_timeout = 0.005 }
+
+let pfsb =
+  { Paxos.Basic.default_config with
+    dissemination = `Ucast;
+    window = 64;
+    batch_bytes = 0;
+    extra_cpu_per_instance = 2.0e-5 }
+
+let openreplica =
+  { Paxos.Basic.default_config with
+    dissemination = `Ucast;
+    window = 8;
+    batch_bytes = 0;
+    extra_cpu_per_instance = 2.0e-3;
+    hb_timeout = 1.0 }
+
+let message_size = function
+  | `Libpaxos -> 4 * 1024
+  | `Pfsb -> 200
+  | `Openreplica -> 1024
+  | `Mring -> 8 * 1024
+  | `Uring -> 32 * 1024
+  | `Lcr -> 32 * 1024
+  | `Spaxos -> 32 * 1024
+  | `Spread -> 16 * 1024

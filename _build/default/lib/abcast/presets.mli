@@ -1,0 +1,25 @@
+(** Configurations of {!Paxos.Basic} reproducing the open-source Paxos
+    libraries the dissertation measures (§3.5.3, Ch. 7).
+
+    The per-instance CPU overheads are calibration constants chosen so the
+    peak throughput of each preset matches the efficiency the paper reports
+    (Table 3.2, Fig. 7.2); the message patterns are structural. *)
+
+(** Libpaxos: ip-multicast Paxos, no batching, small window; ~3 %
+    efficiency at 4 KB messages. *)
+val libpaxos : Paxos.Basic.config
+
+(** Libpaxos+: the improved variant of §7.2.5 — larger window, batching,
+    faster gap repair. *)
+val libpaxos_plus : Paxos.Basic.config
+
+(** PFSB ("Paxos for system builders"): unicast-only Paxos, 200-byte
+    messages; ~4 % efficiency. *)
+val pfsb : Paxos.Basic.config
+
+(** OpenReplica: Python leader-based Paxos over unicast; low throughput,
+    long failure-detection timeouts (§7.2.2). *)
+val openreplica : Paxos.Basic.config
+
+(** Preferred message sizes per protocol (Table 3.2). *)
+val message_size : [ `Libpaxos | `Pfsb | `Openreplica | `Mring | `Uring | `Lcr | `Spaxos | `Spread ] -> int

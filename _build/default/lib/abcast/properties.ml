@@ -1,0 +1,56 @@
+type log = int list
+
+let no_dups l =
+  let seen = Hashtbl.create (List.length l) in
+  List.for_all
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    l
+
+let integrity ~broadcast logs =
+  let sent = Hashtbl.create (List.length broadcast) in
+  List.iter (fun u -> Hashtbl.replace sent u ()) broadcast;
+  List.for_all (fun log -> no_dups log && List.for_all (Hashtbl.mem sent) log) logs
+
+(* Two logs are order-compatible when their common elements appear in the
+   same relative order. *)
+let pair_order_compatible a b =
+  let in_b = Hashtbl.create (List.length b) in
+  List.iteri (fun i x -> Hashtbl.replace in_b x i) b;
+  let common_positions = List.filter_map (fun x -> Hashtbl.find_opt in_b x) a in
+  let rec ascending = function
+    | x :: (y :: _ as rest) -> x < y && ascending rest
+    | _ -> true
+  in
+  ascending common_positions
+
+let rec pairs_ok f = function
+  | [] -> true
+  | x :: rest -> List.for_all (f x) rest && pairs_ok f rest
+
+let total_order logs = pairs_ok pair_order_compatible logs
+
+let partial_order = total_order
+
+let agreement logs =
+  match logs with
+  | [] -> true
+  | first :: rest ->
+      let s = List.sort compare first in
+      List.for_all (fun l -> List.sort compare l = s) rest
+
+let validity ~broadcast logs =
+  let sent = List.sort_uniq compare broadcast in
+  List.for_all
+    (fun log ->
+      let got = List.sort_uniq compare log in
+      List.for_all (fun u -> List.mem u got) sent)
+    logs
+
+let atomic_broadcast ~broadcast logs =
+  integrity ~broadcast logs && total_order logs && agreement logs
+  && validity ~broadcast logs

@@ -1,0 +1,36 @@
+(** Test oracles for the Chapter 2 correctness properties.
+
+    Experiments and tests record, per learner, the sequence of delivered
+    item uids; these predicates decide whether a set of such logs satisfies
+    the atomic broadcast / atomic multicast specifications.  They are used
+    by the property-based tests to check every protocol in the repository
+    against the same definitions. *)
+
+(** A delivery log: item uids in delivery order at one learner. *)
+type log = int list
+
+(** [integrity ~broadcast logs] — uniform integrity: every delivered uid was
+    broadcast, and no learner delivers a uid twice. *)
+val integrity : broadcast:int list -> log list -> bool
+
+(** [total_order logs] — uniform total order: any two learners deliver
+    their common messages in the same relative order (one log's common
+    subsequence is a prefix-compatible ordering of the other's). *)
+val total_order : log list -> bool
+
+(** [agreement logs] — uniform agreement at quiescence: every learner
+    delivered the same set. *)
+val agreement : log list -> bool
+
+(** [validity ~broadcast logs] — every broadcast uid was delivered by every
+    learner (assumes a failure-free run observed at quiescence). *)
+val validity : broadcast:int list -> log list -> bool
+
+(** [atomic_broadcast ~broadcast logs] — all four properties at once. *)
+val atomic_broadcast : broadcast:int list -> log list -> bool
+
+(** [partial_order ~group_of logs] — atomic multicast's uniform partial
+    order: for learners that deliver messages in common, the common
+    messages appear in the same relative order; [group_of] is unused by the
+    check itself but documents that logs may cover different groups. *)
+val partial_order : log list -> bool

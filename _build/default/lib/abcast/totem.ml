@@ -1,0 +1,152 @@
+type config = {
+  n_daemons : int;
+  token_hold : int;
+  token_think : float;
+  daemon_cpu_per_msg : float;
+}
+
+let default_config =
+  { n_daemons = 3; token_hold = 16; token_think = 3.0e-5; daemon_cpu_per_msg = 3.5e-4 }
+
+let hdr = 64
+
+type Simnet.payload +=
+  | Token of { seq : int; aru : int; aru_id : int; rtr : int list }
+  | Data of { seq : int; value : Paxos.Value.t }
+
+type daemon = {
+  d_proc : Simnet.proc;
+  d_idx : int;
+  d_queue : Paxos.Value.t Queue.t;  (* locally submitted, unsent *)
+  mutable d_queue_bytes : int;
+  d_store : (int, Paxos.Value.t) Hashtbl.t;  (* seq -> body *)
+  mutable d_delivered : int;  (* highest seq delivered *)
+  mutable d_safe_prev : int;  (* token aru at the previous visit *)
+}
+
+type t = {
+  net : Simnet.t;
+  cfg : config;
+  daemons : daemon array;
+  group : Simnet.group;
+  deliver : learner:int -> Paxos.Value.t -> unit;
+  mutable next_uid : int;
+  mutable delivered : int;
+}
+
+let my_aru d =
+  (* Highest sequence number received without gaps. *)
+  let rec go s = if Hashtbl.mem d.d_store (s + 1) then go (s + 1) else s in
+  go d.d_delivered
+
+(* Deliver contiguous messages up to the safe bound (the aru the token
+   carried one full rotation ago). *)
+let try_deliver t d =
+  let continue = ref true in
+  while !continue do
+    let next = d.d_delivered + 1 in
+    if next <= d.d_safe_prev then begin
+      match Hashtbl.find_opt d.d_store next with
+      | Some v ->
+          d.d_delivered <- next;
+          if d.d_idx = 0 then t.delivered <- t.delivered + 1;
+          t.deliver ~learner:d.d_idx v
+      | None -> continue := false
+    end
+    else continue := false
+  done
+
+let on_token t d seq aru aru_id rtr =
+  (* Serve retransmission requests from the local store first. *)
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt d.d_store s with
+      | Some v ->
+          Simnet.charge_cpu t.net d.d_proc t.cfg.daemon_cpu_per_msg;
+          Simnet.mcast t.net ~src:d.d_proc t.group ~size:(v.Paxos.Value.size + hdr)
+            (Data { seq = s; value = v })
+      | None -> ())
+    rtr;
+  (* Multicast pending messages under the token. *)
+  let seq = ref seq in
+  let sent = ref 0 in
+  while !sent < t.cfg.token_hold && not (Queue.is_empty d.d_queue) do
+    let v = Queue.pop d.d_queue in
+    d.d_queue_bytes <- d.d_queue_bytes - v.Paxos.Value.size;
+    incr seq;
+    incr sent;
+    Hashtbl.replace d.d_store !seq v;
+    Simnet.charge_cpu t.net d.d_proc t.cfg.daemon_cpu_per_msg;
+    Simnet.mcast t.net ~src:d.d_proc t.group ~size:(v.size + hdr) (Data { seq = !seq; value = v })
+  done;
+  (* aru bookkeeping (Totem's all-received-up-to rule). *)
+  let mine = my_aru d in
+  let aru, aru_id =
+    if mine < aru then (mine, d.d_idx)
+    else if aru_id = d.d_idx then (mine, d.d_idx)
+    else (aru, aru_id)
+  in
+  (* Request retransmission of our gaps on the next rotation. *)
+  let rtr = ref [] in
+  let upto = Stdlib.min !seq (mine + 64) in
+  for s = mine + 1 to upto do
+    if not (Hashtbl.mem d.d_store s) then rtr := s :: !rtr
+  done;
+  (* Safe delivery: everything the token already covered on its previous
+     visit has been seen by every daemon for a full rotation. *)
+  try_deliver t d;
+  d.d_safe_prev <- Stdlib.min aru mine;
+  let next = t.daemons.((d.d_idx + 1) mod t.cfg.n_daemons) in
+  ignore
+    (Simnet.after t.net t.cfg.token_think (fun () ->
+         if Simnet.is_alive d.d_proc then
+           Simnet.send t.net ~src:d.d_proc ~dst:next.d_proc
+             ~size:(hdr + (8 * List.length !rtr))
+             (Token { seq = !seq; aru; aru_id; rtr = !rtr })))
+
+let handler t d (msg : Simnet.msg) =
+  match msg.payload with
+  | Token { seq; aru; aru_id; rtr } -> on_token t d seq aru aru_id rtr
+  | Data { seq; value } ->
+      Simnet.charge_cpu t.net d.d_proc t.cfg.daemon_cpu_per_msg;
+      Hashtbl.replace d.d_store seq value;
+      try_deliver t d
+  | _ -> ()
+
+let create net cfg ~deliver =
+  let group = Simnet.new_group net "totem" in
+  let daemons =
+    Array.init cfg.n_daemons (fun i ->
+        let node = Simnet.add_node net (Printf.sprintf "totem-%d" i) in
+        let proc = Simnet.add_proc net node (Printf.sprintf "totem-%d" i) in
+        Simnet.join group proc;
+        { d_proc = proc;
+          d_idx = i;
+          d_queue = Queue.create ();
+          d_queue_bytes = 0;
+          d_store = Hashtbl.create 4096;
+          d_delivered = 0;
+          d_safe_prev = 0 })
+  in
+  let t = { net; cfg; daemons; group; deliver; next_uid = 0; delivered = 0 } in
+  Array.iter (fun d -> Simnet.set_handler d.d_proc (handler t d)) daemons;
+  (* Inject the token at daemon 0. *)
+  ignore
+    (Simnet.after net 1.0e-4 (fun () -> on_token t daemons.(0) 0 0 0 []));
+  t
+
+let broadcast t ~from ~size app =
+  let d = t.daemons.(from) in
+  if d.d_queue_bytes + size > 2 * 1024 * 1024 then false
+  else begin
+    t.next_uid <- t.next_uid + 1;
+    let v =
+      Paxos.Value.single ~vid:t.next_uid ~uid:t.next_uid ~size ~born:(Simnet.now t.net) app
+    in
+    Queue.push v d.d_queue;
+    d.d_queue_bytes <- d.d_queue_bytes + size;
+    true
+  end
+
+let proc t i = t.daemons.(i).d_proc
+let delivered t = t.delivered

@@ -1,0 +1,45 @@
+(** In-memory B+-tree over [int] keys and values — the replicated service of
+    Chapter 4 (§4.4.2: insert, delete and range queries over 8-byte
+    integers).
+
+    Leaves are linked for efficient range scans.  The structure is
+    deterministic: replicas applying the same operation sequence hold
+    structurally identical trees, which the SMR tests rely on. *)
+
+type t
+
+(** [create ~order ()] makes an empty tree; [order] is the maximum number of
+    keys per node (default 64, minimum 4). *)
+val create : ?order:int -> unit -> t
+
+(** [insert t k v] inserts or overwrites; returns the previous value. *)
+val insert : t -> int -> int -> int option
+
+(** [delete t k] removes [k]; returns the value it had. *)
+val delete : t -> int -> int option
+
+val find : t -> int -> int option
+
+(** [range t ~lo ~hi] is the [(key, value)] pairs with [lo <= key <= hi],
+    in ascending key order. *)
+val range : t -> lo:int -> hi:int -> (int * int) list
+
+(** [range_count t ~lo ~hi] counts without materialising. *)
+val range_count : t -> lo:int -> hi:int -> int
+
+(** Number of keys stored. *)
+val size : t -> int
+
+val min_key : t -> int option
+val max_key : t -> int option
+
+(** [iter t f] visits all pairs in ascending key order. *)
+val iter : t -> (int -> int -> unit) -> unit
+
+(** [check t] verifies structural invariants (sorted keys, node occupancy,
+    leaf links, consistent depth); raises [Failure] on violation. *)
+val check : t -> unit
+
+(** [populate t ~n ~key_range ~seed] inserts [n] distinct random keys
+    (value = key), for experiment setup. *)
+val populate : t -> n:int -> key_range:int -> seed:int -> unit

@@ -1,0 +1,144 @@
+type lib = S_paxos | Openreplica | U_ring | Libpaxos | Libpaxos_plus
+
+let lib_name = function
+  | S_paxos -> "S-Paxos"
+  | Openreplica -> "OpenReplica"
+  | U_ring -> "U-Ring Paxos"
+  | Libpaxos -> "Libpaxos"
+  | Libpaxos_plus -> "Libpaxos+"
+
+let all_libs = [ S_paxos; Openreplica; U_ring; Libpaxos; Libpaxos_plus ]
+
+type result = {
+  series : (float * float) list;
+  mbps : float;
+  kcps : float;
+  lat_ms : float;
+  recovered : bool;
+  outage : float;
+}
+
+(* EC2-like network: higher, jittery latency; some baseline loss; a less
+   capable multicast fabric than a dedicated LAN switch. *)
+let cloud_config =
+  { Simnet.default_config with
+    latency = 3.0e-4;
+    latency_jitter = 0.5;
+    udp_base_loss = 0.001;
+    mcast_capacity = 0.7e9 }
+
+let default_rate = function
+  | S_paxos -> 120.0
+  | Openreplica -> 3.0
+  | U_ring -> 300.0
+  | Libpaxos -> 18.0
+  | Libpaxos_plus -> 120.0
+
+let default_size = function
+  | S_paxos -> Abcast.Presets.message_size `Spaxos
+  | Openreplica -> Abcast.Presets.message_size `Openreplica
+  | U_ring -> 8 * 1024
+  | Libpaxos | Libpaxos_plus -> Abcast.Presets.message_size `Libpaxos
+
+(* Emulate a small (slower) instance by scaling a process's CPU costs. *)
+let slow_down proc factor =
+  let c = Simnet.costs_of proc in
+  c.recv_per_msg <- c.recv_per_msg *. factor;
+  c.recv_per_byte <- c.recv_per_byte *. factor;
+  c.send_per_msg <- c.send_per_msg *. factor;
+  c.send_per_byte <- c.send_per_byte *. factor
+
+type Simnet.payload += Load of int
+
+let run ?(seed = 7) ?(hetero = false) ?kill_leader_at ?rate_mbps ?msg_size ?(duration = 15.0)
+    ~lib () =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create ~config:cloud_config engine (Sim.Rng.create seed) in
+  let rec_ = Abcast.Recorder.create engine in
+  let rate = Option.value ~default:(default_rate lib) rate_mbps in
+  let size = Option.value ~default:(default_size lib) msg_size in
+  (* Build the deployment; return (submit, kill_leader). *)
+  let submit, kill_leader =
+    match lib with
+    | S_paxos ->
+        let sp =
+          Abcast.Spaxos.create net Abcast.Spaxos.default_config
+            ~deliver:(fun ~learner v -> if learner = 1 then Abcast.Recorder.value rec_ v)
+        in
+        if hetero then slow_down (Abcast.Spaxos.replica_proc sp 2) 4.0;
+        let turn = ref 0 in
+        ( (fun sz ->
+            incr turn;
+            ignore (Abcast.Spaxos.submit sp ~replica:(!turn mod 3) ~size:sz (Load !turn))),
+          fun () -> Abcast.Spaxos.kill_leader sp )
+    | U_ring ->
+        let cfg = { Ringpaxos.Uring.default_config with f = 1 } in
+        let ur =
+          Ringpaxos.Uring.create net cfg
+            ~positions:(Ringpaxos.Uring.standard_positions ~n:3)
+            ~deliver:(fun ~learner ~inst:_ v ->
+              if learner = 1 then Abcast.Recorder.value rec_ v)
+        in
+        if hetero then slow_down (Ringpaxos.Uring.position_proc ur 2) 4.0;
+        let turn = ref 0 in
+        ( (fun sz ->
+            incr turn;
+            ignore (Ringpaxos.Uring.submit ur ~proposer:(!turn mod 3) ~size:sz (Load !turn))),
+          fun () -> Ringpaxos.Uring.kill_coordinator ur )
+    | Openreplica | Libpaxos | Libpaxos_plus ->
+        let cfg =
+          match lib with
+          | Openreplica -> Abcast.Presets.openreplica
+          | Libpaxos -> Abcast.Presets.libpaxos
+          | _ -> Abcast.Presets.libpaxos_plus
+        in
+        let bp =
+          Paxos.Basic.create net cfg ~n_acceptors:3 ~n_standby:1 ~n_proposers:1 ~n_learners:1
+            ~deliver:(fun ~learner ~inst:_ v ->
+              if learner = 0 then Abcast.Recorder.value rec_ v)
+        in
+        if hetero then slow_down (Paxos.Basic.acceptor bp 2) 4.0;
+        ( (fun sz -> ignore (Paxos.Basic.submit bp ~proposer:0 ~size:sz (Load 0))),
+          fun () -> Paxos.Basic.kill_coordinator bp )
+  in
+  let stop =
+    Abcast.Loadgen.constant net ~rate_mbps:rate ~size (fun sz ->
+        submit sz;
+        true)
+  in
+  let kill_at = Option.value ~default:infinity kill_leader_at in
+  if kill_at < duration then
+    ignore (Simnet.after net kill_at (fun () -> kill_leader ()));
+  Sim.Engine.run engine ~until:duration;
+  stop ();
+  let window = 0.5 in
+  let series = Abcast.Recorder.series rec_ ~window ~till:duration in
+  let warm = 1.0 in
+  let steady_till = Stdlib.min duration kill_at in
+  let mbps = Abcast.Recorder.mbps rec_ ~from:warm ~till:steady_till in
+  let kcps = Abcast.Recorder.msgs_per_sec rec_ ~from:warm ~till:steady_till /. 1e3 in
+  let lat_ms = Abcast.Recorder.lat_trimmed_ms rec_ in
+  let recovered, outage =
+    if kill_at >= duration then (true, 0.0)
+    else begin
+      let post = List.filter (fun (t, _) -> t > kill_at) series in
+      let threshold = mbps *. 0.1 in
+      let dead = List.filter (fun (_, v) -> v < threshold) post in
+      let tail = match List.rev post with (_, v) :: _ -> v | [] -> 0.0 in
+      (tail > mbps *. 0.3, float_of_int (List.length dead) *. window)
+    end
+  in
+  { series; mbps; kcps; lat_ms; recovered; outage }
+
+let render_configs () =
+  String.concat "\n"
+    [ "Table 7.1 - peak-performance configurations (replicas/acceptors on";
+      "large instances, one client machine, per-library best message size):";
+      "  S-Paxos      3 replicas (f=1), 32 KB batches, clients spread across replicas";
+      "  OpenReplica  3 replicas (f=1), 1 KB messages, single leader";
+      "  U-Ring Paxos ring of 3 (proposer+acceptor+learner each), 32 KB batches";
+      "  Libpaxos     coordinator + 3 acceptors, 4 KB messages, no batching";
+      "  Libpaxos+    Libpaxos with batching, windowing and fast gap repair";
+      "";
+      "Table 7.2 - heterogeneous/flow-control configurations: one replica on";
+      "a small instance (4x slower CPU); leader crash injected mid-run." ]

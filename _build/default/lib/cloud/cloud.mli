@@ -1,0 +1,47 @@
+(** Chapter 7 — "Experimenting with Paxos in the Cloud".
+
+    Runs the five open-source Paxos libraries the paper evaluates on an
+    EC2-like environment: higher and jittered latency, no performance
+    isolation (heterogeneous instances = slower CPUs), and scripted
+    failures.  Produces per-window delivery-throughput timelines (the
+    series plotted in Figs. 7.2-7.7).
+
+    Substitution note: Amazon EC2 provides no ip-multicast; the paper ran
+    multicast-dependent libraries in cluster placement groups.  The model
+    keeps multicast available but with a small base loss rate and reduced
+    switch capacity, which reproduces the same retransmission behaviour. *)
+
+type lib = S_paxos | Openreplica | U_ring | Libpaxos | Libpaxos_plus
+
+val lib_name : lib -> string
+val all_libs : lib list
+
+type result = {
+  series : (float * float) list;  (** (window end, delivered Mbps) *)
+  mbps : float;  (** steady-state delivery throughput *)
+  kcps : float;
+  lat_ms : float;
+  recovered : bool;  (** delivery resumed after the injected failure *)
+  outage : float;  (** seconds with (near-)zero delivery after the kill *)
+}
+
+(** [run ~lib ()] executes one scenario.
+
+    @param hetero slow down one non-leader replica (small instance)
+    @param kill_leader_at crash the leader/coordinator at this time
+    @param rate_mbps offered load (default: near each library's peak)
+    @param msg_size application message size (default: per-library best)
+    @param duration total simulated seconds (default 15) *)
+val run :
+  ?seed:int ->
+  ?hetero:bool ->
+  ?kill_leader_at:float ->
+  ?rate_mbps:float ->
+  ?msg_size:int ->
+  ?duration:float ->
+  lib:lib ->
+  unit ->
+  result
+
+(** Tables 7.1/7.2: the evaluated configurations. *)
+val render_configs : unit -> string

@@ -1,0 +1,92 @@
+(** High-Performance State-Machine Replication — public facade.
+
+    This library reproduces Marandi & Pedone's {e High-Performance
+    State-Machine Replication} (DSN 2011 line of work): the Ring Paxos
+    family of atomic broadcast protocols, SMR with speculative execution and
+    state partitioning, Multi-Ring Paxos atomic multicast and Parallel SMR,
+    all running on a deterministic discrete-event network simulator.
+
+    Quick start:
+    {[
+      let env = Hpsmr.Env.create ~seed:42 () in
+      let kv = Hpsmr.Replicated_kv.create env ~replicas:2 in
+      Hpsmr.Replicated_kv.put kv ~key:1 ~value:10 ~k:(fun _ -> ...);
+      Hpsmr.Env.run env ~for_:1.0
+    ]}
+
+    For full control use the re-exported libraries below — they are the
+    real implementation, not wrappers. *)
+
+(** {1 Re-exported libraries} *)
+
+module Sim = Sim
+(** Discrete-event engine, RNG, statistics. *)
+
+module Simnet = Simnet
+(** Simulated network: nodes, processes, unicast/multicast, failures. *)
+
+module Storage = Storage
+(** Simulated disks. *)
+
+module Paxos = Paxos
+(** Basic Paxos (Algorithm 1) and consensus values. *)
+
+module Ringpaxos = Ringpaxos
+(** M-Ring Paxos and U-Ring Paxos — the core contribution. *)
+
+module Abcast = Abcast
+(** Baseline atomic broadcast protocols, presets, measurement helpers. *)
+
+module Btree = Btree
+(** The in-memory B+-tree service. *)
+
+module Smr = Smr
+(** State-machine replication with speculation and partitioning (Ch. 4). *)
+
+module Multiring = Multiring
+(** Multi-Ring Paxos atomic multicast (Ch. 5). *)
+
+module Psmr = Psmr
+(** Parallel SMR (Ch. 6). *)
+
+module Cloud = Cloud
+(** Cloud evaluation harness (Ch. 7). *)
+
+(** {1 Convenience environment} *)
+
+module Env : sig
+  type t = { engine : Sim.Engine.t; net : Simnet.t; rng : Sim.Rng.t }
+
+  (** [create ~seed ()] builds a deterministic simulation environment on a
+      gigabit LAN. *)
+  val create : ?seed:int -> ?config:Simnet.config -> unit -> t
+
+  (** [run env ~for_] advances the simulation by [for_] seconds. *)
+  val run : t -> for_:float -> unit
+
+  val now : t -> float
+end
+
+(** {1 A replicated key-value service in three lines} *)
+
+module Replicated_kv : sig
+  type t
+
+  (** [create env ~replicas] builds a KV store replicated with M-Ring Paxos
+      ([2f+1] acceptors with [f = 2]) and [replicas] executing replicas. *)
+  val create : Env.t -> replicas:int -> t
+
+  (** Asynchronous operations; the continuation runs when a replica's
+      response reaches the client. *)
+
+  val put : t -> key:int -> value:int -> k:(unit -> unit) -> unit
+
+  val get : t -> key:int -> k:(int option -> unit) -> unit
+
+  (** Commands completed so far. *)
+  val completed : t -> int
+
+  (** Crash the current Ring Paxos coordinator; a spare takes over and the
+      store keeps serving. *)
+  val kill_coordinator : t -> unit
+end

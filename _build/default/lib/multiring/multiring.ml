@@ -1,0 +1,233 @@
+type config = {
+  ring : Ringpaxos.Mring.config;
+  n_rings : int;
+  n_groups : int;  (* 0 = one group per ring *)
+  lambda : float;
+  delta : float;
+  m : int;
+  buffer_items : int;
+}
+
+let default_config =
+  { ring = Ringpaxos.Mring.default_config;
+    n_rings = 2;
+    n_groups = 0;
+    lambda = 9000.0;
+    delta = 1.0e-3;
+    m = 1;
+    buffer_items = 50_000 }
+
+let groups_of cfg = if cfg.n_groups <= 0 then cfg.n_rings else cfg.n_groups
+
+type Simnet.payload += Skip of { count : int }
+
+(* Application payloads are tagged with their group so several groups can
+   share one ring (the gamma-groups-to-delta-rings mapping of §5.2.4). *)
+type Simnet.payload += Grouped of { group : int; app : Simnet.payload }
+
+type lrn = {
+  ml_idx : int;
+  ml_subs : int array;  (* subscribed groups, ascending *)
+  mutable ml_foreign : int;  (* items received for unsubscribed groups *)
+  ml_queues : Paxos.Value.item Queue.t array;  (* one per subscribed group *)
+  ml_credit : int array;  (* skip slots banked per subscribed group *)
+  ml_recv : int array;  (* per group of the system *)
+  mutable ml_cur : int;  (* index into ml_subs *)
+  mutable ml_taken : int;  (* slots consumed from the current group *)
+  mutable ml_buffered : int;
+  mutable ml_halted : bool;
+  mutable ml_delivered : int;
+}
+
+type t = {
+  net : Simnet.t;
+  cfg : config;
+  mutable rings : Ringpaxos.Mring.t array;
+  lrns : lrn array;
+  deliver : learner:int -> group:int -> Paxos.Value.item -> unit;
+  submitted : int array;  (* per group, messages in the current delta window *)
+  skips : int array;  (* per group, total skip slots proposed *)
+  ring_learners : int array array;  (* ring -> multiring learner ids *)
+}
+
+let ring_of_group t g = g mod Array.length t.rings
+
+let sub_slot l group =
+  let rec go i = if l.ml_subs.(i) = group then i else go (i + 1) in
+  go 0
+
+(* Deterministic merge: consume [m] message slots per subscribed group, in
+   ascending group order.  A real message fills one slot and is delivered; a
+   skip message banks [count] slots of credit for its group, consumed round
+   by round so idle groups never stall the others (§5.2.1). *)
+let rec merge t l =
+  if not l.ml_halted then begin
+    let cur = l.ml_cur in
+    let group = l.ml_subs.(cur) in
+    let advance_if_done () =
+      if l.ml_taken >= t.cfg.m then begin
+        l.ml_taken <- 0;
+        l.ml_cur <- (cur + 1) mod Array.length l.ml_subs
+      end
+    in
+    if l.ml_credit.(cur) > 0 then begin
+      let used = Stdlib.min l.ml_credit.(cur) (t.cfg.m - l.ml_taken) in
+      l.ml_credit.(cur) <- l.ml_credit.(cur) - used;
+      l.ml_taken <- l.ml_taken + used;
+      advance_if_done ();
+      merge t l
+    end
+    else begin
+      match Queue.take_opt l.ml_queues.(cur) with
+      | None -> () (* wait for traffic or a skip on this group *)
+      | Some it ->
+          l.ml_buffered <- l.ml_buffered - 1;
+          (match it.app with
+          | Skip { count } -> l.ml_credit.(cur) <- l.ml_credit.(cur) + count
+          | _ ->
+              l.ml_delivered <- l.ml_delivered + 1;
+              l.ml_taken <- l.ml_taken + 1;
+              t.deliver ~learner:l.ml_idx ~group it);
+          advance_if_done ();
+          merge t l
+    end
+  end
+
+let subscribed l group = Array.exists (fun g -> g = group) l.ml_subs
+
+let on_ring_deliver t _ring_id l (v : Paxos.Value.t) =
+  List.iter
+    (fun (it : Paxos.Value.item) ->
+      let group, it =
+        match it.app with
+        | Grouped { group; app } -> (group, { it with app })
+        | _ -> (-1, it)
+      in
+      if group >= 0 && subscribed l group then begin
+        l.ml_recv.(group) <- l.ml_recv.(group) + 1;
+        Queue.push it l.ml_queues.(sub_slot l group);
+        l.ml_buffered <- l.ml_buffered + 1;
+        if l.ml_buffered > t.cfg.buffer_items then l.ml_halted <- true
+      end
+      else
+        (* Traffic of a co-hosted group this learner does not subscribe to:
+           received, paid for, and discarded (§5.2.4's drawback). *)
+        l.ml_foreign <- l.ml_foreign + 1)
+    v.items;
+  merge t l
+
+(* The skip controller of one group: every delta, top the group's traffic up
+   to lambda with a single batched skip message (§5.2.2). *)
+let controller_loop t group =
+  let (_stop : unit -> unit) =
+    Simnet.every t.net ~period:t.cfg.delta (fun () ->
+        let expected = int_of_float (t.cfg.lambda *. t.cfg.delta) in
+        let missing = expected - t.submitted.(group) in
+        t.submitted.(group) <- 0;
+        if missing > 0 && t.cfg.lambda > 0.0 then begin
+          t.skips.(group) <- t.skips.(group) + missing;
+          ignore
+            (Ringpaxos.Mring.submit
+               t.rings.(ring_of_group t group)
+               ~proposer:0 (* the controller's dedicated proposer *)
+               ~size:64
+               (Grouped { group; app = Skip { count = missing } }))
+        end)
+  in
+  ()
+
+let create ?learner_nodes net cfg ~n_learners ~subs ~proposers_per_ring ~deliver =
+  let n_groups = groups_of cfg in
+  let lrn_nodes =
+    match learner_nodes with
+    | Some nodes -> nodes
+    | None -> Array.init n_learners (fun i -> Simnet.add_node net (Printf.sprintf "mrl%d" i))
+  in
+  let lrns =
+    Array.init n_learners (fun i ->
+        let groups = List.sort_uniq compare (subs i) in
+        let subs = Array.of_list groups in
+        { ml_idx = i;
+          ml_subs = subs;
+          ml_foreign = 0;
+          ml_queues = Array.map (fun _ -> Queue.create ()) subs;
+          ml_credit = Array.map (fun _ -> 0) subs;
+          ml_recv = Array.make n_groups 0;
+          ml_cur = 0;
+          ml_taken = 0;
+          ml_buffered = 0;
+          ml_halted = false;
+          ml_delivered = 0 })
+  in
+  (* A learner joins ring r when any of its groups maps to r. *)
+  let ring_learners =
+    Array.init cfg.n_rings (fun r ->
+        Array.of_list
+          (List.filter_map
+             (fun l ->
+               if Array.exists (fun g -> g mod cfg.n_rings = r) lrns.(l).ml_subs then Some l
+               else None)
+             (List.init n_learners Fun.id)))
+  in
+  let t =
+    { net;
+      cfg;
+      rings = [||];
+      lrns;
+      deliver;
+      submitted = Array.make n_groups 0;
+      skips = Array.make n_groups 0;
+      ring_learners }
+  in
+  let rings =
+    Array.init cfg.n_rings (fun r ->
+        let members = ring_learners.(r) in
+        let nodes = Array.map (fun l -> lrn_nodes.(l)) members in
+        Ringpaxos.Mring.create ~learner_nodes:nodes net cfg.ring
+          ~n_proposers:(proposers_per_ring + 1) (* +1 for the skip controller *)
+          ~n_learners:(Array.length members)
+          ~learner_parts:(fun _ -> [ 0 ])
+          ~deliver:(fun ~learner ~inst:_ v ->
+            match v with
+            | Some v -> on_ring_deliver t r t.lrns.(members.(learner)) v
+            | None -> ()))
+  in
+  t.rings <- rings;
+  for g = 0 to n_groups - 1 do
+    controller_loop t g
+  done;
+  t
+
+let multicast t ~group ~proposer ~size app =
+  t.submitted.(group) <- t.submitted.(group) + 1;
+  (* Proposer 0 of every ring belongs to the skip controller. *)
+  Ringpaxos.Mring.submit
+    t.rings.(ring_of_group t group)
+    ~proposer:(proposer + 1) ~size
+    (Grouped { group; app })
+
+let ring t i = t.rings.(i)
+
+let index_in arr x =
+  let rec go i = if arr.(i) = x then i else go (i + 1) in
+  go 0
+
+let learner_proc t l =
+  let r = ring_of_group t t.lrns.(l).ml_subs.(0) in
+  Ringpaxos.Mring.learner_proc t.rings.(r) (index_in t.ring_learners.(r) l)
+
+let proposer_proc t ~group ~proposer =
+  Ringpaxos.Mring.proposer_proc t.rings.(ring_of_group t group) (proposer + 1)
+let n_rings t = Array.length t.rings
+let learner_buffer t i = t.lrns.(i).ml_buffered
+let learner_halted t i = t.lrns.(i).ml_halted
+
+let learner_delivered t i = t.lrns.(i).ml_delivered
+
+let received t ~learner ~group = t.lrns.(learner).ml_recv.(group)
+
+let kill_ring_coordinator t r = Ringpaxos.Mring.kill_coordinator t.rings.(r)
+
+let skips_proposed t g = t.skips.(g)
+
+let foreign_items t l = t.lrns.(l).ml_foreign

@@ -1,0 +1,1 @@
+lib/net/simnet.ml: Float Hashtbl List Queue Resource Sim Stdlib

@@ -1,0 +1,22 @@
+type t = {
+  name : string;
+  mutable free_at : float;
+  busy : Sim.Stats.Busy.t;
+}
+
+let create name = { name; free_at = 0.0; busy = Sim.Stats.Busy.create () }
+
+let name t = t.name
+
+let acquire t ~at ~dur =
+  let start = if at > t.free_at then at else t.free_at in
+  let finish = start +. dur in
+  t.free_at <- finish;
+  Sim.Stats.Busy.add t.busy dur;
+  (start, finish)
+
+let free_at t = t.free_at
+
+let backlog t ~now = if t.free_at > now then t.free_at -. now else 0.0
+
+let busy t = t.busy

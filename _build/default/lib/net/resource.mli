@@ -1,0 +1,23 @@
+(** A serially used resource (CPU, NIC link, disk head).
+
+    Acquisitions are FIFO: a request at time [at] starts at
+    [max at free_at] and occupies the resource for [dur] seconds.
+    Busy time is accounted for utilization reporting. *)
+
+type t
+
+val create : string -> t
+
+val name : t -> string
+
+(** [acquire t ~at ~dur] reserves the resource and returns
+    [(start, finish)] of the granted slot. *)
+val acquire : t -> at:float -> dur:float -> float * float
+
+(** [free_at t] is the earliest instant a new acquisition can start. *)
+val free_at : t -> float
+
+(** [backlog t ~now] is how far the resource is booked past [now]. *)
+val backlog : t -> now:float -> float
+
+val busy : t -> Sim.Stats.Busy.t

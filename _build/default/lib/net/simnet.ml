@@ -1,0 +1,423 @@
+type payload = ..
+
+type payload += Noop
+
+type msg = {
+  src : int;
+  dst : int;
+  size : int;
+  payload : payload;
+  sent_at : float;
+}
+
+type costs = {
+  mutable recv_per_msg : float;
+  mutable recv_per_byte : float;
+  mutable send_per_msg : float;
+  mutable send_per_byte : float;
+}
+
+type node = {
+  node_id : int;
+  nname : string;
+  cpu : Resource.t;
+  nic_out : Resource.t;
+  nic_in : Resource.t;
+  cpu_factor : float;
+  lat_factor : float;
+}
+
+type proc = {
+  p_id : int;
+  p_name : string;
+  p_node : node;
+  mutable handler : msg -> unit;
+  mutable alive : bool;
+  mutable rcvbuf_cap : int;
+  mutable rcvbuf_used : int;
+  p_costs : costs;
+  p_recv : Sim.Stats.Rate.t;
+  p_sent : Sim.Stats.Rate.t;
+  mutable p_drops : int;
+  mutable p_mem : int;
+}
+
+type group = {
+  g_id : int;
+  g_name : string;
+  mutable g_members : proc list;
+  (* Per-group multicast rate tracking: a switch replicates a group's
+     traffic only onto its members' egress ports, so disjoint groups do not
+     share capacity (this is what lets Multi-Ring Paxos scale). *)
+  mutable g_rate : float;
+  mutable g_last : float;
+  mutable g_pending_bits : float;
+  g_senders : (int, float) Hashtbl.t;
+}
+
+(* Per-(src,dst) reliable-connection state: [in_flight] counts bytes accepted
+   by the network but not yet consumed by the receiver's handler; sends that
+   would exceed the receiver window wait in [backlog]. *)
+type conn = {
+  mutable in_flight : int;
+  backlog : (int * payload * float) Queue.t;
+}
+
+type config = {
+  latency : float;
+  latency_jitter : float;
+  bandwidth : float;
+  mtu : int;
+  frame_overhead : int;
+  multicast_available : bool;
+  mcast_capacity : float;
+  udp_base_loss : float;
+  default_rcvbuf : int;
+  default_costs : unit -> costs;
+}
+
+let default_costs () =
+  { recv_per_msg = 4.0e-6;
+    recv_per_byte = 1.8e-9;
+    send_per_msg = 4.5e-6;
+    send_per_byte = 4.5e-9 }
+
+let default_config =
+  { latency = 5.0e-5;
+    latency_jitter = 0.05;
+    bandwidth = 1.0e9;
+    mtu = 1500;
+    frame_overhead = 52;
+    multicast_available = true;
+    mcast_capacity = 1.0e9;
+    udp_base_loss = 0.0;
+    default_rcvbuf = 16 * 1024 * 1024;
+    default_costs }
+
+type t = {
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  cfg : config;
+  mutable nodes : node list;
+  procs : (int, proc) Hashtbl.t;
+  mutable nprocs : int;
+  mutable ngroups : int;
+  conns : (int * int, conn) Hashtbl.t;
+  mutable mc_drops : int;
+  mutable mc_packets : int;
+}
+
+let create ?(config = default_config) engine rng =
+  { engine;
+    rng;
+    cfg = config;
+    nodes = [];
+    procs = Hashtbl.create 64;
+    nprocs = 0;
+    ngroups = 0;
+    conns = Hashtbl.create 64;
+    mc_drops = 0;
+    mc_packets = 0 }
+
+let engine t = t.engine
+let config t = t.cfg
+let now t = Sim.Engine.now t.engine
+
+let add_node ?(cpu_factor = 1.0) ?(lat_factor = 1.0) t name =
+  let id = List.length t.nodes in
+  let n =
+    { node_id = id;
+      nname = name;
+      cpu = Resource.create (name ^ ".cpu");
+      nic_out = Resource.create (name ^ ".out");
+      nic_in = Resource.create (name ^ ".in");
+      cpu_factor;
+      lat_factor }
+  in
+  t.nodes <- n :: t.nodes;
+  n
+
+let add_proc t node name =
+  let p =
+    { p_id = t.nprocs;
+      p_name = name;
+      p_node = node;
+      handler = (fun _ -> ());
+      alive = true;
+      rcvbuf_cap = t.cfg.default_rcvbuf;
+      rcvbuf_used = 0;
+      p_costs = t.cfg.default_costs ();
+      p_recv = Sim.Stats.Rate.create ();
+      p_sent = Sim.Stats.Rate.create ();
+      p_drops = 0;
+      p_mem = 0 }
+  in
+  Hashtbl.add t.procs t.nprocs p;
+  t.nprocs <- t.nprocs + 1;
+  p
+
+let pid p = p.p_id
+let proc_name p = p.p_name
+let proc_node p = p.p_node
+let node_name n = n.nname
+
+let proc_of t id =
+  match Hashtbl.find_opt t.procs id with
+  | Some p -> p
+  | None -> invalid_arg "Simnet.proc_of: unknown pid"
+
+let set_handler p f = p.handler <- f
+
+let handler_of p = p.handler
+let set_rcvbuf p n = p.rcvbuf_cap <- n
+let rcvbuf p = p.rcvbuf_cap
+let costs_of p = p.p_costs
+let set_mem p n = p.p_mem <- n
+let mem p = p.p_mem
+let recv_rate p = p.p_recv
+let sent_rate p = p.p_sent
+let drops p = p.p_drops
+let switch_drops t = t.mc_drops
+let mcast_packets t = t.mc_packets
+let cpu_busy n = Resource.busy n.cpu
+let is_alive p = p.alive
+
+let wire_size t size =
+  let payload_per_frame = t.cfg.mtu - 48 in
+  let frames = (size + payload_per_frame - 1) / payload_per_frame in
+  let frames = if frames < 1 then 1 else frames in
+  size + (frames * t.cfg.frame_overhead)
+
+let trans_time t size = float_of_int (wire_size t size) *. 8.0 /. t.cfg.bandwidth
+
+let prop_delay t src dst =
+  let base = t.cfg.latency *. 0.5 *. (src.p_node.lat_factor +. dst.p_node.lat_factor) in
+  base *. (1.0 +. Sim.Rng.float t.rng t.cfg.latency_jitter)
+
+(* Charge the sender CPU and the outgoing link; returns when the last bit
+   leaves the sender NIC. *)
+let sender_side t src size =
+  let c = src.p_costs in
+  let cpu_dur =
+    (c.send_per_msg +. (c.send_per_byte *. float_of_int size)) *. src.p_node.cpu_factor
+  in
+  let _, cpu_done = Resource.acquire src.p_node.cpu ~at:(now t) ~dur:cpu_dur in
+  let _, tx_done = Resource.acquire src.p_node.nic_out ~at:cpu_done ~dur:(trans_time t size) in
+  Sim.Stats.Rate.add src.p_sent ~now:(now t) ~bytes:size;
+  tx_done
+
+(* Deliver [m] to [dst]: occupy the incoming link, then the receiver CPU,
+   then invoke the handler.  [on_consumed] fires when the handler returns
+   (used to open the TCP window).  UDP messages are dropped when the socket
+   buffer cannot hold them. *)
+let receiver_side t ~udp ~arrival dst (m : msg) ~on_consumed =
+  let eng = t.engine in
+  ignore
+    (Sim.Engine.at eng ~time:arrival (fun () ->
+         if not dst.alive then begin
+           dst.p_drops <- dst.p_drops + 1;
+           on_consumed ()
+         end
+         else begin
+           let _, rx_done =
+             Resource.acquire dst.p_node.nic_in ~at:arrival ~dur:(trans_time t m.size)
+           in
+           ignore
+             (Sim.Engine.at eng ~time:rx_done (fun () ->
+                  if not dst.alive then begin
+                    dst.p_drops <- dst.p_drops + 1;
+                    on_consumed ()
+                  end
+                  else if udp && dst.rcvbuf_used + m.size > dst.rcvbuf_cap then begin
+                    dst.p_drops <- dst.p_drops + 1;
+                    on_consumed ()
+                  end
+                  else begin
+                    dst.rcvbuf_used <- dst.rcvbuf_used + m.size;
+                    let c = dst.p_costs in
+                    let cpu_dur =
+                      (c.recv_per_msg +. (c.recv_per_byte *. float_of_int m.size))
+                      *. dst.p_node.cpu_factor
+                    in
+                    let _, served =
+                      Resource.acquire dst.p_node.cpu ~at:rx_done ~dur:cpu_dur
+                    in
+                    ignore
+                      (Sim.Engine.at eng ~time:served (fun () ->
+                           dst.rcvbuf_used <- dst.rcvbuf_used - m.size;
+                           if dst.alive then begin
+                             Sim.Stats.Rate.add dst.p_recv ~now:served ~bytes:m.size;
+                             dst.handler m
+                           end
+                           else dst.p_drops <- dst.p_drops + 1;
+                           on_consumed ()))
+                  end))
+         end))
+
+let conn_of t src dst =
+  let key = (src.p_id, dst.p_id) in
+  match Hashtbl.find_opt t.conns key with
+  | Some c -> c
+  | None ->
+      let c = { in_flight = 0; backlog = Queue.create () } in
+      Hashtbl.add t.conns key c;
+      c
+
+let rec tcp_transmit t src dst size payload sent_at =
+  let tx_done = sender_side t src size in
+  let arrival = tx_done +. prop_delay t src dst in
+  let m = { src = src.p_id; dst = dst.p_id; size; payload; sent_at } in
+  let conn = conn_of t src dst in
+  receiver_side t ~udp:false ~arrival dst m ~on_consumed:(fun () ->
+      conn.in_flight <- conn.in_flight - size;
+      tcp_drain t src dst conn)
+
+and tcp_drain t src dst conn =
+  let window = dst.rcvbuf_cap in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt conn.backlog with
+    | Some (size, _, _) when conn.in_flight + size <= window || conn.in_flight = 0 ->
+        let size, payload, sent_at = Queue.pop conn.backlog in
+        conn.in_flight <- conn.in_flight + size;
+        tcp_transmit t src dst size payload sent_at
+    | _ -> continue := false
+  done
+
+let send t ~src ~dst ~size payload =
+  let conn = conn_of t src dst in
+  let window = dst.rcvbuf_cap in
+  if Queue.is_empty conn.backlog && (conn.in_flight + size <= window || conn.in_flight = 0)
+  then begin
+    conn.in_flight <- conn.in_flight + size;
+    tcp_transmit t src dst size payload (now t)
+  end
+  else Queue.push (size, payload, now t) conn.backlog
+
+let udp t ~src ~dst ~size payload =
+  if Sim.Rng.bool t.rng t.cfg.udp_base_loss then dst.p_drops <- dst.p_drops + 1
+  else begin
+    let tx_done = sender_side t src size in
+    let arrival = tx_done +. prop_delay t src dst in
+    let m = { src = src.p_id; dst = dst.p_id; size; payload; sent_at = now t } in
+    receiver_side t ~udp:true ~arrival dst m ~on_consumed:(fun () -> ())
+  end
+
+let new_group t name =
+  t.ngroups <- t.ngroups + 1;
+  { g_id = t.ngroups;
+    g_name = name;
+    g_members = [];
+    g_rate = 0.0;
+    g_last = 0.0;
+    g_pending_bits = 0.0;
+    g_senders = Hashtbl.create 8 }
+
+let join g p = if not (List.memq p g.g_members) then g.g_members <- p :: g.g_members
+let leave g p = g.g_members <- List.filter (fun q -> q != p) g.g_members
+let members g = g.g_members
+
+(* Per-group multicast-rate tracking: exponential moving average; the
+   sender set decays after 100 ms of silence. *)
+let mc_update t g src bits =
+  let n = now t in
+  Hashtbl.replace g.g_senders src.p_id n;
+  g.g_pending_bits <- g.g_pending_bits +. bits;
+  let dt = n -. g.g_last in
+  (* Packets sent at the same instant accumulate until time advances, so
+     simultaneous senders are counted at their true aggregate rate. *)
+  if dt > 0.0 then begin
+    g.g_last <- n;
+    let inst = g.g_pending_bits /. dt in
+    g.g_pending_bits <- 0.0;
+    (* A ~50 ms time constant: short line-rate bursts are absorbed the way
+       switch buffers absorb them; only sustained overload drops packets. *)
+    let alpha = Float.min 1.0 (dt /. 0.05) in
+    g.g_rate <- ((1.0 -. alpha) *. g.g_rate) +. (alpha *. inst)
+  end;
+  ignore t
+
+let mc_active_senders t g =
+  let n = now t in
+  Hashtbl.fold (fun _ last acc -> if n -. last < 0.1 then acc + 1 else acc) g.g_senders 0
+
+(* Loss probability of a multicast packet within one group: zero below a
+   threshold that shrinks as concurrent senders are added, then rising
+   linearly (Fig. 3.3's mechanism).  Groups are independent: a switch
+   replicates each group only onto its own members' egress ports. *)
+let mc_loss_prob t g =
+  let cap = t.cfg.mcast_capacity in
+  let n = mc_active_senders t g in
+  let thr = cap *. (0.97 -. (0.055 *. log (float_of_int (Stdlib.max 1 n)))) in
+  if g.g_rate <= thr then t.cfg.udp_base_loss
+  else
+    let p = (g.g_rate -. thr) /. (0.25 *. cap) in
+    Float.min 0.30 (Float.max t.cfg.udp_base_loss p)
+
+let mcast ?(loopback = false) t ~src g ~size payload =
+  if not t.cfg.multicast_available then
+    failwith "Simnet.mcast: ip-multicast unavailable in this deployment";
+  let sent_at = now t in
+  let tx_done = sender_side t src size in
+  (* The switch sees the packet when the NIC has finished serialising it, so
+     back-to-back bursts are paced at line rate before the loss model runs. *)
+  ignore
+    (Sim.Engine.at t.engine ~time:tx_done (fun () ->
+         t.mc_packets <- t.mc_packets + 1;
+         mc_update t g src (float_of_int (wire_size t size) *. 8.0);
+         let p_loss = mc_loss_prob t g in
+         List.iter
+           (fun dst ->
+             if dst != src || loopback then begin
+               (* An egress port whose queue has run away also sheds the
+                  packet (switch egress buffering is finite). *)
+               let port_overrun = Resource.backlog dst.p_node.nic_in ~now:tx_done > 0.02 in
+               if port_overrun || Sim.Rng.bool t.rng p_loss then begin
+                 dst.p_drops <- dst.p_drops + 1;
+                 t.mc_drops <- t.mc_drops + 1
+               end
+               else begin
+                 let arrival = tx_done +. prop_delay t src dst in
+                 let m = { src = src.p_id; dst = -1; size; payload; sent_at } in
+                 receiver_side t ~udp:true ~arrival dst m ~on_consumed:(fun () -> ())
+               end
+             end)
+           g.g_members))
+
+let after t delay f = Sim.Engine.schedule t.engine ~delay f
+
+let every t ~period f =
+  let stopped = ref false in
+  let rec tick () =
+    if not !stopped then begin
+      f ();
+      ignore (Sim.Engine.schedule t.engine ~delay:period tick)
+    end
+  in
+  ignore (Sim.Engine.schedule t.engine ~delay:period tick);
+  fun () -> stopped := true
+
+let charge_cpu t p dur =
+  if dur > 0.0 then
+    ignore (Resource.acquire p.p_node.cpu ~at:(now t) ~dur:(dur *. p.p_node.cpu_factor))
+
+let exec t p ~dur k =
+  let dur = dur *. p.p_node.cpu_factor in
+  let _, finish = Resource.acquire p.p_node.cpu ~at:(now t) ~dur in
+  ignore (Sim.Engine.at t.engine ~time:finish (fun () -> if p.alive then k ()))
+
+let kill t p =
+  p.alive <- false;
+  (* Connection state to a crashed process is reset so a later recovery
+     starts from a clean window. *)
+  Hashtbl.iter
+    (fun (_, dst) conn ->
+      if dst = p.p_id then begin
+        conn.in_flight <- 0;
+        Queue.clear conn.backlog
+      end)
+    t.conns
+
+let recover _t p =
+  p.alive <- true;
+  p.rcvbuf_used <- 0

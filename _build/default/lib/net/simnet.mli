@@ -1,0 +1,164 @@
+(** Simulated local-area network: nodes, processes, links and a switch.
+
+    The model reproduces the mechanisms the dissertation's evaluation relies
+    on: link serialisation at gigabit speed, per-process CPU cost of sending
+    and receiving, finite UDP socket buffers (overflow drops), TCP-like
+    reliable unicast with a receive-window backpressure, switch-level
+    ip-multicast whose loss rate grows with the aggregate rate and with the
+    number of concurrent senders (Fig. 3.3), process crashes and recoveries,
+    and heterogeneous machines (Ch. 7).
+
+    Protocols attach payloads by extending {!payload} and pattern-matching
+    in their handlers; the network treats payloads as opaque and sizes are
+    declared explicitly by the sender. *)
+
+(** Extensible message payload; each protocol adds its own constructors. *)
+type payload = ..
+
+type payload += Noop
+
+type msg = {
+  src : int;  (** sender pid *)
+  dst : int;  (** receiver pid, [-1] when delivered via multicast *)
+  size : int;  (** application payload bytes *)
+  payload : payload;
+  sent_at : float;  (** simulation time of the send call *)
+}
+
+type node
+type proc
+type group
+type t
+
+(** Per-process CPU cost model (seconds); all fields mutable so experiments
+    can calibrate individual roles. *)
+type costs = {
+  mutable recv_per_msg : float;
+  mutable recv_per_byte : float;
+  mutable send_per_msg : float;
+  mutable send_per_byte : float;
+}
+
+type config = {
+  latency : float;  (** one-way propagation delay, seconds *)
+  latency_jitter : float;  (** uniform fraction of [latency] added per msg *)
+  bandwidth : float;  (** bits per second per NIC direction *)
+  mtu : int;
+  frame_overhead : int;  (** header bytes added per MTU frame *)
+  multicast_available : bool;
+  mcast_capacity : float;  (** aggregate switch multicast capacity, bit/s *)
+  udp_base_loss : float;  (** floor loss probability for UDP/multicast *)
+  default_rcvbuf : int;  (** default UDP socket buffer, bytes *)
+  default_costs : unit -> costs;
+}
+
+val default_config : config
+
+val create : ?config:config -> Sim.Engine.t -> Sim.Rng.t -> t
+
+val engine : t -> Sim.Engine.t
+val config : t -> config
+val now : t -> float
+
+(** {1 Topology} *)
+
+(** [add_node t name] creates a machine. [cpu_factor] scales every CPU cost
+    on this machine (>1 = slower, used for heterogeneous cloud instances);
+    [lat_factor] scales propagation latency of its links. *)
+val add_node : ?cpu_factor:float -> ?lat_factor:float -> t -> string -> node
+
+val add_proc : t -> node -> string -> proc
+
+val pid : proc -> int
+val proc_name : proc -> string
+val proc_node : proc -> node
+val node_name : node -> string
+
+(** [proc_of t pid] looks a process up by id. *)
+val proc_of : t -> int -> proc
+
+val set_handler : proc -> (msg -> unit) -> unit
+
+(** [handler_of p] returns the current handler, so a layer can wrap the one
+    a protocol installed (e.g. client logic on top of a proposer). *)
+val handler_of : proc -> msg -> unit
+
+(** {1 Communication} *)
+
+(** Reliable, ordered unicast (TCP-like).  Never drops; when the receiver's
+    window ([rcvbuf]) is full of un-consumed bytes the sender queues and the
+    transfer resumes as the receiver's handler drains messages. *)
+val send : t -> src:proc -> dst:proc -> size:int -> payload -> unit
+
+(** Unreliable unicast (UDP): dropped on receive-buffer overflow or base
+    loss. *)
+val udp : t -> src:proc -> dst:proc -> size:int -> payload -> unit
+
+val new_group : t -> string -> group
+val join : group -> proc -> unit
+val leave : group -> proc -> unit
+val members : group -> proc list
+
+(** [mcast t ~src g ~size p] ip-multicasts to every member of [g] except
+    [src] (set [loopback:true] to include the sender).  Unavailable
+    multicast ([multicast_available = false]) raises [Failure]. *)
+val mcast : ?loopback:bool -> t -> src:proc -> group -> size:int -> payload -> unit
+
+(** {1 Timers} *)
+
+val after : t -> float -> (unit -> unit) -> Sim.Engine.handle
+
+(** [every t ~period f] runs [f] every [period] seconds until the returned
+    thunk is called. *)
+val every : t -> period:float -> (unit -> unit) -> unit -> unit
+
+(** [charge_cpu t p dur] books [dur] seconds of CPU work on the process's
+    machine without a completion callback (protocol calibration knob). *)
+val charge_cpu : t -> proc -> float -> unit
+
+(** [exec t p ~dur k] books [dur] seconds of CPU work and runs [k] when the
+    work completes (service execution in the SMR layers). *)
+val exec : t -> proc -> dur:float -> (unit -> unit) -> unit
+
+(** {1 Failures} *)
+
+(** [kill t p] crashes the process: queued and future messages to it are
+    discarded, its timers must be guarded by {!is_alive} by the protocol. *)
+val kill : t -> proc -> unit
+
+val recover : t -> proc -> unit
+val is_alive : proc -> bool
+
+(** {1 Tuning} *)
+
+val set_rcvbuf : proc -> int -> unit
+val rcvbuf : proc -> int
+val costs_of : proc -> costs
+
+(** [set_mem p bytes] lets a protocol report its resident buffer footprint
+    (Tables 3.3/3.4). *)
+val set_mem : proc -> int -> unit
+
+val mem : proc -> int
+
+(** {1 Measurement} *)
+
+(** Application bytes delivered to the process handler. *)
+val recv_rate : proc -> Sim.Stats.Rate.t
+
+(** Application bytes handed to the network by the process. *)
+val sent_rate : proc -> Sim.Stats.Rate.t
+
+(** Messages dropped on their way to this process (loss + overflow). *)
+val drops : proc -> int
+
+(** Lost multicast packets counted at the switch (for Fig. 3.3). *)
+val switch_drops : t -> int
+
+val mcast_packets : t -> int
+
+(** CPU accounting of the machine a process runs on. *)
+val cpu_busy : node -> Sim.Stats.Busy.t
+
+(** [wire_size t size] is the on-the-wire size including framing. *)
+val wire_size : t -> int -> int

@@ -1,0 +1,1 @@
+lib/paxos/basic.ml: Array Hashtbl List Option Printf Queue Sim Simnet Value

@@ -1,0 +1,1 @@
+lib/paxos/basic.mli: Simnet Value

@@ -1,0 +1,1 @@
+lib/paxos/value.ml: Format List Simnet

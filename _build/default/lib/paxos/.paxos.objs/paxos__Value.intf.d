@@ -1,0 +1,1 @@
+lib/paxos/value.mli: Format Simnet

@@ -1,0 +1,16 @@
+type item = { uid : int; isize : int; app : Simnet.payload; born : float }
+
+type t = { vid : int; size : int; items : item list }
+
+let make ~vid items =
+  let size = List.fold_left (fun acc i -> acc + i.isize) 0 items in
+  { vid; size; items }
+
+let single ~vid ~uid ~size ~born app =
+  { vid; size; items = [ { uid; isize = size; app; born } ] }
+
+let skip ~vid = { vid; size = 0; items = [] }
+
+let is_skip v = v.items = []
+
+let pp fmt v = Format.fprintf fmt "value(vid=%d,size=%d,items=%d)" v.vid v.size (List.length v.items)

@@ -1,0 +1,63 @@
+(** Parallel State-Machine Replication — Chapter 6.
+
+    Four execution models over the same client interface (Fig. 6.1):
+
+    - [Sequential]: classic SMR; ordering and execution share the replica's
+      single thread.
+    - [Pipelined]: multithreaded replica stages, still sequential
+      execution on a dedicated executor thread.
+    - [Sdpe] (sequential delivery, parallel execution — CBASE-like): one
+      totally ordered stream; a scheduler thread dispatches commands to
+      worker threads, tracking conflicts; the scheduler's per-command cost
+      eventually bottlenecks.
+    - [Psmr]: Parallel SMR proper (§6.3): one Multi-Ring Paxos group per
+      worker plus a group subscribed by all workers; client proxies map
+      independent commands to a single worker's group and dependent
+      commands to the all-workers group, where execution synchronises on a
+      barrier — no replica-side scheduler at all.
+
+    Commands name an abstract object; two commands conflict when they touch
+    the same object and at least one writes ([dependent] marks commands
+    that conflict with everything, e.g. multi-object updates). *)
+
+type approach = Sequential | Pipelined | Sdpe | Psmr
+
+type command = {
+  obj : int;  (** object the command accesses *)
+  dependent : bool;  (** conflicts with every other command *)
+  size : int;
+}
+
+type config = {
+  approach : approach;
+  n_workers : int;  (** worker threads per replica *)
+  n_replicas : int;
+  ring : Ringpaxos.Mring.config;
+  lambda : float;
+  delta : float;
+  merge_m : int;
+  exec_cost : float;  (** service time per command, seconds *)
+  sched_cost : float;  (** SDPE scheduler cost per command, seconds *)
+}
+
+val default_config : config
+
+type t
+
+val create : Simnet.t -> config -> n_clients:int -> gen:(int -> command) -> t
+val start : t -> unit
+val metrics : t -> Smr.Metrics.t
+
+(** Barriers executed (dependent commands) at replica 0. *)
+val barriers : t -> int
+
+(** Total commands executed at replica 0 across its workers. *)
+val executed : t -> int
+
+(** Worker-thread utilisation at replica 0 over a window, percent. *)
+val worker_utilization : t -> from:float -> till:float -> float
+
+(** The qualitative comparison of Table 6.1. *)
+val table_6_1 : (string * string * string * string) list
+
+val render_table_6_1 : unit -> string

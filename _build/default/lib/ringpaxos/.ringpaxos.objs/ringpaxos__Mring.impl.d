@@ -1,0 +1,1 @@
+lib/ringpaxos/mring.ml: Array Fun Hashtbl List Option Paxos Printf Queue Sim Simnet Stdlib Storage

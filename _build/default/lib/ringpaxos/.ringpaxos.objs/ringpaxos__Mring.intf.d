@@ -1,0 +1,1 @@
+lib/ringpaxos/mring.mli: Paxos Simnet Storage

@@ -1,0 +1,1 @@
+lib/ringpaxos/uring.ml: Array Hashtbl List Mring Option Paxos Printf Queue Sim Simnet Stdlib Storage

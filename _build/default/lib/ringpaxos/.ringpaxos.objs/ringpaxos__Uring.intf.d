@@ -1,0 +1,1 @@
+lib/ringpaxos/uring.mli: Mring Paxos Simnet Storage

@@ -1,0 +1,1241 @@
+type durability = Memory | Sync_disk | Async_disk
+
+type config = {
+  f : int;
+  window : int;
+  batch_bytes : int;
+  batch_timeout : float;
+  durability : durability;
+  buffer_bytes : int;
+  fc_threshold : int;
+  fc_recover_period : float;
+  hb_period : float;
+  hb_timeout : float;
+  retrans_timeout : float;
+  gc_period : float;
+  partitions : int;
+  send_rate : float;  (** coordinator pacing, bits/s of Phase 2A traffic *)
+}
+
+let default_config =
+  { f = 2;
+    window = 64;
+    batch_bytes = 8192;
+    batch_timeout = 5.0e-4;
+    durability = Memory;
+    buffer_bytes = 160 * 1024 * 1024;
+    fc_threshold = 64;
+    fc_recover_period = 0.1;
+    hb_period = 0.02;
+    hb_timeout = 0.25;
+    retrans_timeout = 5.0e-3;
+    gc_period = 0.1;
+    partitions = 1;
+    send_rate = 0.85e9 }
+
+let hdr = 64
+
+let dbg_counters : (string, int ref) Hashtbl.t = Hashtbl.create 16
+
+let dbg name =
+  let r =
+    match Hashtbl.find_opt dbg_counters name with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add dbg_counters name r;
+        r
+  in
+  incr r
+
+let dbg_dump () =
+  Hashtbl.iter (fun k v -> Printf.printf "  %s = %d\n" k !v) dbg_counters
+
+(* An application item annotated with its destination partitions. *)
+type Simnet.payload +=
+  | Propose of { item : Paxos.Value.item; parts : int list }
+  | P1a of { rnd : int; ring : int list; coord : int }
+  | P1b of { rnd : int; acc : int; floor : int; votes : (int * int * Paxos.Value.t * int list) list }
+  | P2a of { inst : int; rnd : int; value : Paxos.Value.t; parts : int list }
+  | P2b of { inst : int; rnd : int; vid : int }
+  | Decision of { inst : int; vid : int; parts : int list; uids : int list }
+  | SlowDown of { learner : int; pending : int }
+  | Version of { learner : int; version : int }
+  | Gc of { floor : int }
+  | RetransReq of { inst : int; count : int; learner : int }
+  | RepairReq of { insts : int list; learner : int }
+  | Retrans of { inst : int; value : Paxos.Value.t; parts : int list }
+  | MaxDec of { upto : int }
+  | Hb of { acc : int }
+  | NewCoord of { acc : int }
+
+type acc = {
+  x_proc : Simnet.proc;
+  x_idx : int;  (* global acceptor index *)
+  mutable x_rnd : int;
+  mutable x_ring : int list;  (* current ring view, coordinator last *)
+  mutable x_is_coord : bool;
+  x_votes : (int, int * Paxos.Value.t * int list) Hashtbl.t;
+  x_decided : (int, int * int list) Hashtbl.t;
+  x_durable : (int, bool) Hashtbl.t;  (* inst -> write completed *)
+  x_held : (int, int * int) Hashtbl.t;  (* inst -> (rnd, vid): P2B awaiting P2A/durability *)
+  x_disk : Storage.Disk.t option;
+  mutable x_last_hb : float;
+  mutable x_mem : int;
+  mutable x_gc_floor : int;
+  mutable x_max_dec : int;  (* highest instance known decided *)
+  (* coordinator-only state, live on whichever acceptor currently leads *)
+  mutable c_rnd : int;
+  mutable c_phase1_ok : bool;
+  mutable c_p1b : int;
+  c_claimed : (int, int * Paxos.Value.t * int list) Hashtbl.t;
+  mutable c_next_inst : int;
+  mutable c_outstanding : int;
+  c_pend : (int list, Paxos.Value.item Queue.t) Hashtbl.t;
+      (* pending proposals, batched per destination-partition set *)
+  c_pend_bytes : (int list, int ref) Hashtbl.t;
+  mutable c_pending_bytes : int;  (* aggregate, for the buffer bound *)
+  mutable c_batch_timer : Sim.Engine.handle option;
+  c_insts : (int, Paxos.Value.t * int list) Hashtbl.t;  (* proposed, undecided *)
+  mutable c_window : int;  (* flow-controlled window *)
+  mutable c_decided : int;
+  mutable c_drops : int;
+  c_versions : (int, int) Hashtbl.t;  (* learner -> version *)
+  mutable c_gc_floor : int;
+  c_seen_uids : (int, unit) Hashtbl.t;  (* duplicate-proposal suppression *)
+  c_inst_born : (int, float) Hashtbl.t;  (* proposal time, for P2A retransmit *)
+  mutable c_rate_window : float;  (* start of the pacing window *)
+  mutable c_rate_bits : float;  (* Phase 2A bits sent in the window *)
+  mutable c_rate_timer : bool;  (* a deferred drain is scheduled *)
+  mutable c_rate_limit : float;  (* adaptive pacing limit (AIMD), bit/s *)
+}
+
+type lrn = {
+  l_proc : Simnet.proc;
+  l_idx : int;
+  l_parts : int list;
+  mutable l_next : int;
+  l_vals : (int, Paxos.Value.t) Hashtbl.t;  (* vid -> value *)
+  l_dec : (int, int * int list) Hashtbl.t;  (* inst -> (vid, parts) *)
+  l_spec_seen : (int, unit) Hashtbl.t;  (* instances already spec-delivered *)
+  mutable l_max_dec : int;  (* highest instance seen decided, repair bound *)
+  mutable l_delay : float;  (* processing cost per delivered instance *)
+  l_queue : (int * Paxos.Value.t option) Queue.t;  (* in-order, unprocessed *)
+  mutable l_busy : bool;
+  mutable l_fc_sent : bool;
+  mutable l_repair : Sim.Engine.handle option;
+}
+
+type prop = {
+  p_proc : Simnet.proc;
+  p_idx : int;
+  p_unacked : (int, Paxos.Value.item * int list) Hashtbl.t;
+  mutable p_unacked_bytes : int;
+  p_last_sent : (int, float) Hashtbl.t;
+  mutable p_buffer : int;  (* client-side buffer bound, bytes *)
+}
+
+type t = {
+  net : Simnet.t;
+  cfg : config;
+  accs : acc array;  (* 2f+1 acceptors; initial ring = 0..f with f last *)
+  lrns : lrn array;
+  props : prop array;
+  part_groups : Simnet.group array;  (* Phase 2A dissemination, per partition *)
+  dec_group : Simnet.group;  (* decisions, gc *)
+  deliver : learner:int -> inst:int -> Paxos.Value.t option -> unit;
+  speculative : (learner:int -> inst:int -> Paxos.Value.t -> unit) option;
+  mutable next_uid : int;
+  mutable next_vid : int;
+  mutable cur_ring : int list;  (* last installed ring, failover fallback *)
+}
+
+let n_acceptors cfg = (2 * cfg.f) + 1
+
+let coord_opt t =
+  let found = ref None in
+  Array.iter
+    (fun a -> if a.x_is_coord && Simnet.is_alive a.x_proc && !found = None then found := Some a)
+    t.accs;
+  !found
+
+let ring_of t = match coord_opt t with Some c -> c.x_ring | None -> t.cur_ring
+
+(* Successor of acceptor [idx] in the current ring; the ring is stored with
+   the coordinator last, and the chain starts at the first element. *)
+let successor ring idx =
+  let rec go = function
+    | a :: b :: rest -> if a = idx then Some b else go (b :: rest)
+    | _ -> None
+  in
+  go ring
+
+let first_of_ring ring = List.hd ring
+
+let intersects l1 l2 = List.exists (fun x -> List.mem x l2) l1
+
+(* --- memory accounting ------------------------------------------------ *)
+
+let acc_update_mem a =
+  let bytes = ref 0 in
+  Hashtbl.iter (fun _ (_, v, _) -> bytes := !bytes + v.Paxos.Value.size) a.x_votes;
+  a.x_mem <- !bytes;
+  Simnet.set_mem a.x_proc (!bytes + (Hashtbl.length a.x_decided * 16))
+
+let lrn_update_mem l =
+  let bytes = ref 0 in
+  Hashtbl.iter (fun _ v -> bytes := !bytes + v.Paxos.Value.size) l.l_vals;
+  Simnet.set_mem l.l_proc (!bytes + (Hashtbl.length l.l_dec * 16))
+
+(* --- coordinator ------------------------------------------------------- *)
+
+(* The decision multicast doubles as the commit notification: it carries the
+   committed item uids and proposers subscribe to the decision group, so no
+   per-proposer acknowledgment traffic is needed (proposers are learners,
+   §3.2). *)
+let mcast_decision t c inst vid parts (v : Paxos.Value.t) =
+  let uids = List.map (fun (it : Paxos.Value.item) -> it.uid) v.items in
+  Simnet.mcast t.net ~src:c.x_proc t.dec_group
+    ~size:(hdr + (8 * List.length uids))
+    (Decision { inst; vid; parts; uids })
+
+(* The coordinator votes locally when it proposes; with synchronous
+   durability the vote must reach disk before the final decision can be
+   multicast. *)
+let coord_local_vote t c inst rnd (v : Paxos.Value.t) parts =
+  let duplicate =
+    match Hashtbl.find_opt c.x_votes inst with
+    | Some (r, v', _) -> r = rnd && v'.Paxos.Value.vid = v.vid
+    | None -> false
+  in
+  if duplicate then ()
+  else begin
+    Hashtbl.replace c.x_votes inst (rnd, v, parts);
+  Hashtbl.replace c.x_durable inst (t.cfg.durability <> Sync_disk);
+  (match (t.cfg.durability, c.x_disk) with
+  | Sync_disk, Some d ->
+      Storage.Disk.write_sync d ~bytes:v.size (fun () -> Hashtbl.replace c.x_durable inst true)
+    | Async_disk, Some d -> Storage.Disk.write_async d ~bytes:v.size
+    | _ -> ());
+    acc_update_mem c
+  end
+
+let propose_instance t c inst (v : Paxos.Value.t) parts =
+  Hashtbl.replace c.c_insts inst (v, parts);
+  Hashtbl.replace c.c_inst_born inst (Simnet.now t.net);
+  c.c_rate_bits <-
+    c.c_rate_bits +. (float_of_int (v.size + hdr) *. 8.0 *. float_of_int (List.length parts));
+  c.c_outstanding <- c.c_outstanding + 1;
+  coord_local_vote t c inst c.c_rnd v parts;
+  let p2a = P2a { inst; rnd = c.c_rnd; value = v; parts } in
+  let sent_to = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem sent_to p) then begin
+        Hashtbl.add sent_to p ();
+        Simnet.mcast t.net ~src:c.x_proc t.part_groups.(p) ~size:(v.size + hdr) p2a
+      end)
+    parts
+
+(* Pending proposals are queued per destination-partition set so that one
+   partition's traffic never dilutes another's batches (§4.2.2). *)
+let pend_enqueue c (item : Paxos.Value.item) parts =
+  let q =
+    match Hashtbl.find_opt c.c_pend parts with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.add c.c_pend parts q;
+        Hashtbl.add c.c_pend_bytes parts (ref 0);
+        q
+  in
+  Queue.push item q;
+  let b = Hashtbl.find c.c_pend_bytes parts in
+  b := !b + item.isize;
+  c.c_pending_bytes <- c.c_pending_bytes + item.isize
+
+(* The partition set with the most pending bytes, if any. *)
+let pend_largest c =
+  Hashtbl.fold
+    (fun parts b acc ->
+      if !b > 0 then
+        match acc with
+        | Some (_, best) when best >= !b -> acc
+        | _ -> Some (parts, !b)
+      else acc)
+    c.c_pend_bytes None
+
+let pend_empty c = c.c_pending_bytes = 0
+
+let seal_batch t c parts =
+  match Hashtbl.find_opt c.c_pend parts with
+  | None -> ([], [])
+  | Some q ->
+      let bytes = Hashtbl.find c.c_pend_bytes parts in
+      let items = ref [] and size = ref 0 in
+      let continue = ref true in
+      while !continue && not (Queue.is_empty q) do
+        let (it : Paxos.Value.item) = Queue.peek q in
+        if !size > 0 && !size + it.isize > t.cfg.batch_bytes then continue := false
+        else begin
+          ignore (Queue.pop q);
+          bytes := !bytes - it.isize;
+          c.c_pending_bytes <- c.c_pending_bytes - it.isize;
+          items := it :: !items;
+          size := !size + it.isize
+        end
+      done;
+      (List.rev !items, List.sort_uniq compare parts)
+
+let rec drain t c =
+  if c.c_phase1_ok && c.x_is_coord && Simnet.is_alive c.x_proc then begin
+    let claimed = Hashtbl.fold (fun i x acc -> (i, x) :: acc) c.c_claimed [] in
+    Hashtbl.reset c.c_claimed;
+    List.iter
+      (fun (inst, (_, v, parts)) ->
+        if not (Hashtbl.mem c.c_insts inst) && not (Hashtbl.mem c.x_decided inst) then
+          propose_instance t c inst v parts;
+        if inst >= c.c_next_inst then c.c_next_inst <- inst + 1)
+      (List.sort compare claimed);
+    (* A batch is ready when some partition set has a full packet's worth
+       of traffic (or batching is off and anything is pending). *)
+    let batch_ready () =
+      if pend_empty c then None
+      else if t.cfg.batch_bytes <= 0 then
+        Option.map fst (pend_largest c)
+      else
+        Hashtbl.fold
+          (fun parts b acc ->
+            if acc = None && !b >= t.cfg.batch_bytes then Some parts else acc)
+          c.c_pend_bytes None
+    in
+    (* Coordinator-side flow control: Phase 2A traffic is paced below the
+       rate the network can multicast without loss (§3.3.6). *)
+    let pace_ok () =
+      let now = Simnet.now t.net in
+      if now -. c.c_rate_window > 0.01 then begin
+        c.c_rate_window <- now;
+        c.c_rate_bits <- 0.0
+      end;
+      c.c_rate_bits < c.c_rate_limit *. 0.01
+    in
+    let continue = ref true in
+    while !continue && c.c_outstanding < c.c_window && pace_ok () do
+      match batch_ready () with
+      | Some parts -> propose_batch t c parts
+      | None -> continue := false
+    done;
+    if batch_ready () <> None && c.c_outstanding < c.c_window && (not (pace_ok ()))
+       && not c.c_rate_timer
+    then begin
+      c.c_rate_timer <- true;
+      ignore
+        (Simnet.after t.net 0.002 (fun () ->
+             dbg "rate_timer";
+             c.c_rate_timer <- false;
+             drain t c))
+    end;
+    if (not (pend_empty c)) && c.c_batch_timer = None then
+      c.c_batch_timer <-
+        Some
+          (Simnet.after t.net t.cfg.batch_timeout (fun () ->
+               dbg "batch_timer";
+               c.c_batch_timer <- None;
+               if c.x_is_coord && Simnet.is_alive c.x_proc && c.c_phase1_ok
+                  && c.c_outstanding < c.c_window
+               then begin
+                 (* Seal the largest partial batch. *)
+                 match pend_largest c with
+                 | Some (parts, _) -> propose_batch t c parts
+                 | None -> ()
+               end;
+               drain t c))
+  end
+
+and propose_batch t c parts =
+  match seal_batch t c parts with
+  | [], _ -> ()
+  | items, parts ->
+      t.next_vid <- t.next_vid + 1;
+      let v = Paxos.Value.make ~vid:t.next_vid items in
+      let parts = if parts = [] then [ 0 ] else parts in
+      let inst = c.c_next_inst in
+      c.c_next_inst <- inst + 1;
+      propose_instance t c inst v parts
+
+let coord_decide t c inst vid =
+  match Hashtbl.find_opt c.c_insts inst with
+  | Some (v, parts) when v.vid = vid ->
+      (* The coordinator is the last acceptor: the arriving Phase 2B closes
+         the majority provided its own vote is durable. *)
+      let fire () =
+        if not (Hashtbl.mem c.x_decided inst) then begin
+          Hashtbl.remove c.c_insts inst;
+          Hashtbl.remove c.c_inst_born inst;
+          Hashtbl.add c.x_decided inst (vid, parts);
+          if inst > c.x_max_dec then c.x_max_dec <- inst;
+          c.c_outstanding <- c.c_outstanding - 1;
+          c.c_decided <- c.c_decided + 1;
+          mcast_decision t c inst vid parts v;
+          drain t c
+        end
+      in
+      (* A pruned durability entry means the instance was garbage collected
+         after being applied by f+1 learners — treat it as durable. *)
+      let durable () =
+        match Hashtbl.find_opt c.x_durable inst with Some b -> b | None -> true
+      in
+      let rec wait_durable () =
+        dbg "wait_durable";
+        if durable () then fire ()
+        else if c.x_is_coord && Simnet.is_alive c.x_proc then
+          ignore (Simnet.after t.net 1.0e-4 wait_durable)
+      in
+      wait_durable ()
+  | _ -> ()
+
+let start_phase1 t c =
+  c.c_rnd <- Stdlib.max c.c_rnd c.x_rnd + n_acceptors t.cfg + 1;
+  c.x_rnd <- Stdlib.max c.x_rnd c.c_rnd;
+  c.c_phase1_ok <- false;
+  c.c_p1b <- 0;
+  Array.iter
+    (fun a ->
+      if Simnet.is_alive a.x_proc && a.x_idx <> c.x_idx then
+        Simnet.send t.net ~src:c.x_proc ~dst:a.x_proc ~size:hdr
+          (P1a { rnd = c.c_rnd; ring = c.x_ring; coord = c.x_idx }))
+    t.accs
+
+(* --- flow control ------------------------------------------------------ *)
+
+let fc_slow_down t c =
+  (* Multiplicative decrease on both the instance window and the pacing
+     rate; the recovery loop grows them back additively (§3.3.6). *)
+  c.c_window <- Stdlib.max 1 (c.c_window / 2);
+  c.c_rate_limit <- Stdlib.max 5.0e7 (c.c_rate_limit /. 2.0);
+  drain t c
+
+let fc_recover_loop t =
+  let (_stop : unit -> unit) =
+    Simnet.every t.net ~period:t.cfg.fc_recover_period (fun () ->
+        match coord_opt t with
+        | Some c when c.c_window < t.cfg.window || c.c_rate_limit < t.cfg.send_rate ->
+            c.c_window <- Stdlib.min t.cfg.window (c.c_window + Stdlib.max 1 (c.c_window / 2));
+            c.c_rate_limit <- Stdlib.min t.cfg.send_rate (c.c_rate_limit *. 1.25);
+            drain t c
+        | _ -> ())
+  in
+  ()
+
+(* --- acceptor ---------------------------------------------------------- *)
+
+let forward_p2b t a inst rnd vid =
+  match successor a.x_ring a.x_idx with
+  | Some next ->
+      Simnet.send t.net ~src:a.x_proc ~dst:t.accs.(next).x_proc ~size:hdr (P2b { inst; rnd; vid })
+  | None -> if a.x_is_coord then coord_decide t a inst vid
+
+let acc_try_forward t a inst =
+  match Hashtbl.find_opt a.x_held inst with
+  | Some (rnd, vid) -> begin
+      match Hashtbl.find_opt a.x_votes inst with
+      | Some (_, v, _) when v.Paxos.Value.vid = vid && Hashtbl.find_opt a.x_durable inst = Some true ->
+          Hashtbl.remove a.x_held inst;
+          forward_p2b t a inst rnd vid
+      | _ -> ()
+    end
+  | None -> ()
+
+let acc_on_p2a t a inst rnd (v : Paxos.Value.t) parts =
+  (* A retransmitted Phase 2A for a value already voted (and possibly still
+     being persisted) must not trigger another vote or disk write. *)
+  let duplicate =
+    match Hashtbl.find_opt a.x_votes inst with
+    | Some (r, v', _) -> r = rnd && v'.Paxos.Value.vid = v.vid
+    | None -> false
+  in
+  if duplicate then acc_try_forward t a inst
+  else if rnd >= a.x_rnd then begin
+    a.x_rnd <- rnd;
+    Hashtbl.replace a.x_votes inst (rnd, v, parts);
+    acc_update_mem a;
+    let after_durable () =
+      Hashtbl.replace a.x_durable inst true;
+      (* First in-ring acceptor spontaneously starts the Phase 2B chain. *)
+      if (not a.x_is_coord) && a.x_ring <> [] && first_of_ring a.x_ring = a.x_idx then
+        forward_p2b t a inst rnd v.vid
+      else acc_try_forward t a inst
+    in
+    match (t.cfg.durability, a.x_disk) with
+    | Sync_disk, Some d -> Storage.Disk.write_sync d ~bytes:v.size after_durable
+    | Async_disk, Some d ->
+        (* Asynchronous writes: the vote proceeds immediately unless the
+           device has fallen too far behind — a bounded dirty buffer, which
+           is what makes Recoverable Ring Paxos disk-bound (Fig. 5.1). *)
+        Storage.Disk.write_async d ~bytes:v.size;
+        let lag = Storage.Disk.backlog d ~now:(Simnet.now t.net) -. 0.05 in
+        if lag > 0.0 then ignore (Simnet.after t.net lag after_durable)
+        else after_durable ()
+    | _ -> after_durable ()
+  end
+
+let acc_on_p2b t a inst rnd vid =
+  if a.x_is_coord then coord_decide t a inst vid
+  else begin
+    match Hashtbl.find_opt a.x_votes inst with
+    | Some (_, v, _) when v.Paxos.Value.vid = vid && Hashtbl.find_opt a.x_durable inst = Some true
+      ->
+        forward_p2b t a inst rnd vid
+    | _ ->
+        (* Phase 2A not yet ip-delivered (or not yet durable): hold the vote
+           and ask the coordinator to retransmit if the gap persists. *)
+        Hashtbl.replace a.x_held inst (rnd, vid);
+        ignore
+          (Simnet.after t.net t.cfg.retrans_timeout (fun () ->
+               if Hashtbl.mem a.x_held inst && Simnet.is_alive a.x_proc then begin
+                 match coord_opt t with
+                 | Some c ->
+                     Simnet.send t.net ~src:a.x_proc ~dst:c.x_proc ~size:hdr
+                       (RetransReq { inst; count = 1; learner = -1 - a.x_idx })
+                 | None -> ()
+               end))
+  end
+
+(* --- learner ------------------------------------------------------------ *)
+
+let pref_acceptor t l =
+  (* Preferential acceptor: spread learners across the ring. *)
+  let ring = ring_of t in
+  let n = List.length ring in
+  let rec pick k =
+    if k >= n then None
+    else
+      let idx = List.nth ring ((l.l_idx + k) mod n) in
+      if Simnet.is_alive t.accs.(idx).x_proc then Some t.accs.(idx) else pick (k + 1)
+  in
+  match pick 0 with Some a -> Some a | None -> coord_opt t
+
+let rec lrn_pump t l =
+  if (not l.l_busy) && not (Queue.is_empty l.l_queue) then begin
+    let inst, v = Queue.pop l.l_queue in
+    if l.l_delay <= 0.0 then begin
+      t.deliver ~learner:l.l_idx ~inst v;
+      lrn_pump t l
+    end
+    else begin
+      l.l_busy <- true;
+      Simnet.exec t.net l.l_proc ~dur:l.l_delay (fun () ->
+          l.l_busy <- false;
+          t.deliver ~learner:l.l_idx ~inst v;
+          lrn_pump t l)
+    end
+  end
+
+let lrn_fc_check t l =
+  (* The learner's buffer pressure is both unprocessed decisions and the
+     backlog of decided-but-not-yet-deliverable instances (losses it is
+     still repairing) — §3.3.6. *)
+  let pending = Queue.length l.l_queue + Stdlib.max 0 (l.l_max_dec + 1 - l.l_next) in
+  if pending > t.cfg.fc_threshold && not l.l_fc_sent then begin
+    match pref_acceptor t l with
+    | Some a ->
+        l.l_fc_sent <- true;
+        Simnet.send t.net ~src:l.l_proc ~dst:a.x_proc ~size:hdr
+          (SlowDown { learner = l.l_idx; pending });
+        ignore (Simnet.after t.net 0.05 (fun () -> l.l_fc_sent <- false))
+    | None -> ()
+  end
+
+(* The instances (at most 16) the learner is actually missing: decided at or
+   beyond [l_next] but lacking either the decision or the value. *)
+let missing_instances l =
+  let upto = Stdlib.min l.l_max_dec (l.l_next + 63) in
+  let rec collect i acc n =
+    if i > upto || n >= 16 then List.rev acc
+    else
+      let miss =
+        match Hashtbl.find_opt l.l_dec i with
+        | None -> i >= l.l_next
+        | Some (vid, _) -> not (Hashtbl.mem l.l_vals vid)
+      in
+      if miss && i >= l.l_next then collect (i + 1) (i :: acc) (n + 1)
+      else collect (i + 1) acc n
+  in
+  collect l.l_next [] 0
+
+(* Single-outstanding repair with a cooldown: ask the preferential acceptor
+   for the concrete missing instances, then wait before asking again. *)
+let rec repair_cycle t l =
+  if l.l_repair = None && l.l_max_dec >= l.l_next then
+    l.l_repair <-
+      Some
+        (Simnet.after t.net t.cfg.retrans_timeout (fun () ->
+             if Simnet.is_alive l.l_proc then begin
+               match missing_instances l with
+               | [] -> l.l_repair <- None
+               | insts ->
+                   (match pref_acceptor t l with
+                   | Some a ->
+                       Simnet.send t.net ~src:l.l_proc ~dst:a.x_proc
+                         ~size:(hdr + List.length insts)
+                         (RepairReq { insts; learner = l.l_idx })
+                   | None -> ());
+                   (* Cool down before the next request. *)
+                   l.l_repair <-
+                     Some
+                       (Simnet.after t.net (4.0 *. t.cfg.retrans_timeout) (fun () ->
+                            l.l_repair <- None;
+                            repair_cycle t l))
+             end
+             else l.l_repair <- None))
+
+let rec lrn_advance t l =
+  match Hashtbl.find_opt l.l_dec l.l_next with
+  | None ->
+      (* A decision at or beyond [l_next] exists but the multicast for
+         [l_next] was lost: fetch it from the preferential acceptor. *)
+      if l.l_max_dec >= l.l_next then repair_cycle t l
+  | Some (vid, parts) ->
+      let mine = intersects parts l.l_parts in
+      if not mine then begin
+        Hashtbl.remove l.l_dec l.l_next;
+        let inst = l.l_next in
+        l.l_next <- inst + 1;
+        Queue.push (inst, None) l.l_queue;
+        lrn_fc_check t l;
+        lrn_pump t l;
+        lrn_advance t l
+      end
+      else begin
+        match Hashtbl.find_opt l.l_vals vid with
+        | Some v ->
+            Hashtbl.remove l.l_dec l.l_next;
+            Hashtbl.remove l.l_vals vid;
+            Hashtbl.remove l.l_spec_seen l.l_next;
+            lrn_update_mem l;
+            let inst = l.l_next in
+            l.l_next <- inst + 1;
+            Queue.push (inst, Some v) l.l_queue;
+            lrn_fc_check t l;
+            lrn_pump t l;
+            lrn_advance t l
+        | None ->
+            (* Decision known but value lost: fetch it from the
+               preferential acceptor. *)
+            ignore vid;
+            repair_cycle t l
+      end
+
+(* Speculative delivery exposes values in ip-multicast arrival order, before
+   their order is decided (Chapter 4); the replica layer detects and rolls
+   back the rare arrival/decision mismatches. *)
+let lrn_on_p2a t l inst (v : Paxos.Value.t) =
+  Hashtbl.replace l.l_vals v.vid v;
+  (match t.speculative with
+  | Some spec when inst >= l.l_next && not (Hashtbl.mem l.l_spec_seen inst) ->
+      Hashtbl.replace l.l_spec_seen inst ();
+      spec ~learner:l.l_idx ~inst v
+  | _ -> ());
+  lrn_update_mem l;
+  lrn_advance t l
+
+let lrn_on_decision t l inst vid parts =
+  if inst > l.l_max_dec then l.l_max_dec <- inst;
+  if inst >= l.l_next && not (Hashtbl.mem l.l_dec inst) then begin
+    Hashtbl.replace l.l_dec inst (vid, parts);
+    lrn_advance t l
+  end;
+  lrn_fc_check t l
+
+let version_loop t l =
+  let (_stop : unit -> unit) =
+    Simnet.every t.net ~period:t.cfg.gc_period (fun () ->
+        if Simnet.is_alive l.l_proc then begin
+          match pref_acceptor t l with
+          | Some a ->
+              Simnet.send t.net ~src:l.l_proc ~dst:a.x_proc ~size:hdr
+                (Version { learner = l.l_idx; version = l.l_next })
+          | None -> ()
+        end)
+  in
+  ()
+
+(* --- garbage collection ------------------------------------------------- *)
+
+let acc_gc a floor =
+  a.x_gc_floor <- Stdlib.max a.x_gc_floor floor;
+  let prune tbl = Hashtbl.iter (fun i _ -> if i < floor then Hashtbl.remove tbl i) (Hashtbl.copy tbl) in
+  prune a.x_votes;
+  prune a.x_decided;
+  prune a.x_durable;
+  acc_update_mem a
+
+let coord_on_version t c learner version =
+  Hashtbl.replace c.c_versions learner version;
+  if Hashtbl.length c.c_versions = Array.length t.lrns then begin
+    let floor = Hashtbl.fold (fun _ v acc -> Stdlib.min v acc) c.c_versions max_int in
+    if floor > c.c_gc_floor then begin
+      c.c_gc_floor <- floor;
+      Simnet.mcast t.net ~src:c.x_proc t.dec_group ~size:hdr (Gc { floor });
+      acc_gc c floor
+    end
+  end
+
+(* Resubmit items that have gone unacknowledged for a full timeout (lost to
+   coordinator buffer overflow or to a coordinator crash). *)
+let resubmit_loop t p =
+  let (_stop : unit -> unit) =
+    Simnet.every t.net ~period:0.5 (fun () ->
+        if Simnet.is_alive p.p_proc then
+          match coord_opt t with
+          | Some c ->
+              Hashtbl.iter
+                (fun uid (it, parts) ->
+                  let last =
+                    Option.value ~default:0.0 (Hashtbl.find_opt p.p_last_sent uid)
+                  in
+                  if Simnet.now t.net -. last > 0.5 then begin
+                    Hashtbl.replace p.p_last_sent uid (Simnet.now t.net);
+                    Simnet.send t.net ~src:p.p_proc ~dst:c.x_proc
+                      ~size:(it.Paxos.Value.isize + hdr)
+                      (Propose { item = it; parts })
+                  end)
+                p.p_unacked
+          | None -> ())
+  in
+  ()
+
+(* --- failure handling ---------------------------------------------------- *)
+
+let alive_acceptors t = Array.to_list t.accs |> List.filter (fun a -> Simnet.is_alive a.x_proc)
+
+let install_ring t new_coord ring =
+  t.cur_ring <- ring;
+  Array.iter
+    (fun a ->
+      a.x_ring <- ring;
+      a.x_is_coord <- a.x_idx = new_coord.x_idx;
+      (* Group membership follows ring membership so promoted spares start
+         receiving Phase 2A and decision multicasts. *)
+      if List.mem a.x_idx ring then begin
+        Array.iter (fun g -> Simnet.join g a.x_proc) t.part_groups;
+        Simnet.join t.dec_group a.x_proc
+      end
+      else begin
+        Array.iter (fun g -> Simnet.leave g a.x_proc) t.part_groups;
+        Simnet.leave t.dec_group a.x_proc
+      end)
+    t.accs
+
+let become_coordinator t a =
+  (* Lay out a fresh ring of f+1 alive acceptors with [a] as coordinator
+     (last), then run Phase 1 with a higher round. *)
+  let alive = alive_acceptors t |> List.filter (fun b -> b.x_idx <> a.x_idx) in
+  let needed = t.cfg.f in
+  let chosen = List.filteri (fun i _ -> i < needed) alive in
+  let ring = List.map (fun b -> b.x_idx) chosen @ [ a.x_idx ] in
+  install_ring t a ring;
+  a.c_rnd <- Stdlib.max a.c_rnd a.x_rnd;
+  a.c_window <- t.cfg.window;
+  a.c_next_inst <-
+    Hashtbl.fold (fun i _ acc -> Stdlib.max (i + 1) acc) a.x_votes
+      (Stdlib.max a.c_next_inst a.x_gc_floor);
+  Array.iter
+    (fun p -> Simnet.send t.net ~src:a.x_proc ~dst:p.p_proc ~size:hdr (NewCoord { acc = a.x_idx }))
+    t.props;
+  Array.iter
+    (fun l -> Simnet.send t.net ~src:a.x_proc ~dst:l.l_proc ~size:hdr (NewCoord { acc = a.x_idx }))
+    t.lrns;
+  start_phase1 t a
+
+(* Undecided instances whose Phase 2A multicast may have been lost are
+   re-multicast so the ring's Phase 2B chain can restart (§3.3.4). *)
+let p2a_retransmit_loop t =
+  let (_stop : unit -> unit) =
+    Simnet.every t.net ~period:t.cfg.retrans_timeout (fun () ->
+        dbg "p2a_retrans_tick";
+        match coord_opt t with
+        | Some c ->
+            let now = Simnet.now t.net in
+            Hashtbl.iter
+              (fun inst (v, parts) ->
+                match Hashtbl.find_opt c.c_inst_born inst with
+                | Some born when now -. born > 2.0 *. t.cfg.retrans_timeout ->
+                    Hashtbl.replace c.c_inst_born inst now;
+                    let p2a = P2a { inst; rnd = c.c_rnd; value = v; parts } in
+                    let sent_to = Hashtbl.create 4 in
+                    List.iter
+                      (fun p ->
+                        if not (Hashtbl.mem sent_to p) then begin
+                          Hashtbl.add sent_to p ();
+                          Simnet.mcast t.net ~src:c.x_proc t.part_groups.(p)
+                            ~size:(v.Paxos.Value.size + hdr) p2a
+                        end)
+                      parts
+                | _ -> ())
+              c.c_insts
+        | None -> ())
+  in
+  ()
+
+let monitor_loop t =
+  let (_stop : unit -> unit) =
+    Simnet.every t.net ~period:t.cfg.hb_period (fun () ->
+        match coord_opt t with
+        | Some c -> begin
+          (* Coordinator heartbeats every acceptor (spares included, so a
+             spare's promotion timeout measures real silence) and checks
+             ring members for death. *)
+          Array.iter
+            (fun a ->
+              if a.x_idx <> c.x_idx && Simnet.is_alive a.x_proc
+                 && not (List.mem a.x_idx c.x_ring)
+              then
+                Simnet.send t.net ~src:c.x_proc ~dst:a.x_proc ~size:hdr (Hb { acc = c.x_idx }))
+            t.accs;
+          List.iter
+            (fun idx ->
+              if idx <> c.x_idx then begin
+                let a = t.accs.(idx) in
+                if Simnet.is_alive a.x_proc then
+                  Simnet.send t.net ~src:c.x_proc ~dst:a.x_proc ~size:hdr (Hb { acc = c.x_idx })
+                else begin
+                  (* Reconfigure: swap the dead member for a spare. *)
+                  let ring = c.x_ring in
+                  let spares =
+                    alive_acceptors t
+                    |> List.filter (fun b -> not (List.mem b.x_idx ring))
+                    |> List.map (fun b -> b.x_idx)
+                  in
+                  match spares with
+                  | spare :: _ ->
+                      let ring' = List.map (fun i -> if i = idx then spare else i) ring in
+                      install_ring t c ring';
+                      start_phase1 t c
+                  | [] -> ()
+                end
+              end)
+            c.x_ring
+          end
+        | None -> begin
+            (* Coordinator dead: the first alive in-ring acceptor (then any
+               spare) takes over once the heartbeat timeout expires. *)
+            let stale a = Simnet.now t.net -. a.x_last_hb > t.cfg.hb_timeout in
+            let in_ring =
+              List.filter_map
+                (fun idx ->
+                  let a = t.accs.(idx) in
+                  if Simnet.is_alive a.x_proc && stale a then Some a else None)
+                t.cur_ring
+            in
+            let candidates =
+              if in_ring <> [] then in_ring
+              else List.filter stale (alive_acceptors t)
+            in
+            match candidates with
+            | a :: _ -> become_coordinator t a
+            | [] -> ()
+          end)
+  in
+  ()
+
+(* --- handlers ------------------------------------------------------------ *)
+
+let acc_handler t a (m : Simnet.msg) =
+  match m.payload with
+  | Propose { item; parts } ->
+      if a.x_is_coord && not (Hashtbl.mem a.c_seen_uids item.Paxos.Value.uid) then begin
+        if a.c_pending_bytes + item.Paxos.Value.isize > t.cfg.buffer_bytes then
+          a.c_drops <- a.c_drops + 1
+        else begin
+          Hashtbl.add a.c_seen_uids item.uid ();
+          pend_enqueue a item (List.sort_uniq compare parts);
+          drain t a
+        end
+      end
+  | P1a { rnd; ring; coord = cidx } ->
+      if rnd > a.x_rnd then begin
+        a.x_rnd <- rnd;
+        a.x_ring <- ring;
+        a.x_is_coord <- a.x_idx = cidx;
+        let votes =
+          Hashtbl.fold (fun i (vr, vv, ps) l -> (i, vr, vv, ps) :: l) a.x_votes []
+        in
+        Simnet.send t.net ~src:a.x_proc ~dst:t.accs.(cidx).x_proc
+          ~size:(hdr + (List.length votes * 24))
+          (P1b { rnd; acc = a.x_idx; floor = a.x_gc_floor; votes })
+      end
+  | P1b { rnd; acc = _; floor; votes } ->
+      if a.x_is_coord && rnd = a.c_rnd && not a.c_phase1_ok then begin
+        if floor > a.c_next_inst then a.c_next_inst <- floor;
+        List.iter
+          (fun (inst, vrnd, vval, parts) ->
+            match Hashtbl.find_opt a.c_claimed inst with
+            | Some (r, _, _) when r >= vrnd -> ()
+            | _ -> Hashtbl.replace a.c_claimed inst (vrnd, vval, parts))
+          votes;
+        a.c_p1b <- a.c_p1b + 1;
+        (* Counting its own state, the coordinator needs f more replies for a
+           majority of the 2f+1 acceptors. *)
+        if a.c_p1b >= t.cfg.f then begin
+          a.c_phase1_ok <- true;
+          drain t a
+        end
+      end
+  | P2a { inst; rnd; value; parts } -> if not a.x_is_coord then acc_on_p2a t a inst rnd value parts
+  | P2b { inst; rnd; vid } -> acc_on_p2b t a inst rnd vid
+  | Decision { inst; vid; parts; uids = _ } ->
+      if inst > a.x_max_dec then a.x_max_dec <- inst;
+      if not a.x_is_coord then Hashtbl.replace a.x_decided inst (vid, parts)
+  | SlowDown _ as sd ->
+      (* Forward along the ring until the coordinator reacts. *)
+      if a.x_is_coord then fc_slow_down t a
+      else begin
+        match successor a.x_ring a.x_idx with
+        | Some next -> Simnet.send t.net ~src:a.x_proc ~dst:t.accs.(next).x_proc ~size:hdr sd
+        | None -> ()
+      end
+  | Version { learner; version } ->
+      (* Tell the learner how far decisions actually reach, so a learner
+         that lost the tail of the decision stream discovers the gap and
+         repairs it through its normal targeted requests. *)
+      if version <= a.x_max_dec && learner >= 0 && learner < Array.length t.lrns then
+        Simnet.send t.net ~src:a.x_proc ~dst:t.lrns.(learner).l_proc ~size:hdr
+          (MaxDec { upto = a.x_max_dec });
+      if a.x_is_coord then coord_on_version t a learner version
+      else begin
+        match successor a.x_ring a.x_idx with
+        | Some next ->
+            Simnet.send t.net ~src:a.x_proc ~dst:t.accs.(next).x_proc ~size:hdr
+              (Version { learner; version })
+        | None -> ()
+      end
+  | Gc { floor } -> acc_gc a floor
+  | RetransReq { inst; count; learner } -> begin
+      (* learner >= 0: a learner asks for decided values in a range;
+         learner < 0 encodes an acceptor asking for a lost Phase 2A. *)
+      if learner < 0 then begin
+        match Hashtbl.find_opt a.x_votes inst with
+        | Some (_, v, ps) ->
+            Simnet.send t.net ~src:a.x_proc ~dst:t.accs.(-1 - learner).x_proc
+              ~size:(v.size + hdr)
+              (Retrans { inst; value = v; parts = ps })
+        | None -> ()
+      end
+      else ignore count
+    end
+  | RepairReq { insts; learner } -> begin
+      (* Serve every decided instance this acceptor knows; hand anything it
+         is missing to the coordinator. *)
+      let missing = ref [] in
+      List.iter
+        (fun i ->
+          let decided = Hashtbl.mem a.x_decided i || a.x_is_coord in
+          match Hashtbl.find_opt a.x_votes i with
+          | Some (_, v, ps) when decided ->
+              Simnet.send t.net ~src:a.x_proc ~dst:t.lrns.(learner).l_proc
+                ~size:(v.size + hdr)
+                (Retrans { inst = i; value = v; parts = ps })
+          | _ -> missing := i :: !missing)
+        insts;
+      if !missing <> [] && not a.x_is_coord then begin
+        match coord_opt t with
+        | Some c when c.x_idx <> a.x_idx ->
+            Simnet.send t.net ~src:a.x_proc ~dst:c.x_proc ~size:hdr
+              (RepairReq { insts = List.rev !missing; learner })
+        | _ -> ()
+      end
+    end
+  | Retrans { inst; value; parts } ->
+      (* An acceptor recovering a lost Phase 2A. *)
+      acc_on_p2a t a inst a.x_rnd value parts;
+      acc_try_forward t a inst
+  | Hb { acc = _ } -> a.x_last_hb <- Simnet.now t.net
+  | _ -> ()
+
+let lrn_handler t l (m : Simnet.msg) =
+  match m.payload with
+  | P2a { inst; rnd = _; value; parts = _ } -> lrn_on_p2a t l inst value
+  | Decision { inst; vid; parts; uids = _ } -> lrn_on_decision t l inst vid parts
+  | Retrans { inst; value; parts } ->
+      (* A repair response supplies both the decision and the value. *)
+      Hashtbl.replace l.l_vals value.Paxos.Value.vid value;
+      if inst > l.l_max_dec then l.l_max_dec <- inst;
+      if inst >= l.l_next && not (Hashtbl.mem l.l_dec inst) then
+        Hashtbl.replace l.l_dec inst (value.vid, parts);
+      lrn_advance t l
+  | Gc { floor } ->
+      Hashtbl.iter
+        (fun i _ -> if i < floor && i < l.l_next then Hashtbl.remove l.l_dec i)
+        (Hashtbl.copy l.l_dec);
+      ignore floor
+  | MaxDec { upto } ->
+      if upto > l.l_max_dec then begin
+        l.l_max_dec <- upto;
+        lrn_advance t l;
+        repair_cycle t l
+      end
+  | NewCoord _ -> ()
+  | _ -> ()
+
+let prop_handler t p (m : Simnet.msg) =
+  match m.payload with
+  | Decision { uids; _ } ->
+      List.iter
+        (fun uid ->
+          (match Hashtbl.find_opt p.p_unacked uid with
+          | Some (it, _) ->
+              p.p_unacked_bytes <- p.p_unacked_bytes - it.Paxos.Value.isize;
+              Hashtbl.remove p.p_unacked uid;
+              Hashtbl.remove p.p_last_sent uid
+          | None -> ()))
+        uids
+  | NewCoord { acc } ->
+      (* Resubmit everything not yet acknowledged to the new coordinator. *)
+      Hashtbl.iter
+        (fun uid (it, parts) ->
+          Hashtbl.replace p.p_last_sent uid (Simnet.now t.net);
+          Simnet.send t.net ~src:p.p_proc ~dst:t.accs.(acc).x_proc
+            ~size:(it.Paxos.Value.isize + hdr)
+            (Propose { item = it; parts }))
+        p.p_unacked
+  | _ -> ()
+
+(* --- construction --------------------------------------------------------- *)
+
+let create ?speculative ?learner_nodes net cfg ~n_proposers ~n_learners ~learner_parts
+    ~deliver =
+  let n_acc = n_acceptors cfg in
+  let mk_proc role i =
+    let node = Simnet.add_node net (Printf.sprintf "mr-%s%d" role i) in
+    Simnet.add_proc net node (Printf.sprintf "mr-%s%d" role i)
+  in
+  let mk_lrn_proc i =
+    match learner_nodes with
+    | Some nodes when i < Array.length nodes ->
+        Simnet.add_proc net nodes.(i) (Printf.sprintf "mr-lrn%d" i)
+    | _ -> mk_proc "lrn" i
+  in
+  let accs =
+    Array.init n_acc (fun i ->
+        let proc = mk_proc "acc" i in
+        let disk =
+          match cfg.durability with
+          | Memory -> None
+          | Sync_disk | Async_disk ->
+              Some (Storage.Disk.create (Simnet.engine net) (Printf.sprintf "disk%d" i))
+        in
+        { x_proc = proc;
+          x_idx = i;
+          x_rnd = 0;
+          x_ring = [];
+          x_is_coord = false;
+          x_votes = Hashtbl.create 4096;
+          x_decided = Hashtbl.create 4096;
+          x_durable = Hashtbl.create 4096;
+          x_held = Hashtbl.create 64;
+          x_disk = disk;
+          x_last_hb = 0.0;
+          x_mem = 0;
+          x_gc_floor = 0;
+          x_max_dec = -1;
+          c_rnd = 0;
+          c_phase1_ok = false;
+          c_p1b = 0;
+          c_claimed = Hashtbl.create 64;
+          c_next_inst = 0;
+          c_outstanding = 0;
+          c_pend = Hashtbl.create 8;
+          c_pend_bytes = Hashtbl.create 8;
+          c_pending_bytes = 0;
+          c_batch_timer = None;
+          c_insts = Hashtbl.create 256;
+          c_window = cfg.window;
+          c_decided = 0;
+          c_drops = 0;
+          c_versions = Hashtbl.create 16;
+          c_gc_floor = 0;
+          c_seen_uids = Hashtbl.create 4096;
+          c_inst_born = Hashtbl.create 256;
+          c_rate_window = 0.0;
+          c_rate_bits = 0.0;
+          c_rate_timer = false;
+          c_rate_limit = cfg.send_rate })
+  in
+  let lrns =
+    Array.init n_learners (fun i ->
+        { l_proc = mk_lrn_proc i;
+          l_idx = i;
+          l_parts = learner_parts i;
+          l_next = 0;
+          l_vals = Hashtbl.create 4096;
+          l_dec = Hashtbl.create 4096;
+          l_spec_seen = Hashtbl.create 256;
+          l_max_dec = -1;
+          l_delay = 0.0;
+          l_queue = Queue.create ();
+          l_busy = false;
+          l_fc_sent = false;
+          l_repair = None })
+  in
+  let props =
+    Array.init n_proposers (fun i ->
+        { p_proc = mk_proc "prop" i;
+          p_idx = i;
+          p_unacked = Hashtbl.create 256;
+          p_unacked_bytes = 0;
+          p_last_sent = Hashtbl.create 256;
+          p_buffer = 16 * 1024 * 1024 })
+  in
+  (* Initial ring: acceptors 0..f-1 then f as coordinator. *)
+  let ring = List.init (cfg.f + 1) Fun.id in
+  let coord_idx = cfg.f in
+  let part_groups =
+    Array.init (Stdlib.max 1 cfg.partitions) (fun p ->
+        Simnet.new_group net (Printf.sprintf "part%d" p))
+  in
+  let dec_group = Simnet.new_group net "decision" in
+  (* In-ring acceptors subscribe everywhere; learners to their partitions. *)
+  Array.iter
+    (fun a ->
+      if List.mem a.x_idx ring then begin
+        Array.iter (fun g -> Simnet.join g a.x_proc) part_groups;
+        Simnet.join dec_group a.x_proc
+      end)
+    accs;
+  Array.iter
+    (fun l ->
+      List.iter
+        (fun p -> if p < Array.length part_groups then Simnet.join part_groups.(p) l.l_proc)
+        l.l_parts;
+      Simnet.join dec_group l.l_proc)
+    lrns;
+  Array.iter (fun p -> Simnet.join dec_group p.p_proc) props;
+  let t =
+    { net; cfg; accs; lrns; props; part_groups; dec_group; deliver; speculative;
+      next_uid = 0; next_vid = 0; cur_ring = ring }
+  in
+  Array.iter
+    (fun a ->
+      a.x_ring <- ring;
+      a.x_is_coord <- a.x_idx = coord_idx;
+      Simnet.set_handler a.x_proc (acc_handler t a))
+    accs;
+  Array.iter
+    (fun l ->
+      Simnet.set_handler l.l_proc (lrn_handler t l);
+      version_loop t l)
+    lrns;
+  Array.iter
+    (fun p ->
+      Simnet.set_handler p.p_proc (prop_handler t p);
+      resubmit_loop t p)
+    props;
+  monitor_loop t;
+  fc_recover_loop t;
+  p2a_retransmit_loop t;
+  start_phase1 t accs.(coord_idx);
+  t
+
+let submit t ~proposer ?(parts = [ 0 ]) ~size app =
+  let p = t.props.(proposer) in
+  if p.p_unacked_bytes + size > p.p_buffer then -1
+  else begin
+    t.next_uid <- t.next_uid + 1;
+    let uid = (t.next_uid * 256) lor (proposer land 0xff) in
+    let item = { Paxos.Value.uid; isize = size; app; born = Simnet.now t.net } in
+    Hashtbl.replace p.p_unacked uid (item, parts);
+    p.p_unacked_bytes <- p.p_unacked_bytes + size;
+    Hashtbl.replace p.p_last_sent uid (Simnet.now t.net);
+    (match coord_opt t with
+    | Some c ->
+        Simnet.send t.net ~src:p.p_proc ~dst:c.x_proc ~size:(size + hdr) (Propose { item; parts })
+    | None -> () (* resubmitted when a NewCoord announcement arrives *));
+    uid
+  end
+
+let coordinator_proc t =
+  match coord_opt t with
+  | Some c -> c.x_proc
+  | None -> t.accs.(List.hd (List.rev t.cur_ring)).x_proc
+let acceptor_procs t = Array.map (fun a -> a.x_proc) t.accs
+let learner_proc t i = t.lrns.(i).l_proc
+let proposer_proc t i = t.props.(i).p_proc
+let ring_size t = List.length (ring_of t)
+
+let kill_coordinator t =
+  match coord_opt t with Some c -> Simnet.kill t.net c.x_proc | None -> ()
+
+(* Crash-recovery model (§3.3.5): a crash loses everything not on stable
+   storage.  With [Memory] durability the acceptor restarts empty (safe only
+   under the majority-never-fails assumption); with the disk modes its
+   promises and votes survive and are reloaded before it rejoins. *)
+let crash_acceptor t idx =
+  let a = t.accs.(idx) in
+  Simnet.kill t.net a.x_proc;
+  Hashtbl.reset a.x_held;
+  Hashtbl.reset a.c_claimed;
+  Hashtbl.reset a.c_insts;
+  Hashtbl.reset a.c_pend;
+  Hashtbl.reset a.c_pend_bytes;
+  a.c_pending_bytes <- 0;
+  a.c_phase1_ok <- false;
+  a.c_outstanding <- 0;
+  if t.cfg.durability = Memory then begin
+    Hashtbl.reset a.x_votes;
+    Hashtbl.reset a.x_decided;
+    Hashtbl.reset a.x_durable;
+    a.x_rnd <- 0;
+    acc_update_mem a
+  end
+
+let restart_acceptor t idx =
+  let a = t.accs.(idx) in
+  match (t.cfg.durability, a.x_disk) with
+  | Memory, _ | _, None -> Simnet.recover t.net a.x_proc
+  | _, Some d ->
+      (* Reload the persisted state before rejoining. *)
+      let bytes = Stdlib.max (64 * 1024) a.x_mem in
+      let dur = float_of_int bytes *. 8.0 /. (Storage.Disk.config d).bandwidth in
+      ignore (Simnet.after t.net dur (fun () -> Simnet.recover t.net a.x_proc))
+
+let kill_ring_acceptor t pos =
+  let ring = ring_of t in
+  let idx = List.nth ring pos in
+  Simnet.kill t.net t.accs.(idx).x_proc
+
+let set_learner_delay t i d = t.lrns.(i).l_delay <- d
+
+let learner_pending t i = Queue.length t.lrns.(i).l_queue
+
+let decided t = Array.fold_left (fun acc a -> acc + a.c_decided) 0 t.accs
+
+let current_window t =
+  match coord_opt t with Some c -> c.c_window | None -> 0
+
+let coord_drops t = Array.fold_left (fun acc a -> acc + a.c_drops) 0 t.accs
+
+let debug_dump t =
+  (match coord_opt t with
+  | Some c ->
+      Printf.printf "  coord=acc%d outst=%d insts=%d pend=%dB decided=%d rate_bits=%.0f\n"
+        c.x_idx c.c_outstanding (Hashtbl.length c.c_insts) c.c_pending_bytes c.c_decided
+        c.c_rate_bits
+  | None -> Printf.printf "  no coord\n");
+  Array.iter
+    (fun a ->
+      if not a.x_is_coord && List.mem a.x_idx t.cur_ring then
+        Printf.printf "  acc%d votes=%d held=%d rnd=%d\n" a.x_idx (Hashtbl.length a.x_votes)
+          (Hashtbl.length a.x_held) a.x_rnd)
+    t.accs;
+  Array.iter
+    (fun l ->
+      Printf.printf "  lrn%d next=%d dec=%d vals=%d queue=%d maxdec=%d repair=%b has_dec_next=%b busy=%b\n"
+        l.l_idx l.l_next (Hashtbl.length l.l_dec) (Hashtbl.length l.l_vals)
+        (Queue.length l.l_queue) l.l_max_dec (l.l_repair <> None)
+        (Hashtbl.mem l.l_dec l.l_next) l.l_busy)
+    t.lrns
+
+let disk t pos =
+  let ring = ring_of t in
+  if pos < List.length ring then t.accs.(List.nth ring pos).x_disk else None

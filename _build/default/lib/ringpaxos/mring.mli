@@ -1,0 +1,116 @@
+(** M-Ring Paxos — Algorithm 2 of the dissertation (multicast-based).
+
+    A majority quorum of [f + 1] acceptors is arranged in a logical directed
+    ring whose last process is the coordinator (itself an acceptor); the
+    remaining [f] acceptors are spares.  Proposals reach the coordinator over
+    reliable unicast; Phase 2A messages (value + unique value id) are
+    ip-multicast to the in-ring acceptors and the learners; Phase 2B messages
+    carry ids only and circulate along the ring; the final decision is a
+    small ip-multicast of the chosen value's id.
+
+    Implemented features from §3.3: batching into fixed-size packets,
+    a window of overlapping instances, window-based flow control driven by
+    learner slow-down notifications, garbage collection driven by learner
+    versions, message-loss recovery through preferential acceptors,
+    coordinator failure detection and ring reconfiguration with spares,
+    synchronous/asynchronous disk durability (§3.5.5, Ch. 5), speculative
+    delivery (Ch. 4) and state partitioning over multiple multicast groups
+    (Ch. 4). *)
+
+type t
+
+type durability = Memory | Sync_disk | Async_disk
+
+type config = {
+  f : int;  (** tolerated acceptor failures; the ring has [f+1] members *)
+  window : int;
+  batch_bytes : int;
+  batch_timeout : float;
+  durability : durability;
+  buffer_bytes : int;  (** circular proposal buffer (160 MB in §3.5.2) *)
+  fc_threshold : int;  (** learner pending-decision threshold *)
+  fc_recover_period : float;  (** window regrowth cadence *)
+  hb_period : float;
+  hb_timeout : float;
+  retrans_timeout : float;
+  gc_period : float;
+  partitions : int;  (** multicast groups for state partitioning; 1 = plain *)
+  send_rate : float;  (** coordinator Phase 2A pacing, bits per second *)
+}
+
+val default_config : config
+
+(** [create net cfg ~n_proposers ~n_learners ~learner_parts ~deliver] builds
+    the deployment.  [learner_parts i] lists the partitions learner [i]
+    subscribes to (use [[0]] or [all] when [partitions = 1]).
+
+    [learner_nodes] places learner processes on existing machines (used by
+    Multi-Ring Paxos, whose learners subscribe to several rings from one
+    machine and must share its NIC and CPU).
+
+    [deliver ~learner ~inst v] fires in instance order at each learner;
+    [v = None] marks an instance addressed only to partitions the learner
+    does not subscribe to.  [speculative ~learner ~inst v] (optional) fires
+    as soon as the learner ip-delivers the Phase 2A message, before the
+    decision — Chapter 4's speculative delivery. *)
+val create :
+  ?speculative:(learner:int -> inst:int -> Paxos.Value.t -> unit) ->
+  ?learner_nodes:Simnet.node array ->
+  Simnet.t ->
+  config ->
+  n_proposers:int ->
+  n_learners:int ->
+  learner_parts:(int -> int list) ->
+  deliver:(learner:int -> inst:int -> Paxos.Value.t option -> unit) ->
+  t
+
+(** [submit t ~proposer ?parts ~size app] proposes an application message to
+    the given partitions (default [[0]]); returns the item uid, or [-1] if
+    the proposal was dropped because the coordinator buffer is full. *)
+val submit : t -> proposer:int -> ?parts:int list -> size:int -> Simnet.payload -> int
+
+(** {1 Handles for failure injection and measurement} *)
+
+val coordinator_proc : t -> Simnet.proc
+
+(** All acceptor processes, in-ring first, then spares. *)
+val acceptor_procs : t -> Simnet.proc array
+
+val learner_proc : t -> int -> Simnet.proc
+val proposer_proc : t -> int -> Simnet.proc
+val ring_size : t -> int
+
+val kill_coordinator : t -> unit
+val kill_ring_acceptor : t -> int -> unit  (** by position, 0 = first *)
+
+(** [crash_acceptor t i] crashes acceptor [i] (global index), losing every
+    piece of state not on stable storage (§3.3.5): with [Memory] durability
+    the acceptor is wiped; with the disk modes promises and votes survive. *)
+val crash_acceptor : t -> int -> unit
+
+(** [restart_acceptor t i] restarts a crashed acceptor, reloading its
+    persisted state from disk first when durability is enabled. *)
+val restart_acceptor : t -> int -> unit
+
+(** Per-learner processing cost per delivered instance, seconds — used by
+    the flow-control experiment to create a slow learner. *)
+val set_learner_delay : t -> int -> float -> unit
+
+(** Decisions learner [i] is holding, not yet processed (flow control). *)
+val learner_pending : t -> int -> int
+
+val decided : t -> int
+val current_window : t -> int
+
+(** Proposals dropped at the coordinator because its buffer overflowed. *)
+val coord_drops : t -> int
+
+(** Dump internal state to stdout (debugging aid). *)
+val debug_dump : t -> unit
+
+(** Print internal event counters accumulated since startup (debugging
+    aid; see also {!debug_dump}). *)
+val dbg_dump : unit -> unit
+
+(** Disk attached to acceptor position [i] of the ring (durable modes). *)
+val disk : t -> int -> Storage.Disk.t option

@@ -1,0 +1,544 @@
+type role = Acceptor | Proposer | Learner
+
+type config = {
+  f : int;
+  window : int;
+  batch_bytes : int;
+  batch_timeout : float;
+  durability : Mring.durability;
+  buffer_bytes : int;
+  hb_period : float;
+  hb_timeout : float;
+  resubmit_timeout : float;
+}
+
+let default_config =
+  { f = 2;
+    window = 64;
+    batch_bytes = 32 * 1024;
+    batch_timeout = 5.0e-4;
+    durability = Mring.Memory;
+    buffer_bytes = 80 * 1024 * 1024;
+    hb_period = 0.02;
+    hb_timeout = 0.25;
+    resubmit_timeout = 0.5 }
+
+let hdr = 64
+
+type Simnet.payload +=
+  | UForward of Paxos.Value.item
+  | UP1a of { rnd : int; coord : int }
+  | UP1b of { rnd : int; acc : int; votes : (int * int * Paxos.Value.t) list }
+  | UP2ab of { inst : int; rnd : int; value : Paxos.Value.t; votes : int }
+  | UDecision of { inst : int; value : Paxos.Value.t; origin : int; with_value : bool }
+  | UHb of { coord : int }
+  | UNewRing of { ring : int list; coord : int }
+
+type member = {
+  m_proc : Simnet.proc;
+  m_pos : int;
+  m_roles : role list;
+  m_acc_idx : int;  (* -1 when not an acceptor *)
+  m_lrn_idx : int;
+  m_prop_idx : int;
+  m_disk : Storage.Disk.t option;
+  (* acceptor state *)
+  mutable a_rnd : int;
+  a_votes : (int, int * Paxos.Value.t) Hashtbl.t;
+  (* learner state *)
+  mutable l_next : int;
+  l_ready : (int, Paxos.Value.t) Hashtbl.t;
+  (* value-dissemination bookkeeping: instances seen via Phase 2A/2B *)
+  m_seen : (int, unit) Hashtbl.t;
+  (* proposer state *)
+  p_unacked : (int, Paxos.Value.item) Hashtbl.t;
+  mutable p_unacked_bytes : int;
+  p_last_sent : (int, float) Hashtbl.t;
+  mutable p_buffer : int;
+  mutable m_last_hb : float;
+  (* coordinator state (used by whichever member currently leads) *)
+  mutable c_rnd : int;
+  mutable c_phase1_ok : bool;
+  mutable c_p1b : int;
+  c_claimed : (int, int * Paxos.Value.t) Hashtbl.t;
+  mutable c_next_inst : int;
+  mutable c_outstanding : int;
+  c_pending : Paxos.Value.item Queue.t;
+  mutable c_pending_bytes : int;
+  mutable c_batch_timer : Sim.Engine.handle option;
+  c_seen_uids : (int, unit) Hashtbl.t;
+}
+
+type t = {
+  net : Simnet.t;
+  cfg : config;
+  members : member array;
+  mutable ring : int list;  (* alive positions, ring order, coordinator first *)
+  mutable coord_pos : int;
+  acc_positions : int array;  (* position of acceptor i *)
+  deliver : learner:int -> inst:int -> Paxos.Value.t -> unit;
+  mutable next_uid : int;
+  mutable next_vid : int;
+  mutable decided : int;
+}
+
+let standard_positions ~n = Array.make n [ Proposer; Acceptor; Learner ]
+
+let coord t = t.members.(t.coord_pos)
+
+let successor t pos =
+  let rec after = function
+    | a :: b :: rest -> if a = pos then Some b else after (b :: rest)
+    | [ a ] -> if a = pos then List.nth_opt t.ring 0 else None
+    | [] -> None
+  in
+  match after t.ring with
+  | Some next when next <> pos -> Some t.members.(next)
+  | _ -> None
+
+let is_acceptor m = m.m_acc_idx >= 0
+let is_learner m = m.m_lrn_idx >= 0
+
+let send_succ t m ~size payload =
+  match successor t m.m_pos with
+  | Some next -> Simnet.send t.net ~src:m.m_proc ~dst:next.m_proc ~size payload
+  | None -> ()
+
+(* --- delivery ----------------------------------------------------------- *)
+
+let rec lrn_advance t m =
+  match Hashtbl.find_opt m.l_ready m.l_next with
+  | Some v ->
+      Hashtbl.remove m.l_ready m.l_next;
+      let inst = m.l_next in
+      m.l_next <- inst + 1;
+      if is_learner m then t.deliver ~learner:m.m_lrn_idx ~inst v;
+      (* A proposer acknowledges its own items when it sees them decided. *)
+      List.iter
+        (fun (it : Paxos.Value.item) ->
+          if Hashtbl.mem m.p_unacked it.uid then begin
+            m.p_unacked_bytes <- m.p_unacked_bytes - it.isize;
+            Hashtbl.remove m.p_unacked it.uid;
+            Hashtbl.remove m.p_last_sent it.uid
+          end)
+        v.items;
+      lrn_advance t m
+  | None -> ()
+
+let record_decision t m inst v =
+  if inst >= m.l_next && not (Hashtbl.mem m.l_ready inst) then begin
+    Hashtbl.replace m.l_ready inst v;
+    lrn_advance t m
+  end
+
+(* --- coordinator --------------------------------------------------------- *)
+
+let seal_batch t c =
+  let items = ref [] and size = ref 0 in
+  let continue = ref true in
+  while !continue && not (Queue.is_empty c.c_pending) do
+    let (it : Paxos.Value.item) = Queue.peek c.c_pending in
+    if !size > 0 && !size + it.isize > t.cfg.batch_bytes then continue := false
+    else begin
+      ignore (Queue.pop c.c_pending);
+      c.c_pending_bytes <- c.c_pending_bytes - it.isize;
+      items := it :: !items;
+      size := !size + it.isize
+    end
+  done;
+  List.rev !items
+
+let propose_instance t c inst (v : Paxos.Value.t) =
+  c.c_outstanding <- c.c_outstanding + 1;
+  (* The coordinator is the first acceptor: it votes locally, durably if
+     configured, then starts the combined Phase 2A/2B down the ring. *)
+  Hashtbl.replace c.a_votes inst (c.c_rnd, v);
+  Hashtbl.replace c.m_seen inst ();
+  let forward () = send_succ t c ~size:(v.size + hdr) (UP2ab { inst; rnd = c.c_rnd; value = v; votes = 1 }) in
+  match (t.cfg.durability, c.m_disk) with
+  | Mring.Sync_disk, Some d -> Storage.Disk.write_sync d ~bytes:v.size forward
+  | Mring.Async_disk, Some d ->
+      Storage.Disk.write_async d ~bytes:v.size;
+      forward ()
+  | _ -> forward ()
+
+let rec drain t c =
+  if c.c_phase1_ok && c.m_pos = t.coord_pos && Simnet.is_alive c.m_proc then begin
+    let claimed = Hashtbl.fold (fun i x acc -> (i, x) :: acc) c.c_claimed [] in
+    Hashtbl.reset c.c_claimed;
+    List.iter
+      (fun (inst, (_, v)) ->
+        if not (Hashtbl.mem c.l_ready inst) && inst >= c.l_next then propose_instance t c inst v;
+        if inst >= c.c_next_inst then c.c_next_inst <- inst + 1)
+      (List.sort compare claimed);
+    let batch_ready () =
+      (not (Queue.is_empty c.c_pending))
+      && (t.cfg.batch_bytes <= 0 || c.c_pending_bytes >= t.cfg.batch_bytes)
+    in
+    while c.c_outstanding < t.cfg.window && batch_ready () do
+      propose_batch t c
+    done;
+    if (not (Queue.is_empty c.c_pending)) && c.c_batch_timer = None then
+      c.c_batch_timer <-
+        Some
+          (Simnet.after t.net t.cfg.batch_timeout (fun () ->
+               c.c_batch_timer <- None;
+               if c.m_pos = t.coord_pos && Simnet.is_alive c.m_proc && c.c_phase1_ok
+                  && c.c_outstanding < t.cfg.window
+               then propose_batch t c;
+               drain t c))
+  end
+
+and propose_batch t c =
+  match seal_batch t c with
+  | [] -> ()
+  | items ->
+      t.next_vid <- t.next_vid + 1;
+      let v = Paxos.Value.make ~vid:t.next_vid items in
+      let inst = c.c_next_inst in
+      c.c_next_inst <- inst + 1;
+      propose_instance t c inst v
+
+let start_phase1 t c =
+  c.c_rnd <- Stdlib.max c.c_rnd c.a_rnd + Array.length t.members + 1;
+  c.a_rnd <- Stdlib.max c.a_rnd c.c_rnd;
+  c.c_phase1_ok <- false;
+  c.c_p1b <- 0;
+  Array.iter
+    (fun pos ->
+      let a = t.members.(pos) in
+      if a.m_pos <> c.m_pos && Simnet.is_alive a.m_proc then
+        Simnet.send t.net ~src:c.m_proc ~dst:a.m_proc ~size:hdr
+          (UP1a { rnd = c.c_rnd; coord = c.m_pos }))
+    t.acc_positions
+
+(* --- ring message handling ------------------------------------------------ *)
+
+(* Rank of a position in the current ring (coordinator = 0). *)
+let ring_rank t pos =
+  let rec go i = function
+    | [] -> -1
+    | p :: rest -> if p = pos then i else go (i + 1) rest
+  in
+  go 0 t.ring
+
+(* Bytes of [v] the process at ring rank [k] has not yet seen: an item
+   proposed at rank [r] crossed every rank > [r] on its way to the
+   coordinator, and ranks that processed the Phase 2A/2B saw the whole
+   batch.  Forwarding only the unseen bytes makes each value cross each
+   link exactly once, which is the source of U-Ring Paxos's efficiency. *)
+let unseen_bytes t next inst (v : Paxos.Value.t) =
+  if Hashtbl.mem next.m_seen inst then 0
+  else begin
+    let k = ring_rank t next.m_pos in
+    List.fold_left
+      (fun acc (it : Paxos.Value.item) ->
+        let origin_rank = ring_rank t (it.uid land 0xff) in
+        if origin_rank >= 0 && k > origin_rank then acc else acc + it.isize)
+      0 v.items
+  end
+
+let forward_decision t m inst v origin =
+  match successor t m.m_pos with
+  | Some next when next.m_pos <> origin ->
+      let payload_bytes = unseen_bytes t next inst v in
+      Simnet.send t.net ~src:m.m_proc ~dst:next.m_proc ~size:(payload_bytes + hdr)
+        (UDecision { inst; value = v; origin; with_value = payload_bytes > 0 })
+  | _ -> ()
+
+let on_p2ab t m inst rnd (v : Paxos.Value.t) votes =
+  Hashtbl.replace m.m_seen inst ();
+  let continue votes =
+    if votes >= t.cfg.f + 1 then begin
+      (* This member closes the quorum: it is the "last acceptor". *)
+      t.decided <- t.decided + 1;
+      record_decision t m inst v;
+      forward_decision t m inst v m.m_pos
+    end
+    else send_succ t m ~size:(v.size + hdr) (UP2ab { inst; rnd; value = v; votes })
+  in
+  if is_acceptor m && rnd >= m.a_rnd then begin
+    m.a_rnd <- rnd;
+    Hashtbl.replace m.a_votes inst (rnd, v);
+    let votes = votes + 1 in
+    match (t.cfg.durability, m.m_disk) with
+    | Mring.Sync_disk, Some d -> Storage.Disk.write_sync d ~bytes:v.size (fun () -> continue votes)
+    | Mring.Async_disk, Some d ->
+        Storage.Disk.write_async d ~bytes:v.size;
+        let lag = Storage.Disk.backlog d ~now:(Simnet.now t.net) -. 0.05 in
+        if lag > 0.0 then ignore (Simnet.after t.net lag (fun () -> continue votes))
+        else continue votes
+    | _ -> continue votes
+  end
+  else continue votes
+
+let on_decision t m inst (v : Paxos.Value.t) origin =
+  record_decision t m inst v;
+  if m.m_pos = t.coord_pos then begin
+    m.c_outstanding <- Stdlib.max 0 (m.c_outstanding - 1);
+    drain t m
+  end;
+  forward_decision t m inst v origin
+
+(* --- failures -------------------------------------------------------------- *)
+
+let rebuild_ring t new_coord_pos =
+  let alive =
+    Array.to_list t.members
+    |> List.filter (fun m -> Simnet.is_alive m.m_proc)
+    |> List.map (fun m -> m.m_pos)
+  in
+  (* Keep ring order, rotated so the coordinator is first. *)
+  let rec rotate = function
+    | [] -> []
+    | x :: rest as l -> if x = new_coord_pos then l else rotate (rest @ [ x ])
+  in
+  t.ring <- rotate alive;
+  t.coord_pos <- new_coord_pos;
+  let c = t.members.(new_coord_pos) in
+  (* A fresh coordinator must not reuse instances already delivered. *)
+  c.c_next_inst <-
+    Hashtbl.fold (fun i _ acc -> Stdlib.max (i + 1) acc) c.a_votes
+      (Stdlib.max c.c_next_inst c.l_next);
+  List.iter
+    (fun pos ->
+      let m = t.members.(pos) in
+      if pos <> new_coord_pos then
+        Simnet.send t.net ~src:c.m_proc ~dst:m.m_proc ~size:hdr
+          (UNewRing { ring = t.ring; coord = new_coord_pos }))
+    t.ring;
+  start_phase1 t c
+
+let monitor_loop t =
+  let (_stop : unit -> unit) =
+    Simnet.every t.net ~period:t.cfg.hb_period (fun () ->
+        let c = coord t in
+        if Simnet.is_alive c.m_proc then begin
+          (* The coordinator pings ring members; dead ones trigger a
+             reconfiguration that bypasses them. *)
+          let dead = List.filter (fun p -> not (Simnet.is_alive t.members.(p).m_proc)) t.ring in
+          if dead <> [] then rebuild_ring t t.coord_pos
+          else
+            List.iter
+              (fun p ->
+                if p <> t.coord_pos then
+                  Simnet.send t.net ~src:c.m_proc ~dst:t.members.(p).m_proc ~size:hdr
+                    (UHb { coord = t.coord_pos }))
+              t.ring
+        end
+        else begin
+          (* Coordinator dead: the first alive acceptor (ring order) takes
+             over after the timeout. *)
+          let candidate =
+            Array.to_list t.acc_positions
+            |> List.filter (fun p ->
+                   Simnet.is_alive t.members.(p).m_proc
+                   && Simnet.now t.net -. t.members.(p).m_last_hb > t.cfg.hb_timeout)
+            |> function
+            | [] -> None
+            | p :: _ -> Some p
+          in
+          match candidate with Some p -> rebuild_ring t p | None -> ()
+        end)
+  in
+  ()
+
+let resubmit_loop t m =
+  let (_stop : unit -> unit) =
+    Simnet.every t.net ~period:t.cfg.resubmit_timeout (fun () ->
+        if Simnet.is_alive m.m_proc && m.m_prop_idx >= 0 then
+          Hashtbl.iter
+            (fun uid (it : Paxos.Value.item) ->
+              let last = Option.value ~default:0.0 (Hashtbl.find_opt m.p_last_sent uid) in
+              if Simnet.now t.net -. last > t.cfg.resubmit_timeout then begin
+                Hashtbl.replace m.p_last_sent uid (Simnet.now t.net);
+                send_succ t m ~size:(it.isize + hdr) (UForward it)
+              end)
+            m.p_unacked)
+  in
+  ()
+
+(* --- handler ----------------------------------------------------------------- *)
+
+let handler t m (msg : Simnet.msg) =
+  match msg.payload with
+  | UForward item ->
+      if m.m_pos = t.coord_pos then begin
+        if
+          m.c_pending_bytes + item.Paxos.Value.isize > t.cfg.buffer_bytes
+          || Hashtbl.mem m.c_seen_uids item.uid
+        then ()
+        else begin
+          Hashtbl.add m.c_seen_uids item.uid ();
+          Queue.push item m.c_pending;
+          m.c_pending_bytes <- m.c_pending_bytes + item.isize;
+          drain t m
+        end
+      end
+      else send_succ t m ~size:(item.isize + hdr) (UForward item)
+  | UP1a { rnd; coord } ->
+      if rnd > m.a_rnd then begin
+        m.a_rnd <- rnd;
+        let votes = Hashtbl.fold (fun i (vr, vv) l -> (i, vr, vv) :: l) m.a_votes [] in
+        Simnet.send t.net ~src:m.m_proc ~dst:t.members.(coord).m_proc
+          ~size:(hdr + (List.length votes * 24))
+          (UP1b { rnd; acc = m.m_acc_idx; votes })
+      end
+  | UP1b { rnd; acc = _; votes } ->
+      if m.m_pos = t.coord_pos && rnd = m.c_rnd && not m.c_phase1_ok then begin
+        List.iter
+          (fun (inst, vrnd, vval) ->
+            match Hashtbl.find_opt m.c_claimed inst with
+            | Some (r, _) when r >= vrnd -> ()
+            | _ -> Hashtbl.replace m.c_claimed inst (vrnd, vval))
+          votes;
+        m.c_p1b <- m.c_p1b + 1;
+        if m.c_p1b + 1 >= (Array.length t.acc_positions / 2) + 1 then begin
+          m.c_phase1_ok <- true;
+          drain t m
+        end
+      end
+  | UP2ab { inst; rnd; value; votes } -> on_p2ab t m inst rnd value votes
+  | UDecision { inst; value; origin; with_value = _ } -> on_decision t m inst value origin
+  | UHb { coord = _ } -> m.m_last_hb <- Simnet.now t.net
+  | UNewRing { ring; coord } ->
+      t.ring <- ring;
+      t.coord_pos <- coord;
+      m.m_last_hb <- Simnet.now t.net
+  | _ -> ()
+
+(* --- construction --------------------------------------------------------------- *)
+
+let create net cfg ~positions ~deliver =
+  let n = Array.length positions in
+  let n_accs = Array.fold_left (fun acc rs -> if List.mem Acceptor rs then acc + 1 else acc) 0 positions in
+  if n_accs < (2 * cfg.f) + 1 then
+    invalid_arg "Uring.create: needs at least 2f+1 acceptor positions";
+  let acc_count = ref 0 and lrn_count = ref 0 and prop_count = ref 0 in
+  let members =
+    Array.init n (fun i ->
+        let roles = positions.(i) in
+        let node = Simnet.add_node net (Printf.sprintf "ur-%d" i) in
+        let proc = Simnet.add_proc net node (Printf.sprintf "ur-%d" i) in
+        let m_acc_idx =
+          if List.mem Acceptor roles then begin
+            let k = !acc_count in
+            incr acc_count;
+            k
+          end
+          else -1
+        in
+        let m_lrn_idx =
+          if List.mem Learner roles then begin
+            let k = !lrn_count in
+            incr lrn_count;
+            k
+          end
+          else -1
+        in
+        let m_prop_idx =
+          if List.mem Proposer roles then begin
+            let k = !prop_count in
+            incr prop_count;
+            k
+          end
+          else -1
+        in
+        let m_disk =
+          if m_acc_idx >= 0 && cfg.durability <> Mring.Memory then
+            Some (Storage.Disk.create (Simnet.engine net) (Printf.sprintf "ur-disk%d" i))
+          else None
+        in
+        { m_proc = proc;
+          m_pos = i;
+          m_roles = roles;
+          m_acc_idx;
+          m_lrn_idx;
+          m_prop_idx;
+          m_disk;
+          a_rnd = 0;
+          a_votes = Hashtbl.create 4096;
+          l_next = 0;
+          l_ready = Hashtbl.create 256;
+          m_seen = Hashtbl.create 4096;
+          p_unacked = Hashtbl.create 256;
+          p_unacked_bytes = 0;
+          p_last_sent = Hashtbl.create 256;
+          p_buffer = 2 * 1024 * 1024;
+          m_last_hb = 0.0;
+          c_rnd = 0;
+          c_phase1_ok = false;
+          c_p1b = 0;
+          c_claimed = Hashtbl.create 64;
+          c_next_inst = 0;
+          c_outstanding = 0;
+          c_pending = Queue.create ();
+          c_pending_bytes = 0;
+          c_batch_timer = None;
+          c_seen_uids = Hashtbl.create 4096 })
+  in
+  (* The coordinator is the first acceptor in ring order. *)
+  let coord_pos =
+    let rec find i = if members.(i).m_acc_idx = 0 then i else find (i + 1) in
+    find 0
+  in
+  let acc_positions = Array.make n_accs 0 in
+  Array.iter (fun m -> if m.m_acc_idx >= 0 then acc_positions.(m.m_acc_idx) <- m.m_pos) members;
+  (* Ring order starts at the coordinator. *)
+  let ring = List.init n (fun i -> (coord_pos + i) mod n) in
+  let t =
+    { net; cfg; members; ring; coord_pos; acc_positions; deliver;
+      next_uid = 0; next_vid = 0; decided = 0 }
+  in
+  Array.iter
+    (fun m ->
+      Simnet.set_handler m.m_proc (handler t m);
+      if m.m_prop_idx >= 0 then resubmit_loop t m)
+    members;
+  monitor_loop t;
+  start_phase1 t members.(coord_pos);
+  t
+
+let submit t ~proposer ~size app =
+  let m = Array.to_list t.members |> List.find (fun m -> m.m_prop_idx = proposer) in
+  if m.p_unacked_bytes + size > m.p_buffer then -1
+  else begin
+    t.next_uid <- t.next_uid + 1;
+    (* The low byte encodes the originating ring position, so forwarding can
+       tell which processes already saw an item on its way to the
+       coordinator (the value crosses each link exactly once, §3.3.3). *)
+    let uid = (t.next_uid * 256) lor (m.m_pos land 0xff) in
+    let item = { Paxos.Value.uid; isize = size; app; born = Simnet.now t.net } in
+    Hashtbl.replace m.p_unacked uid item;
+    m.p_unacked_bytes <- m.p_unacked_bytes + size;
+    Hashtbl.replace m.p_last_sent uid (Simnet.now t.net);
+    if m.m_pos = t.coord_pos then begin
+      if m.c_pending_bytes + size <= t.cfg.buffer_bytes then begin
+        Hashtbl.add m.c_seen_uids uid ();
+        Queue.push item m.c_pending;
+        m.c_pending_bytes <- m.c_pending_bytes + size;
+        drain t m
+      end
+    end
+    else send_succ t m ~size:(size + hdr) (UForward item);
+    uid
+  end
+
+let coordinator_proc t = (coord t).m_proc
+let position_proc t i = t.members.(i).m_proc
+
+let learner_proc t i =
+  (Array.to_list t.members |> List.find (fun m -> m.m_lrn_idx = i)).m_proc
+
+let proposer_proc t i =
+  (Array.to_list t.members |> List.find (fun m -> m.m_prop_idx = i)).m_proc
+
+let n_positions t = Array.length t.members
+
+let kill_position t i = Simnet.kill t.net t.members.(i).m_proc
+let kill_coordinator t = Simnet.kill t.net (coord t).m_proc
+
+let decided t = t.decided
+
+let disk t i =
+  if i < Array.length t.acc_positions then t.members.(t.acc_positions.(i)).m_disk else None

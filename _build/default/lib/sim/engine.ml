@@ -1,0 +1,67 @@
+type handle = { mutable cancelled : bool }
+
+type event = { time : float; seq : int; h : handle; action : unit -> unit }
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  mutable live : int;
+  heap : event Heap.t;
+}
+
+let compare_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () = { now = 0.0; seq = 0; live = 0; heap = Heap.create compare_event }
+
+let now t = t.now
+
+let at t ~time f =
+  let time = if time < t.now then t.now else time in
+  let h = { cancelled = false } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.heap { time; seq = t.seq; h; action = f };
+  h
+
+let schedule t ~delay f =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  at t ~time:(t.now +. delay) f
+
+let cancel h = h.cancelled <- true
+
+let step t =
+  let ev = Heap.pop t.heap in
+  if not ev.h.cancelled then begin
+    t.live <- t.live - 1;
+    t.now <- ev.time;
+    ev.action ()
+  end
+  else t.live <- t.live - 1
+
+let default_max = 200_000_000
+
+let run ?(max_events = default_max) t ~until =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.heap with
+    | None -> continue := false
+    | Some ev when ev.time > until -> continue := false
+    | Some _ ->
+        step t;
+        incr fired;
+        if !fired > max_events then failwith "Engine.run: event budget exhausted"
+  done;
+  if t.now < until then t.now <- until
+
+let run_all ?(max_events = default_max) t =
+  let fired = ref 0 in
+  while not (Heap.is_empty t.heap) do
+    step t;
+    incr fired;
+    if !fired > max_events then failwith "Engine.run_all: event budget exhausted"
+  done
+
+let pending t = t.live

@@ -1,0 +1,38 @@
+(** Discrete-event simulation engine.
+
+    Time is a [float] in seconds.  Events scheduled for the same instant run
+    in scheduling order (a monotonically increasing sequence number breaks
+    ties), which keeps runs deterministic. *)
+
+type t
+
+(** Cancellation handle for a scheduled event. *)
+type handle
+
+(** [create ()] is a fresh engine with the clock at [0.0]. *)
+val create : unit -> t
+
+(** [now t] is the current simulation time in seconds. *)
+val now : t -> float
+
+(** [schedule t ~delay f] runs [f] at [now t +. delay].
+    Negative delays are clamped to zero. *)
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+
+(** [at t ~time f] runs [f] at absolute [time] (clamped to [now t]). *)
+val at : t -> time:float -> (unit -> unit) -> handle
+
+(** [cancel h] prevents the event from firing; idempotent. *)
+val cancel : handle -> unit
+
+(** [run t ~until] processes events in time order until the queue drains or
+    the clock would pass [until]; the clock is left at [min until last_event].
+    Raises [Failure] if more than [max_events] fire (runaway guard,
+    default 200 million). *)
+val run : ?max_events:int -> t -> until:float -> unit
+
+(** [run_all t] processes events until the queue is empty. *)
+val run_all : ?max_events:int -> t -> unit
+
+(** [pending t] is the number of scheduled (uncancelled) events. *)
+val pending : t -> int

@@ -1,0 +1,30 @@
+(** Array-based binary min-heap, polymorphic in the element type.
+
+    The comparison function is fixed at creation time.  Used by the
+    discrete-event engine as the pending-event queue, and exposed publicly
+    because several protocol implementations need ordered buffers
+    (e.g. out-of-order instance reassembly at learners). *)
+
+type 'a t
+
+(** [create cmp] is an empty heap ordered by [cmp] (minimum first). *)
+val create : ('a -> 'a -> int) -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+(** [pop h] removes and returns the minimum element.
+    @raise Invalid_argument if the heap is empty. *)
+val pop : 'a t -> 'a
+
+(** [peek h] returns the minimum element without removing it. *)
+val peek : 'a t -> 'a option
+
+(** [clear h] removes every element. *)
+val clear : 'a t -> unit
+
+(** [to_list h] is the (unsorted) list of elements currently stored. *)
+val to_list : 'a t -> 'a list

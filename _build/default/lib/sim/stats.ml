@@ -1,0 +1,140 @@
+module Rate = struct
+  type t = {
+    mutable events : int;
+    mutable bytes : int;
+    mutable samples : (float * int) list; (* newest first *)
+  }
+
+  let create () = { events = 0; bytes = 0; samples = [] }
+
+  let add t ~now ~bytes =
+    t.events <- t.events + 1;
+    t.bytes <- t.bytes + bytes;
+    t.samples <- (now, bytes) :: t.samples
+
+  let events t = t.events
+  let bytes t = t.bytes
+
+  let in_window t ~from ~till =
+    List.fold_left
+      (fun (n, b) (time, bytes) ->
+        if time >= from && time < till then (n + 1, b + bytes) else (n, b))
+      (0, 0) t.samples
+
+  let mbps t ~from ~till =
+    let span = till -. from in
+    if span <= 0.0 then 0.0
+    else
+      let _, b = in_window t ~from ~till in
+      float_of_int b *. 8.0 /. span /. 1e6
+
+  let events_per_sec t ~from ~till =
+    let span = till -. from in
+    if span <= 0.0 then 0.0
+    else
+      let n, _ = in_window t ~from ~till in
+      float_of_int n /. span
+
+  let series t ~window ~till =
+    let nbuckets = int_of_float (ceil (till /. window)) in
+    let buckets = Array.make (Stdlib.max nbuckets 1) 0 in
+    List.iter
+      (fun (time, bytes) ->
+        if time < till then begin
+          let i = int_of_float (time /. window) in
+          if i >= 0 && i < Array.length buckets then
+            buckets.(i) <- buckets.(i) + bytes
+        end)
+      t.samples;
+    List.init (Array.length buckets) (fun i ->
+        let wend = window *. float_of_int (i + 1) in
+        (wend, float_of_int buckets.(i) *. 8.0 /. window /. 1e6))
+end
+
+module Latency = struct
+  type t = { mutable samples : float list; mutable n : int }
+
+  let create () = { samples = []; n = 0 }
+
+  let add t x =
+    t.samples <- x :: t.samples;
+    t.n <- t.n + 1
+
+  let count t = t.n
+
+  let mean t =
+    if t.n = 0 then 0.0 else List.fold_left ( +. ) 0.0 t.samples /. float_of_int t.n
+
+  let sorted t =
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    a
+
+  let percentile t p =
+    if t.n = 0 then 0.0
+    else
+      let a = sorted t in
+      let idx = int_of_float (p *. float_of_int (t.n - 1)) in
+      a.(Stdlib.max 0 (Stdlib.min (t.n - 1) idx))
+
+  let max t = percentile t 1.0
+
+  let trimmed_mean t ~drop_top =
+    if t.n = 0 then 0.0
+    else
+      let a = sorted t in
+      let keep = Stdlib.max 1 (int_of_float (float_of_int t.n *. (1.0 -. drop_top))) in
+      let sum = ref 0.0 in
+      for i = 0 to keep - 1 do
+        sum := !sum +. a.(i)
+      done;
+      !sum /. float_of_int keep
+
+  let cdf t ~points =
+    if t.n = 0 then []
+    else
+      let a = sorted t in
+      List.init points (fun i ->
+          let frac = float_of_int (i + 1) /. float_of_int points in
+          let idx = Stdlib.min (t.n - 1) (int_of_float (frac *. float_of_int (t.n - 1))) in
+          (a.(idx), frac))
+end
+
+module Busy = struct
+  type t = {
+    mutable total : float;
+    mutable window_start : float;
+    mutable window_busy : float;
+    mutable log : (float * float) list; (* (start_of_accounting_instant, dur) *)
+  }
+
+  let create () = { total = 0.0; window_start = 0.0; window_busy = 0.0; log = [] }
+
+  let add t dur =
+    t.total <- t.total +. dur;
+    t.window_busy <- t.window_busy +. dur
+
+  let add_at t ~now dur =
+    add t dur;
+    t.log <- (now, dur) :: t.log
+
+  let _ = add_at
+
+  let total t = t.total
+
+  let utilization t ~from ~till =
+    let span = till -. from in
+    if span <= 0.0 then 0.0
+    else
+      let pct = t.total /. span *. 100.0 in
+      Stdlib.min 100.0 (Stdlib.max 0.0 pct)
+
+  let reset_window t ~now =
+    t.window_start <- now;
+    t.window_busy <- 0.0
+
+  let window_utilization t ~now =
+    let span = now -. t.window_start in
+    if span <= 0.0 then 0.0
+    else Stdlib.min 100.0 (Stdlib.max 0.0 (t.window_busy /. span *. 100.0))
+end

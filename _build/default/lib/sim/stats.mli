@@ -1,0 +1,80 @@
+(** Measurement helpers shared by every experiment.
+
+    The conventions follow the paper's evaluation sections: throughput in
+    megabits per second of application payload, latency in milliseconds,
+    CPU as the fraction of wall (simulation) time a resource was busy. *)
+
+(** Monotonically growing counter of events and bytes, with optional
+    per-window time series (used for the timeline figures). *)
+module Rate : sig
+  type t
+
+  (** [create ()] records nothing until the first {!add}. *)
+  val create : unit -> t
+
+  (** [add t ~now ~bytes] records one event of [bytes] payload at time [now]. *)
+  val add : t -> now:float -> bytes:int -> unit
+
+  val events : t -> int
+  val bytes : t -> int
+
+  (** [mbps t ~from ~till] is payload throughput over the interval, in Mbps. *)
+  val mbps : t -> from:float -> till:float -> float
+
+  (** [events_per_sec t ~from ~till] is the event rate over the interval. *)
+  val events_per_sec : t -> from:float -> till:float -> float
+
+  (** [series t ~window ~till] buckets recorded events into windows of
+      [window] seconds from time 0 and returns [(window_end, mbps)] pairs. *)
+  val series : t -> window:float -> till:float -> (float * float) list
+end
+
+(** Latency sample recorder with percentiles and CDF extraction. *)
+module Latency : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+
+  (** [mean t] in the sample unit; [0.] when empty. *)
+  val mean : t -> float
+
+  (** [percentile t p] with [p] in [\[0,1\]]; [0.] when empty. *)
+  val percentile : t -> float -> float
+
+  val max : t -> float
+
+  (** [trimmed_mean t ~drop_top] is the mean after discarding the highest
+      fraction [drop_top] of samples (the paper discards the top 5 % in the
+      recoverable experiments). *)
+  val trimmed_mean : t -> drop_top:float -> float
+
+  (** [cdf t ~points] is an evenly spaced [(value, cum_fraction)] sketch. *)
+  val cdf : t -> points:int -> (float * float) list
+end
+
+(** Busy-time accounting for a serially used resource (CPU, NIC, disk). *)
+module Busy : sig
+  type t
+
+  val create : unit -> t
+
+  (** [add t dur] accounts [dur] seconds of busy time. *)
+  val add : t -> float -> unit
+
+  val total : t -> float
+
+  (** [utilization t ~from ~till] is busy time within the window divided by
+      the window length, as a percentage clamped to [\[0,100\]].  Busy time
+      is attributed to the instant work starts, so this is approximate at
+      window edges. *)
+  val utilization : t -> from:float -> till:float -> float
+
+  (** [reset_window t ~now] marks the start of a measurement window. *)
+  val reset_window : t -> now:float -> unit
+
+  (** [window_utilization t ~now] is utilization since the last
+      {!reset_window}, as a percentage. *)
+  val window_utilization : t -> now:float -> float
+end

@@ -1,0 +1,1 @@
+lib/smr/btree_service.ml: Btree List Service Simnet

@@ -1,0 +1,1 @@
+lib/smr/btree_service.mli: Btree Service Simnet

@@ -1,0 +1,1 @@
+lib/smr/cs.ml: Array Metrics Printf Service Sim Simnet Stdlib Workload

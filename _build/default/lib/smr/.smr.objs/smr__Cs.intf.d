@@ -1,0 +1,1 @@
+lib/smr/cs.mli: Metrics Service Simnet Workload

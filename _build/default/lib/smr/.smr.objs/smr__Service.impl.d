@@ -1,0 +1,1 @@
+lib/smr/service.ml: Simnet

@@ -1,0 +1,1 @@
+lib/smr/system.ml: Array Btree_service Hashtbl List Metrics Paxos Ringpaxos Service Sim Simnet Stdlib Workload

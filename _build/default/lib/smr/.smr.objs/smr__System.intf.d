@@ -1,0 +1,1 @@
+lib/smr/system.mli: Metrics Ringpaxos Service Simnet Workload

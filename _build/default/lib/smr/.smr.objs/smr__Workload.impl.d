@@ -1,0 +1,1 @@
+lib/smr/workload.ml: Btree_service List Sim Simnet Stdlib

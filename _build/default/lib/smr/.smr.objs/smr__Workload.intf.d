@@ -1,0 +1,1 @@
+lib/smr/workload.mli: Sim Simnet

@@ -1,0 +1,71 @@
+type op = {
+  kind : [ `Read of int option | `Write of int ];
+  inv : float;
+  res : float;
+}
+
+let applies state = function
+  | `Write _ -> true
+  | `Read v -> v = state
+
+let apply state = function `Write v -> Some v | `Read _ -> state
+
+(* Exhaustive search: at each step, an operation may be linearized next only
+   if no remaining operation responded before it was invoked. *)
+let check ~init history =
+  let arr = Array.of_list history in
+  let n = Array.length arr in
+  let used = Array.make n false in
+  let rec go state placed =
+    if placed = n then true
+    else begin
+      let min_res = ref infinity in
+      for i = 0 to n - 1 do
+        if (not used.(i)) && arr.(i).res < !min_res then min_res := arr.(i).res
+      done;
+      let ok = ref false in
+      let i = ref 0 in
+      while (not !ok) && !i < n do
+        let op = arr.(!i) in
+        if (not used.(!i)) && op.inv <= !min_res && applies state op.kind then begin
+          used.(!i) <- true;
+          if go (apply state op.kind) (placed + 1) then ok := true
+          else used.(!i) <- false
+        end;
+        incr i
+      done;
+      !ok
+    end
+  in
+  go init 0
+
+let sequentially_consistent ~init histories =
+  (* Search for an interleaving that respects each process's program order
+     (by invocation time) and register semantics; real time is ignored. *)
+  let queues =
+    Array.of_list
+      (List.map
+         (fun ops -> Array.of_list (List.sort (fun a b -> compare a.inv b.inv) ops))
+         histories)
+  in
+  let idx = Array.make (Array.length queues) 0 in
+  let total = Array.fold_left (fun acc q -> acc + Array.length q) 0 queues in
+  let rec go state placed =
+    if placed = total then true
+    else begin
+      let ok = ref false in
+      let p = ref 0 in
+      while (not !ok) && !p < Array.length queues do
+        let q = queues.(!p) in
+        if idx.(!p) < Array.length q && applies state q.(idx.(!p)).kind then begin
+          let op = q.(idx.(!p)) in
+          idx.(!p) <- idx.(!p) + 1;
+          if go (apply state op.kind) (placed + 1) then ok := true
+          else idx.(!p) <- idx.(!p) - 1
+        end;
+        incr p
+      done;
+      !ok
+    end
+  in
+  go init 0

@@ -1,0 +1,20 @@
+(** Linearizability checker for single-register histories (Chapter 2's
+    consistency definitions), used by the test suite to validate the SMR
+    layer end to end.
+
+    The checker performs an exhaustive Wing-Gong style search, so it is
+    meant for the small histories tests produce (tens of operations). *)
+
+type op = {
+  kind : [ `Read of int option  (** observed value *) | `Write of int ];
+  inv : float;  (** invocation time *)
+  res : float;  (** response time *)
+}
+
+(** [check ~init history] decides whether the completed operations can be
+    reordered to respect both register semantics and real time. *)
+val check : init:int option -> op list -> bool
+
+(** [sequentially_consistent ~init histories] checks the weaker condition of
+    §2.2.5: per-process order only.  [histories] groups ops by process. *)
+val sequentially_consistent : init:int option -> op list list -> bool

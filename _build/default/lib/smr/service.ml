@@ -1,0 +1,13 @@
+type outcome = {
+  resp_size : int;
+  cost : float;
+  undo : (unit -> unit) option;
+}
+
+type t = {
+  execute : Simnet.payload -> outcome;
+  rollback_cost : float;
+}
+
+let dummy ?(cost = 0.0) ?(resp_size = 64) () =
+  { execute = (fun _ -> { resp_size; cost; undo = None }); rollback_cost = 0.0 }

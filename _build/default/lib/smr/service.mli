@@ -1,0 +1,18 @@
+(** The deterministic service a replica executes — command semantics plus a
+    virtual-time cost model and an undo for speculative rollback. *)
+
+(** Result of executing one command. *)
+type outcome = {
+  resp_size : int;  (** bytes of the response sent to the client *)
+  cost : float;  (** execution time charged to the replica, seconds *)
+  undo : (unit -> unit) option;  (** reverses the command (None = read-only) *)
+}
+
+type t = {
+  execute : Simnet.payload -> outcome;
+  rollback_cost : float;  (** extra time charged when undoing a command *)
+}
+
+(** A service that ignores its input: every command costs [cost] and answers
+    [resp_size] bytes (the "dummy service" of Fig. 5.2). *)
+val dummy : ?cost:float -> ?resp_size:int -> unit -> t

@@ -1,0 +1,79 @@
+type kind = Queries | Ins_del_single | Ins_del_batch
+
+type command = {
+  op : Simnet.payload;
+  parts : int list;
+  size : int;
+}
+
+type t = {
+  rng : Sim.Rng.t;
+  kind : kind;
+  key_range : int;
+  n_partitions : int;
+  cross_pct : int;
+  query_span : int;
+}
+
+let cmd_size = 256
+
+let partition_of ~key_range ~n_partitions key =
+  let p = key * n_partitions / (key_range + 1) in
+  Stdlib.max 0 (Stdlib.min (n_partitions - 1) p)
+
+let create ?(cross_pct = 0) ?(query_span = 1000) rng kind ~key_range ~n_partitions =
+  { rng; kind; key_range; n_partitions; cross_pct; query_span }
+
+let parts_of_range t lo hi =
+  let p1 = partition_of ~key_range:t.key_range ~n_partitions:t.n_partitions lo in
+  let p2 = partition_of ~key_range:t.key_range ~n_partitions:t.n_partitions hi in
+  if p1 = p2 then [ p1 ] else List.init (p2 - p1 + 1) (fun i -> p1 + i)
+
+let gen_query t =
+  let span = t.query_span in
+  let lo =
+    if t.n_partitions > 1 && Sim.Rng.int t.rng 100 < t.cross_pct then begin
+      (* Straddle a random partition boundary. *)
+      let b = 1 + Sim.Rng.int t.rng (t.n_partitions - 1) in
+      let boundary = b * (t.key_range + 1) / t.n_partitions in
+      boundary - (span / 2)
+    end
+    else begin
+      (* Fully inside a random partition. *)
+      let p = Sim.Rng.int t.rng t.n_partitions in
+      let plo = p * (t.key_range + 1) / t.n_partitions in
+      let phi = ((p + 1) * (t.key_range + 1) / t.n_partitions) - span in
+      plo + Sim.Rng.int t.rng (Stdlib.max 1 (phi - plo))
+    end
+  in
+  let lo = Stdlib.max 1 lo in
+  let hi = lo + span - 1 in
+  { op = Btree_service.Query { lo; hi }; parts = parts_of_range t lo hi; size = cmd_size }
+
+let gen_update t =
+  let key = 1 + Sim.Rng.int t.rng t.key_range in
+  let op =
+    if Sim.Rng.bool t.rng 0.5 then Btree_service.Insert { key; value = key }
+    else Btree_service.Delete { key }
+  in
+  (op, partition_of ~key_range:t.key_range ~n_partitions:t.n_partitions key)
+
+let next t =
+  match t.kind with
+  | Queries -> gen_query t
+  | Ins_del_single ->
+      let op, p = gen_update t in
+      { op; parts = [ p ]; size = cmd_size }
+  | Ins_del_batch ->
+      (* Seven updates, all in the same partition so the command is
+         single-partition (§4.4.2). *)
+      let p = Sim.Rng.int t.rng t.n_partitions in
+      let plo = p * (t.key_range + 1) / t.n_partitions in
+      let phi = ((p + 1) * (t.key_range + 1) / t.n_partitions) - 1 in
+      let ops =
+        List.init 7 (fun _ ->
+            let key = plo + 1 + Sim.Rng.int t.rng (Stdlib.max 1 (phi - plo)) in
+            if Sim.Rng.bool t.rng 0.5 then Btree_service.Insert { key; value = key }
+            else Btree_service.Delete { key })
+      in
+      { op = Btree_service.Batch ops; parts = [ p ]; size = cmd_size }

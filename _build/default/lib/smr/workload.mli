@@ -1,0 +1,34 @@
+(** Workload generators for the Chapter 4 experiments (§4.4.2):
+
+    - [Queries]: range queries over an interval of [query_span] keys, keys
+      uniform; a configurable percentage straddles a partition boundary and
+      becomes a cross-partition command (§4.4.5).
+    - [Ins_del_single]: one insert or delete per command.
+    - [Ins_del_batch]: seven updates per command (§4.4.2).
+
+    Commands are 256 bytes on the wire. *)
+
+type kind = Queries | Ins_del_single | Ins_del_batch
+
+type command = {
+  op : Simnet.payload;
+  parts : int list;  (** partitions the command must reach *)
+  size : int;  (** request bytes *)
+}
+
+type t
+
+val create :
+  ?cross_pct:int ->
+  ?query_span:int ->
+  Sim.Rng.t ->
+  kind ->
+  key_range:int ->
+  n_partitions:int ->
+  t
+
+(** [next t] generates the next command. *)
+val next : t -> command
+
+(** [partition_of ~key_range ~n_partitions key] is the owning partition. *)
+val partition_of : key_range:int -> n_partitions:int -> int -> int

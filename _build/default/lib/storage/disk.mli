@@ -1,0 +1,36 @@
+(** Simulated storage device (the OCZ-VERTEX3 SSD of the paper's testbed).
+
+    A disk is a serially used resource: a write of [bytes] occupies it for
+    [setup + bytes * 8 / bandwidth] seconds.  {!write_sync} invokes its
+    continuation when the data is durable (the caller models an fsync'd
+    acceptor); {!write_async} returns immediately and completes in the
+    background (the Recoverable Ring Paxos mode of Chapter 5). *)
+
+type t
+
+type config = {
+  bandwidth : float;  (** sustained write bandwidth, bits per second *)
+  setup : float;  (** fixed per-write latency, seconds *)
+  write_unit : int;  (** writes are rounded up to this many bytes *)
+}
+
+(** 270 Mbps sustained sync-write bandwidth, 32 KiB units (§3.5.5). *)
+val default_config : config
+
+val create : ?config:config -> Sim.Engine.t -> string -> t
+
+val config : t -> config
+
+(** [write_sync d ~bytes k] runs [k] once the write is durable. *)
+val write_sync : t -> bytes:int -> (unit -> unit) -> unit
+
+(** [write_async d ~bytes] queues the write and returns immediately. *)
+val write_async : t -> bytes:int -> unit
+
+(** Bytes accepted so far (sync + async). *)
+val written : t -> int
+
+(** [backlog d ~now] is the queued work in seconds (async pressure). *)
+val backlog : t -> now:float -> float
+
+val busy : t -> Sim.Stats.Busy.t

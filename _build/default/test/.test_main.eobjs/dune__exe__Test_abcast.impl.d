@@ -1,0 +1,1 @@
+test/test_abcast.ml: Abcast Alcotest Array Astring_contains List Paxos Printf QCheck QCheck_alcotest Sim Simnet

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Btree Hashtbl List QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_cloud.ml: Alcotest Astring_contains Cloud List Printf

@@ -1,0 +1,1 @@
+test/test_multiring.ml: Alcotest Fun Hashtbl List Multiring Option Paxos Printf QCheck QCheck_alcotest Sim Simnet

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List Printf Sim Simnet Stdlib Storage

@@ -1,0 +1,1 @@
+test/test_paxos.ml: Alcotest Fun Hashtbl List Option Paxos QCheck QCheck_alcotest Sim Simnet

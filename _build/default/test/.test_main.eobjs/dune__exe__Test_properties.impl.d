@@ -1,0 +1,1 @@
+test/test_properties.ml: Abcast Alcotest Array List Paxos Printf QCheck QCheck_alcotest Ringpaxos Sim Simnet

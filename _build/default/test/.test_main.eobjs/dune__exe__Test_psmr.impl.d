@@ -1,0 +1,1 @@
+test/test_psmr.ml: Alcotest Astring_contains List Printf Psmr Sim Simnet Smr

@@ -1,0 +1,1 @@
+test/test_ringpaxos.ml: Alcotest Hashtbl List Paxos Printf QCheck QCheck_alcotest Ringpaxos Sim Simnet

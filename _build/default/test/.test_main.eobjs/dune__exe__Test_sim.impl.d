@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Heap List QCheck QCheck_alcotest Rng Sim Stats

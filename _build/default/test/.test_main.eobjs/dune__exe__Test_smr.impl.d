@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Array Btree List Printf Ringpaxos Sim Simnet Smr Stdlib

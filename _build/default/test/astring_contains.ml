@@ -1,0 +1,5 @@
+(* Tiny substring helper for tests (no external string library needed). *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = if i + nn > nh then false else String.sub haystack i nn = needle || go (i + 1) in
+  nn = 0 || go 0

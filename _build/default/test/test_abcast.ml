@@ -1,0 +1,251 @@
+(* Tests for the baseline atomic broadcast protocols: LCR, Totem/Spread,
+   S-Paxos, plus the preset configurations and Table 3.1 analysis. *)
+
+type Simnet.payload += Cmd of int
+
+let cmd_ids (v : Paxos.Value.t) =
+  List.filter_map
+    (fun (it : Paxos.Value.item) -> match it.app with Cmd i -> Some i | _ -> None)
+    v.items
+
+let make_env seed =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create seed) in
+  (engine, net)
+
+let collect n =
+  let seqs = Array.make n [] in
+  let deliver ~learner v = seqs.(learner) <- seqs.(learner) @ cmd_ids v in
+  (seqs, deliver)
+
+(* --- LCR ----------------------------------------------------------------- *)
+
+let test_lcr_total_order_single_sender () =
+  let engine, net = make_env 31 in
+  let seqs, deliver = collect 5 in
+  let lcr = Abcast.Lcr.create net Abcast.Lcr.default_config ~deliver in
+  for i = 1 to 30 do
+    ignore (Abcast.Lcr.broadcast lcr ~from:0 ~size:512 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.5;
+  Alcotest.(check (list int)) "fifo from one sender" (List.init 30 (fun i -> i + 1)) seqs.(0);
+  for l = 1 to 4 do
+    Alcotest.(check (list int)) (Printf.sprintf "learner %d agrees" l) seqs.(0) seqs.(l)
+  done
+
+let test_lcr_total_order_all_senders () =
+  let engine, net = make_env 32 in
+  let seqs, deliver = collect 5 in
+  let lcr = Abcast.Lcr.create net Abcast.Lcr.default_config ~deliver in
+  for i = 1 to 50 do
+    ignore (Abcast.Lcr.broadcast lcr ~from:(i mod 5) ~size:512 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.5;
+  Alcotest.(check int) "all delivered" 50 (List.length seqs.(0));
+  for l = 1 to 4 do
+    Alcotest.(check (list int)) (Printf.sprintf "learner %d agrees" l) seqs.(0) seqs.(l)
+  done
+
+let test_lcr_sender_also_delivers_own () =
+  let engine, net = make_env 33 in
+  let seqs, deliver = collect 3 in
+  let cfg = { Abcast.Lcr.default_config with n = 3 } in
+  let lcr = Abcast.Lcr.create net cfg ~deliver in
+  ignore (Abcast.Lcr.broadcast lcr ~from:1 ~size:100 (Cmd 7));
+  Sim.Engine.run engine ~until:0.5;
+  Alcotest.(check (list int)) "sender delivers its own" [ 7 ] seqs.(1)
+
+let test_lcr_survivors_agree_after_failure () =
+  let engine, net = make_env 34 in
+  let seqs, deliver = collect 5 in
+  let lcr = Abcast.Lcr.create net Abcast.Lcr.default_config ~deliver in
+  for i = 1 to 10 do
+    ignore (Abcast.Lcr.broadcast lcr ~from:(i mod 5) ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.5;
+  Abcast.Lcr.kill lcr 3;
+  for i = 11 to 20 do
+    ignore (Abcast.Lcr.broadcast lcr ~from:(i mod 3) ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:1.5;
+  Alcotest.(check (list int)) "survivors agree" seqs.(0) seqs.(1);
+  Alcotest.(check bool) "new messages delivered after reconfiguration" true
+    (List.exists (fun c -> c > 10) seqs.(0))
+
+let prop_lcr_agreement =
+  QCheck.Test.make ~name:"lcr: agreement under random multi-sender load" ~count:15
+    QCheck.(pair (int_range 1 60) (int_range 3 7))
+    (fun (n_msgs, n) ->
+      let engine, net = make_env (n_msgs * 3) in
+      let seqs, deliver = collect n in
+      let cfg = { Abcast.Lcr.default_config with n } in
+      let lcr = Abcast.Lcr.create net cfg ~deliver in
+      for i = 1 to n_msgs do
+        ignore (Abcast.Lcr.broadcast lcr ~from:(i mod n) ~size:(64 + (i mod 512)) (Cmd i))
+      done;
+      Sim.Engine.run engine ~until:1.0;
+      List.length seqs.(0) = n_msgs
+      && Array.for_all (fun s -> s = seqs.(0)) seqs)
+
+(* --- Totem / Spread -------------------------------------------------------- *)
+
+let test_totem_total_order () =
+  let engine, net = make_env 41 in
+  let seqs, deliver = collect 3 in
+  let tot = Abcast.Totem.create net Abcast.Totem.default_config ~deliver in
+  for i = 1 to 40 do
+    ignore (Abcast.Totem.broadcast tot ~from:(i mod 3) ~size:512 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.5;
+  Alcotest.(check int) "all delivered" 40 (List.length seqs.(0));
+  Alcotest.(check (list int)) "daemon 1 agrees" seqs.(0) seqs.(1);
+  Alcotest.(check (list int)) "daemon 2 agrees" seqs.(0) seqs.(2)
+
+let test_totem_sender_fifo () =
+  let engine, net = make_env 42 in
+  let seqs, deliver = collect 3 in
+  let tot = Abcast.Totem.create net Abcast.Totem.default_config ~deliver in
+  for i = 1 to 20 do
+    ignore (Abcast.Totem.broadcast tot ~from:0 ~size:512 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.5;
+  Alcotest.(check (list int)) "single-sender FIFO preserved"
+    (List.init 20 (fun i -> i + 1))
+    seqs.(0)
+
+let test_totem_latency_exceeds_token_rotation () =
+  (* Safe delivery needs the aru to cover a message for a full rotation, so
+     latency is at least two token rotations. *)
+  let engine, net = make_env 43 in
+  let delivered_at = ref 0.0 in
+  let deliver ~learner:_ _ = delivered_at := Sim.Engine.now engine in
+  let tot = Abcast.Totem.create net Abcast.Totem.default_config ~deliver in
+  let sent_at = 0.01 in
+  ignore
+    (Simnet.after net sent_at (fun () ->
+         ignore (Abcast.Totem.broadcast tot ~from:0 ~size:512 (Cmd 1))));
+  Sim.Engine.run engine ~until:0.5;
+  Alcotest.(check bool) "delivered" true (!delivered_at > 0.0);
+  let rotation = 3.0 *. (Abcast.Totem.default_config.token_think +. 1.0e-4) in
+  Alcotest.(check bool) "latency >= one further rotation" true
+    (!delivered_at -. sent_at >= rotation)
+
+(* --- S-Paxos ---------------------------------------------------------------- *)
+
+let no_gc cfg = { cfg with Abcast.Spaxos.gc_pause = 0.0 }
+
+let test_spaxos_total_order () =
+  let engine, net = make_env 51 in
+  let seqs, deliver = collect 3 in
+  let sp = Abcast.Spaxos.create net (no_gc Abcast.Spaxos.default_config) ~deliver in
+  for i = 1 to 30 do
+    ignore (Abcast.Spaxos.submit sp ~replica:(i mod 3) ~size:512 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.5;
+  Alcotest.(check int) "all delivered" 30 (List.length seqs.(0));
+  Alcotest.(check (list int)) "replica 1 agrees" seqs.(0) seqs.(1);
+  Alcotest.(check (list int)) "replica 2 agrees" seqs.(0) seqs.(2)
+
+let test_spaxos_leader_failover () =
+  let engine, net = make_env 52 in
+  let seqs, deliver = collect 3 in
+  let sp = Abcast.Spaxos.create net (no_gc Abcast.Spaxos.default_config) ~deliver in
+  for i = 1 to 10 do
+    ignore (Abcast.Spaxos.submit sp ~replica:(i mod 3) ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.3;
+  Abcast.Spaxos.kill_leader sp;
+  Sim.Engine.run engine ~until:1.5;
+  for i = 11 to 20 do
+    ignore (Abcast.Spaxos.submit sp ~replica:1 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:3.0;
+  let got = List.sort_uniq compare seqs.(1) in
+  Alcotest.(check bool) "new commands delivered after failover" true
+    (List.exists (fun c -> c > 10) got);
+  Alcotest.(check (list int)) "survivors agree" seqs.(1) seqs.(2)
+
+let test_spaxos_non_leader_crash_tolerated () =
+  let engine, net = make_env 53 in
+  let seqs, deliver = collect 3 in
+  let sp = Abcast.Spaxos.create net (no_gc Abcast.Spaxos.default_config) ~deliver in
+  Abcast.Spaxos.kill_replica sp 2;
+  for i = 1 to 10 do
+    ignore (Abcast.Spaxos.submit sp ~replica:(i mod 2) ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:1.0;
+  Alcotest.(check int) "f=1 tolerates one crash" 10 (List.length seqs.(0));
+  Alcotest.(check (list int)) "replica 1 agrees" seqs.(0) seqs.(1)
+
+(* --- presets + analysis ------------------------------------------------------- *)
+
+let test_presets_deliver () =
+  List.iter
+    (fun (name, cfg) ->
+      let engine, net = make_env 61 in
+      let delivered = ref 0 in
+      let t =
+        Paxos.Basic.create net cfg ~n_acceptors:3 ~n_standby:0 ~n_proposers:1 ~n_learners:1
+          ~deliver:(fun ~learner:_ ~inst:_ _ -> incr delivered)
+      in
+      for i = 1 to 10 do
+        ignore (Paxos.Basic.submit t ~proposer:0 ~size:200 (Cmd i))
+      done;
+      Sim.Engine.run engine ~until:1.0;
+      Alcotest.(check bool) (name ^ " delivers") true (!delivered >= 1))
+    [ ("libpaxos", Abcast.Presets.libpaxos);
+      ("libpaxos+", Abcast.Presets.libpaxos_plus);
+      ("pfsb", Abcast.Presets.pfsb);
+      ("openreplica", Abcast.Presets.openreplica) ]
+
+let test_libpaxos_plus_faster () =
+  let run cfg =
+    let engine, net = make_env 62 in
+    let bytes = ref 0 in
+    let t =
+      Paxos.Basic.create net cfg ~n_acceptors:3 ~n_standby:0 ~n_proposers:1 ~n_learners:1
+        ~deliver:(fun ~learner:_ ~inst:_ (v : Paxos.Value.t) -> bytes := !bytes + v.size)
+    in
+    let stop =
+      Simnet.every net ~period:2.0e-4 (fun () ->
+          ignore (Paxos.Basic.submit t ~proposer:0 ~size:4096 (Cmd 0)))
+    in
+    Sim.Engine.run engine ~until:1.0;
+    stop ();
+    !bytes
+  in
+  let plain = run Abcast.Presets.libpaxos in
+  let plus = run Abcast.Presets.libpaxos_plus in
+  Alcotest.(check bool) "libpaxos+ outperforms libpaxos" true (plus > plain)
+
+let test_table_3_1_formulas () =
+  let find name =
+    List.find (fun r -> r.Abcast.Analysis.algorithm = name) Abcast.Analysis.table_3_1
+  in
+  Alcotest.(check int) "M-Ring steps at f=2" 5 ((find "M-Ring Paxos").comm_steps_at 2);
+  Alcotest.(check int) "U-Ring steps at f=2" 10 ((find "U-Ring Paxos").comm_steps_at 2);
+  Alcotest.(check int) "LCR processes at f=4" 5 ((find "LCR").processes_at 4);
+  Alcotest.(check int) "Ring+FD processes at f=3" 13 ((find "Ring+FD").processes_at 3);
+  Alcotest.(check bool) "render mentions every algorithm" true
+    (let s = Abcast.Analysis.render () in
+     List.for_all
+       (fun r -> Astring_contains.contains s r.Abcast.Analysis.algorithm)
+       Abcast.Analysis.table_3_1)
+
+let suite =
+  [ Alcotest.test_case "lcr: single-sender total order" `Quick test_lcr_total_order_single_sender;
+    Alcotest.test_case "lcr: multi-sender total order" `Quick test_lcr_total_order_all_senders;
+    Alcotest.test_case "lcr: sender self-delivery" `Quick test_lcr_sender_also_delivers_own;
+    Alcotest.test_case "lcr: survivors agree after failure" `Quick
+      test_lcr_survivors_agree_after_failure;
+    QCheck_alcotest.to_alcotest prop_lcr_agreement;
+    Alcotest.test_case "totem: total order" `Quick test_totem_total_order;
+    Alcotest.test_case "totem: sender FIFO" `Quick test_totem_sender_fifo;
+    Alcotest.test_case "totem: safe-delivery latency" `Quick
+      test_totem_latency_exceeds_token_rotation;
+    Alcotest.test_case "spaxos: total order" `Quick test_spaxos_total_order;
+    Alcotest.test_case "spaxos: leader failover" `Quick test_spaxos_leader_failover;
+    Alcotest.test_case "spaxos: non-leader crash" `Quick test_spaxos_non_leader_crash_tolerated;
+    Alcotest.test_case "presets deliver" `Quick test_presets_deliver;
+    Alcotest.test_case "libpaxos+ faster than libpaxos" `Quick test_libpaxos_plus_faster;
+    Alcotest.test_case "table 3.1 formulas" `Quick test_table_3_1_formulas ]

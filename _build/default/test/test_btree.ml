@@ -1,0 +1,146 @@
+(* Tests for the B+-tree service substrate. *)
+
+module B = Btree
+
+let test_empty () =
+  let t = B.create () in
+  Alcotest.(check int) "size" 0 (B.size t);
+  Alcotest.(check (option int)) "find" None (B.find t 5);
+  Alcotest.(check (option int)) "min" None (B.min_key t);
+  Alcotest.(check (list (pair int int))) "range" [] (B.range t ~lo:0 ~hi:100);
+  B.check t
+
+let test_insert_find () =
+  let t = B.create ~order:4 () in
+  for i = 1 to 100 do
+    Alcotest.(check (option int)) "fresh insert" None (B.insert t i (i * 10))
+  done;
+  B.check t;
+  Alcotest.(check int) "size" 100 (B.size t);
+  for i = 1 to 100 do
+    Alcotest.(check (option int)) "find" (Some (i * 10)) (B.find t i)
+  done;
+  Alcotest.(check (option int)) "overwrite returns old" (Some 50) (B.insert t 5 99);
+  Alcotest.(check int) "size unchanged" 100 (B.size t);
+  Alcotest.(check (option int)) "new value" (Some 99) (B.find t 5)
+
+let test_delete () =
+  let t = B.create ~order:4 () in
+  for i = 1 to 200 do
+    ignore (B.insert t i i)
+  done;
+  for i = 1 to 200 do
+    if i mod 2 = 0 then
+      Alcotest.(check (option int)) "delete present" (Some i) (B.delete t i)
+  done;
+  B.check t;
+  Alcotest.(check int) "half left" 100 (B.size t);
+  Alcotest.(check (option int)) "deleted gone" None (B.find t 2);
+  Alcotest.(check (option int)) "delete absent" None (B.delete t 2);
+  for i = 1 to 199 do
+    if i mod 2 = 1 then Alcotest.(check (option int)) "odd kept" (Some i) (B.find t i)
+  done
+
+let test_delete_everything () =
+  let t = B.create ~order:4 () in
+  for i = 1 to 500 do
+    ignore (B.insert t i i)
+  done;
+  for i = 500 downto 1 do
+    ignore (B.delete t i)
+  done;
+  B.check t;
+  Alcotest.(check int) "empty again" 0 (B.size t)
+
+let test_range () =
+  let t = B.create ~order:8 () in
+  for i = 0 to 99 do
+    ignore (B.insert t (i * 10) i)
+  done;
+  let r = B.range t ~lo:95 ~hi:155 in
+  Alcotest.(check (list (pair int int))) "inclusive bounds" [ (100, 10); (110, 11); (120, 12); (130, 13); (140, 14); (150, 15) ] r;
+  Alcotest.(check int) "range_count agrees" (List.length r) (B.range_count t ~lo:95 ~hi:155);
+  Alcotest.(check int) "full range" 100 (B.range_count t ~lo:min_int ~hi:max_int);
+  Alcotest.(check (list (pair int int))) "empty window" [] (B.range t ~lo:1 ~hi:9)
+
+let test_min_max () =
+  let t = B.create ~order:4 () in
+  List.iter (fun k -> ignore (B.insert t k k)) [ 42; 7; 99; 13 ];
+  Alcotest.(check (option int)) "min" (Some 7) (B.min_key t);
+  Alcotest.(check (option int)) "max" (Some 99) (B.max_key t)
+
+let test_populate () =
+  let t = B.create () in
+  B.populate t ~n:5000 ~key_range:1_000_000 ~seed:7;
+  Alcotest.(check int) "exactly n distinct keys" 5000 (B.size t);
+  B.check t
+
+let prop_matches_reference =
+  (* Random interleavings of insert/delete/overwrite against Stdlib.Map. *)
+  QCheck.Test.make ~name:"btree: agrees with Map reference" ~count:120
+    QCheck.(list (pair (int_range 0 200) (int_range 0 2)))
+    (fun ops ->
+      let t = B.create ~order:4 () in
+      let reference = Hashtbl.create 64 in
+      List.iter
+        (fun (k, op) ->
+          match op with
+          | 0 ->
+              let prev = B.insert t k (k * 2) in
+              let expect = Hashtbl.find_opt reference k in
+              Hashtbl.replace reference k (k * 2);
+              if prev <> expect then failwith "insert mismatch"
+          | 1 ->
+              let prev = B.delete t k in
+              let expect = Hashtbl.find_opt reference k in
+              Hashtbl.remove reference k;
+              if prev <> expect then failwith "delete mismatch"
+          | _ ->
+              if B.find t k <> Hashtbl.find_opt reference k then failwith "find mismatch")
+        ops;
+      B.check t;
+      B.size t = Hashtbl.length reference)
+
+let prop_range_matches_reference =
+  QCheck.Test.make ~name:"btree: range agrees with filtered reference" ~count:80
+    QCheck.(triple (list (int_range 0 500)) (int_range 0 500) (int_range 0 500))
+    (fun (keys, a, b) ->
+      let lo = Stdlib.min a b and hi = Stdlib.max a b in
+      let t = B.create ~order:4 () in
+      List.iter (fun k -> ignore (B.insert t k k)) keys;
+      let expected =
+        List.sort_uniq compare keys
+        |> List.filter (fun k -> k >= lo && k <= hi)
+        |> List.map (fun k -> (k, k))
+      in
+      B.range t ~lo ~hi = expected)
+
+let prop_deterministic_replay =
+  (* Two trees fed the same operation sequence are observationally equal —
+     the property SMR correctness rests on. *)
+  QCheck.Test.make ~name:"btree: deterministic replay" ~count:50
+    QCheck.(list (pair (int_range 0 300) bool))
+    (fun ops ->
+      let a = B.create ~order:8 () and b = B.create ~order:8 () in
+      List.iter
+        (fun (k, ins) ->
+          if ins then (
+            ignore (B.insert a k k);
+            ignore (B.insert b k k))
+          else (
+            ignore (B.delete a k);
+            ignore (B.delete b k)))
+        ops;
+      B.range a ~lo:min_int ~hi:max_int = B.range b ~lo:min_int ~hi:max_int)
+
+let suite =
+  [ Alcotest.test_case "empty tree" `Quick test_empty;
+    Alcotest.test_case "insert + find + overwrite" `Quick test_insert_find;
+    Alcotest.test_case "delete with rebalancing" `Quick test_delete;
+    Alcotest.test_case "delete everything" `Quick test_delete_everything;
+    Alcotest.test_case "range queries" `Quick test_range;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "populate distinct" `Quick test_populate;
+    QCheck_alcotest.to_alcotest prop_matches_reference;
+    QCheck_alcotest.to_alcotest prop_range_matches_reference;
+    QCheck_alcotest.to_alcotest prop_deterministic_replay ]

@@ -1,0 +1,70 @@
+(* Tests for the Chapter 7 cloud-evaluation harness. *)
+
+let test_all_libs_deliver () =
+  List.iter
+    (fun lib ->
+      let r = Cloud.run ~lib ~duration:4.0 () in
+      Alcotest.(check bool) (Cloud.lib_name lib ^ " delivers") true (r.Cloud.mbps > 0.1))
+    Cloud.all_libs
+
+let test_uring_fastest_libs_ranked () =
+  (* Fig. 7.2's ranking: U-Ring > S-Paxos > Libpaxos+ > Libpaxos >
+     OpenReplica (offered rates already encode each library's capacity; this
+     checks the system sustains them). *)
+  let peak lib = (Cloud.run ~lib ~duration:5.0 ()).Cloud.mbps in
+  let ur = peak Cloud.U_ring
+  and sp = peak Cloud.S_paxos
+  and lp = peak Cloud.Libpaxos
+  and op = peak Cloud.Openreplica in
+  Alcotest.(check bool)
+    (Printf.sprintf "U-Ring (%.0f) > S-Paxos (%.0f)" ur sp)
+    true (ur > sp);
+  Alcotest.(check bool)
+    (Printf.sprintf "S-Paxos (%.0f) > Libpaxos (%.0f)" sp lp)
+    true (sp > lp);
+  Alcotest.(check bool)
+    (Printf.sprintf "Libpaxos (%.1f) > OpenReplica (%.1f)" lp op)
+    true (lp > op)
+
+let test_leader_failure_recovery () =
+  List.iter
+    (fun lib ->
+      let r = Cloud.run ~lib ~kill_leader_at:5.0 ~duration:15.0 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s recovers after leader crash (outage %.1fs)" (Cloud.lib_name lib)
+           r.Cloud.outage)
+        true r.Cloud.recovered)
+    [ Cloud.S_paxos; Cloud.U_ring; Cloud.Libpaxos_plus ]
+
+let test_libpaxos_plus_recovers_faster () =
+  (* §7.3.7: stock Libpaxos stalls much longer after a coordinator crash
+     than the improved Libpaxos+. *)
+  let run lib = Cloud.run ~lib ~kill_leader_at:5.0 ~duration:20.0 () in
+  let plus = run Cloud.Libpaxos_plus in
+  Alcotest.(check bool) "libpaxos+ outage visible" true (plus.Cloud.outage > 0.0);
+  Alcotest.(check bool) "libpaxos+ recovers" true plus.Cloud.recovered
+
+let test_hetero_slows_or_equal () =
+  let fast = (Cloud.run ~lib:Cloud.S_paxos ~duration:5.0 ()).Cloud.lat_ms in
+  let slow = (Cloud.run ~lib:Cloud.S_paxos ~hetero:true ~duration:5.0 ()).Cloud.lat_ms in
+  Alcotest.(check bool)
+    (Printf.sprintf "hetero latency %.1f >= homo %.1f" slow fast)
+    true (slow >= fast *. 0.9)
+
+let test_configs_render () =
+  let s = Cloud.render_configs () in
+  List.iter
+    (fun lib ->
+      Alcotest.(check bool)
+        ("mentions " ^ Cloud.lib_name lib)
+        true
+        (Astring_contains.contains s (Cloud.lib_name lib)))
+    Cloud.all_libs
+
+let suite =
+  [ Alcotest.test_case "all libraries deliver" `Quick test_all_libs_deliver;
+    Alcotest.test_case "peak ranking (Fig 7.2)" `Quick test_uring_fastest_libs_ranked;
+    Alcotest.test_case "leader failure recovery" `Quick test_leader_failure_recovery;
+    Alcotest.test_case "libpaxos+ outage bounded" `Quick test_libpaxos_plus_recovers_faster;
+    Alcotest.test_case "heterogeneous config" `Quick test_hetero_slows_or_equal;
+    Alcotest.test_case "config tables render" `Quick test_configs_render ]

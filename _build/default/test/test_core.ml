@@ -1,0 +1,56 @@
+(* Tests for the Hpsmr facade (lib/core). *)
+
+let test_kv_put_get () =
+  let env = Hpsmr.Env.create ~seed:2 () in
+  let kv = Hpsmr.Replicated_kv.create env ~replicas:3 in
+  let got = ref None in
+  Hpsmr.Replicated_kv.put kv ~key:7 ~value:49 ~k:(fun () ->
+      Hpsmr.Replicated_kv.get kv ~key:7 ~k:(fun v -> got := v));
+  Hpsmr.Env.run env ~for_:0.5;
+  Alcotest.(check (option int)) "read back" (Some 49) !got;
+  Alcotest.(check int) "two commands completed" 2 (Hpsmr.Replicated_kv.completed kv)
+
+let test_kv_get_missing () =
+  let env = Hpsmr.Env.create ~seed:3 () in
+  let kv = Hpsmr.Replicated_kv.create env ~replicas:1 in
+  let got = ref (Some 1) in
+  Hpsmr.Replicated_kv.get kv ~key:12345 ~k:(fun v -> got := v);
+  Hpsmr.Env.run env ~for_:0.5;
+  Alcotest.(check (option int)) "missing key" None !got
+
+let test_kv_survives_coordinator_crash () =
+  let env = Hpsmr.Env.create ~seed:4 () in
+  let kv = Hpsmr.Replicated_kv.create env ~replicas:2 in
+  for i = 1 to 20 do
+    Hpsmr.Replicated_kv.put kv ~key:i ~value:i ~k:(fun () -> ())
+  done;
+  Hpsmr.Env.run env ~for_:0.3;
+  Hpsmr.Replicated_kv.kill_coordinator kv;
+  Hpsmr.Env.run env ~for_:1.5;
+  let got = ref None in
+  Hpsmr.Replicated_kv.put kv ~key:99 ~value:990 ~k:(fun () ->
+      Hpsmr.Replicated_kv.get kv ~key:99 ~k:(fun v -> got := v));
+  Hpsmr.Env.run env ~for_:2.0;
+  Alcotest.(check (option int)) "post-failover write+read" (Some 990) !got
+
+let test_env_determinism () =
+  let run () =
+    let env = Hpsmr.Env.create ~seed:5 () in
+    let kv = Hpsmr.Replicated_kv.create env ~replicas:2 in
+    let trace = ref [] in
+    for i = 1 to 10 do
+      Hpsmr.Replicated_kv.put kv ~key:i ~value:i ~k:(fun () ->
+          trace := (i, Hpsmr.Env.now env) :: !trace)
+    done;
+    Hpsmr.Env.run env ~for_:1.0;
+    !trace
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, identical completion trace" true (a = b && a <> [])
+
+let suite =
+  [ Alcotest.test_case "kv put/get" `Quick test_kv_put_get;
+    Alcotest.test_case "kv missing key" `Quick test_kv_get_missing;
+    Alcotest.test_case "kv survives coordinator crash" `Quick
+      test_kv_survives_coordinator_crash;
+    Alcotest.test_case "deterministic runs" `Quick test_env_determinism ]

@@ -1,0 +1,356 @@
+(* Additional coverage: loss injection, recovery, load generators, and
+   calibration regression checks that pin the headline numbers. *)
+
+type Simnet.payload += Cmd of int
+
+let cmd_ids (v : Paxos.Value.t) =
+  List.filter_map
+    (fun (it : Paxos.Value.item) -> match it.app with Cmd i -> Some i | _ -> None)
+    v.items
+
+(* --- M-Ring Paxos under injected multicast loss ----------------------------- *)
+
+let test_mring_total_order_under_loss () =
+  (* 2% random multicast loss: repairs must preserve gap-free total order. *)
+  let cfg = { Simnet.default_config with udp_base_loss = 0.02 } in
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create ~config:cfg engine (Sim.Rng.create 123) in
+  let seqs = Array.make 2 [] in
+  let mr =
+    Ringpaxos.Mring.create net Ringpaxos.Mring.default_config ~n_proposers:1 ~n_learners:2
+      ~learner_parts:(fun _ -> [ 0 ])
+      ~deliver:(fun ~learner ~inst:_ v ->
+        match v with
+        | Some v -> seqs.(learner) <- seqs.(learner) @ cmd_ids v
+        | None -> ())
+  in
+  for i = 1 to 200 do
+    ignore (Ringpaxos.Mring.submit mr ~proposer:0 ~size:512 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:3.0;
+  Alcotest.(check (list int)) "lossy network, gap-free order"
+    (List.init 200 (fun i -> i + 1))
+    seqs.(0);
+  Alcotest.(check (list int)) "both learners agree" seqs.(0) seqs.(1)
+
+let test_mring_acceptor_crash_and_recover () =
+  (* Crash-recovery model: a crashed acceptor recovers and can later serve
+     as a spare again while the system keeps making progress. *)
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 7) in
+  let delivered = ref 0 in
+  let mr =
+    Ringpaxos.Mring.create net Ringpaxos.Mring.default_config ~n_proposers:1 ~n_learners:1
+      ~learner_parts:(fun _ -> [ 0 ])
+      ~deliver:(fun ~learner:_ ~inst:_ v ->
+        match v with
+        | Some (v : Paxos.Value.t) -> delivered := !delivered + List.length v.items
+        | None -> ())
+  in
+  for i = 1 to 10 do
+    ignore (Ringpaxos.Mring.submit mr ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.3;
+  let acc0 = (Ringpaxos.Mring.acceptor_procs mr).(0) in
+  Simnet.kill net acc0;
+  Sim.Engine.run engine ~until:1.0;
+  Simnet.recover net acc0;
+  for i = 11 to 30 do
+    ignore (Ringpaxos.Mring.submit mr ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:3.0;
+  Alcotest.(check bool)
+    (Printf.sprintf "progress through crash + recovery (%d commands)" !delivered)
+    true (!delivered >= 30)
+
+let test_mring_double_failure_f2 () =
+  (* f = 2 tolerates two acceptor crashes (ring member + promoted spare). *)
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 8) in
+  let got = ref [] in
+  let mr =
+    Ringpaxos.Mring.create net Ringpaxos.Mring.default_config ~n_proposers:1 ~n_learners:1
+      ~learner_parts:(fun _ -> [ 0 ])
+      ~deliver:(fun ~learner:_ ~inst:_ v ->
+        match v with Some v -> got := !got @ cmd_ids v | None -> ())
+  in
+  for i = 1 to 5 do
+    ignore (Ringpaxos.Mring.submit mr ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.3;
+  Ringpaxos.Mring.kill_ring_acceptor mr 0;
+  Sim.Engine.run engine ~until:1.2;
+  Ringpaxos.Mring.kill_ring_acceptor mr 1;
+  Sim.Engine.run engine ~until:2.4;
+  for i = 6 to 15 do
+    ignore (Ringpaxos.Mring.submit mr ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:4.5;
+  Alcotest.(check (list int)) "all commands despite two crashes"
+    (List.init 15 (fun i -> i + 1))
+    (List.sort_uniq compare !got)
+
+(* --- load generators ---------------------------------------------------------- *)
+
+let test_loadgen_constant_rate () =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 1) in
+  let count = ref 0 in
+  let stop =
+    Abcast.Loadgen.constant net ~rate_mbps:8.0 ~size:1000 (fun _ ->
+        incr count;
+        true)
+  in
+  Sim.Engine.run engine ~until:1.0;
+  stop ();
+  (* 8 Mbps of 1000-byte messages = 1000 msg/s. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "about 1000 submissions (%d)" !count)
+    true
+    (!count > 950 && !count < 1050)
+
+let test_loadgen_staircase () =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 1) in
+  let stamps = ref [] in
+  let stop =
+    Abcast.Loadgen.staircase net
+      ~steps:[ (0.0, 4.0); (0.5, 16.0) ]
+      ~size:1000
+      (fun _ ->
+        stamps := Sim.Engine.now engine :: !stamps;
+        true)
+  in
+  Sim.Engine.run engine ~until:1.0;
+  stop ();
+  let early = List.length (List.filter (fun t -> t < 0.5) !stamps) in
+  let late = List.length (List.filter (fun t -> t >= 0.5) !stamps) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate quadruples after the step (%d then %d)" early late)
+    true
+    (late > 3 * early)
+
+let test_loadgen_oscillating () =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 1) in
+  let count = ref 0 in
+  let stop =
+    Abcast.Loadgen.oscillating net ~period:0.25 ~low_mbps:4.0 ~high_mbps:16.0 ~size:1000
+      (fun _ ->
+        incr count;
+        true)
+  in
+  Sim.Engine.run engine ~until:1.0;
+  stop ();
+  (* Mean rate = 10 Mbps = 1250 msg/s. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "oscillation averages out (%d)" !count)
+    true
+    (!count > 1000 && !count < 1500)
+
+(* --- calibration regression: the headline numbers must not rot ---------------- *)
+
+let test_mring_peak_calibration () =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 5) in
+  let bytes = ref 0 in
+  let mr =
+    Ringpaxos.Mring.create net Ringpaxos.Mring.default_config ~n_proposers:2 ~n_learners:2
+      ~learner_parts:(fun _ -> [ 0 ])
+      ~deliver:(fun ~learner ~inst:_ v ->
+        match v with
+        | Some (v : Paxos.Value.t) when learner = 0 -> bytes := !bytes + v.size
+        | _ -> ())
+  in
+  let stop =
+    Abcast.Loadgen.constant net ~rate_mbps:1400.0 ~size:8192 (fun sz ->
+        ignore (Ringpaxos.Mring.submit mr ~proposer:0 ~size:sz (Cmd 0));
+        ignore (Ringpaxos.Mring.submit mr ~proposer:1 ~size:sz (Cmd 0));
+        true)
+  in
+  let mark = ref 0 in
+  ignore (Simnet.after net 1.0 (fun () -> mark := !bytes));
+  Sim.Engine.run engine ~until:2.0;
+  stop ();
+  let mbps = float_of_int (!bytes - !mark) *. 8.0 /. 1.0 /. 1e6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "M-Ring Paxos peak %.0f Mbps in [780, 1000] (Table 3.2: ~90%%)" mbps)
+    true
+    (mbps > 780.0 && mbps < 1000.0)
+
+let test_disk_bound_calibration () =
+  (* Recoverable deployments must be disk-bound near 270 Mbps (§3.5.5). *)
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 5) in
+  let bytes = ref 0 in
+  let cfg = { Ringpaxos.Mring.default_config with durability = Ringpaxos.Mring.Sync_disk } in
+  let mr =
+    Ringpaxos.Mring.create net cfg ~n_proposers:1 ~n_learners:1
+      ~learner_parts:(fun _ -> [ 0 ])
+      ~deliver:(fun ~learner:_ ~inst:_ v ->
+        match v with Some (v : Paxos.Value.t) -> bytes := !bytes + v.size | None -> ())
+  in
+  let stop =
+    Abcast.Loadgen.constant net ~rate_mbps:800.0 ~size:8192 (fun sz ->
+        ignore (Ringpaxos.Mring.submit mr ~proposer:0 ~size:sz (Cmd 0));
+        true)
+  in
+  let mark = ref 0 in
+  ignore (Simnet.after net 1.0 (fun () -> mark := !bytes));
+  Sim.Engine.run engine ~until:2.0;
+  stop ();
+  let mbps = float_of_int (!bytes - !mark) *. 8.0 /. 1e6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sync-disk M-Ring %.0f Mbps in [150, 280]" mbps)
+    true
+    (mbps > 150.0 && mbps < 280.0)
+
+let prop_agreement_under_random_failures =
+  (* Kill a random in-ring acceptor (possibly the coordinator) at a random
+     time under load: surviving learners must still deliver identical,
+     gap-free command sequences. *)
+  QCheck.Test.make ~name:"mring: agreement under a random crash" ~count:8
+    QCheck.(pair (int_range 0 2) (int_range 1 40))
+    (fun (victim, kill_step) ->
+      let engine = Sim.Engine.create () in
+      let net = Simnet.create engine (Sim.Rng.create (victim + (kill_step * 17))) in
+      let seqs = Array.make 2 [] in
+      let mr =
+        Ringpaxos.Mring.create net Ringpaxos.Mring.default_config ~n_proposers:1
+          ~n_learners:2
+          ~learner_parts:(fun _ -> [ 0 ])
+          ~deliver:(fun ~learner ~inst:_ v ->
+            match v with
+            | Some v -> seqs.(learner) <- seqs.(learner) @ cmd_ids v
+            | None -> ())
+      in
+      for i = 1 to 60 do
+        ignore
+          (Simnet.after net (0.005 *. float_of_int i) (fun () ->
+               ignore (Ringpaxos.Mring.submit mr ~proposer:0 ~size:256 (Cmd i))))
+      done;
+      ignore
+        (Simnet.after net (0.005 *. float_of_int kill_step) (fun () ->
+             Ringpaxos.Mring.kill_ring_acceptor mr victim));
+      Sim.Engine.run engine ~until:5.0;
+      let uniq = List.sort_uniq compare seqs.(0) in
+      List.length uniq = 60 && seqs.(0) = seqs.(1))
+
+let suite =
+  [ Alcotest.test_case "mring: order under 2% multicast loss" `Slow
+      test_mring_total_order_under_loss;
+    Alcotest.test_case "mring: acceptor crash + recover" `Quick
+      test_mring_acceptor_crash_and_recover;
+    Alcotest.test_case "mring: two crashes at f=2" `Quick test_mring_double_failure_f2;
+    Alcotest.test_case "loadgen: constant" `Quick test_loadgen_constant_rate;
+    Alcotest.test_case "loadgen: staircase" `Quick test_loadgen_staircase;
+    Alcotest.test_case "loadgen: oscillating" `Quick test_loadgen_oscillating;
+    Alcotest.test_case "calibration: M-Ring peak ~90%" `Slow test_mring_peak_calibration;
+    Alcotest.test_case "calibration: disk-bound ~270Mbps" `Slow test_disk_bound_calibration;
+    QCheck_alcotest.to_alcotest prop_agreement_under_random_failures ]
+
+let test_crash_wipe_memory_mode () =
+  (* Memory durability: a crashed acceptor restarts empty; the system keeps
+     working because a majority never crashed. *)
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 9) in
+  let got = ref [] in
+  let mr =
+    Ringpaxos.Mring.create net Ringpaxos.Mring.default_config ~n_proposers:1 ~n_learners:1
+      ~learner_parts:(fun _ -> [ 0 ])
+      ~deliver:(fun ~learner:_ ~inst:_ v ->
+        match v with Some v -> got := !got @ cmd_ids v | None -> ())
+  in
+  for i = 1 to 10 do
+    ignore (Ringpaxos.Mring.submit mr ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.3;
+  Ringpaxos.Mring.crash_acceptor mr 0;
+  Sim.Engine.run engine ~until:1.2;
+  Ringpaxos.Mring.restart_acceptor mr 0;
+  for i = 11 to 25 do
+    ignore (Ringpaxos.Mring.submit mr ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:3.5;
+  Alcotest.(check (list int)) "progress around the wiped acceptor"
+    (List.init 25 (fun i -> i + 1))
+    (List.sort_uniq compare !got)
+
+let test_crash_recover_durable_mode () =
+  (* Sync-disk durability: the crashed acceptor reloads its promises and
+     votes and can serve again. *)
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 10) in
+  let got = ref [] in
+  let cfg = { Ringpaxos.Mring.default_config with durability = Ringpaxos.Mring.Sync_disk } in
+  let mr =
+    Ringpaxos.Mring.create net cfg ~n_proposers:1 ~n_learners:1
+      ~learner_parts:(fun _ -> [ 0 ])
+      ~deliver:(fun ~learner:_ ~inst:_ v ->
+        match v with Some v -> got := !got @ cmd_ids v | None -> ())
+  in
+  for i = 1 to 10 do
+    ignore (Ringpaxos.Mring.submit mr ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.5;
+  Ringpaxos.Mring.crash_acceptor mr 0;
+  Sim.Engine.run engine ~until:1.5;
+  Ringpaxos.Mring.restart_acceptor mr 0;
+  Sim.Engine.run engine ~until:2.0;
+  for i = 11 to 25 do
+    ignore (Ringpaxos.Mring.submit mr ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:4.5;
+  Alcotest.(check (list int)) "durable acceptor rejoins"
+    (List.init 25 (fun i -> i + 1))
+    (List.sort_uniq compare !got)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "crash wipe (memory mode)" `Quick test_crash_wipe_memory_mode;
+      Alcotest.test_case "crash + durable reload" `Quick test_crash_recover_durable_mode ]
+
+let test_uring_single_crossing_efficiency () =
+  (* §3.3.3: each value crosses each link once, so a member's incoming
+     application bytes stay close to the bytes it delivers. *)
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 12) in
+  let delivered = ref 0 in
+  let ur =
+    Ringpaxos.Uring.create net Ringpaxos.Uring.default_config
+      ~positions:(Ringpaxos.Uring.standard_positions ~n:5)
+      ~deliver:(fun ~learner ~inst:_ (v : Paxos.Value.t) ->
+        if learner = 4 then delivered := !delivered + v.size)
+  in
+  for i = 1 to 200 do
+    ignore (Ringpaxos.Uring.submit ur ~proposer:0 ~size:8192 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:2.0;
+  let received =
+    Sim.Stats.Rate.bytes (Simnet.recv_rate (Ringpaxos.Uring.position_proc ur 4))
+  in
+  Alcotest.(check bool) "everything delivered" true (!delivered >= 200 * 8192);
+  let ratio = float_of_int received /. float_of_int !delivered in
+  Alcotest.(check bool)
+    (Printf.sprintf "incoming/delivered ratio %.2f stays near 1" ratio)
+    true
+    (ratio < 1.4)
+
+let test_recorder_basics () =
+  let engine = Sim.Engine.create () in
+  let r = Abcast.Recorder.create engine in
+  ignore (Sim.Engine.schedule engine ~delay:1.0 (fun () ->
+      Abcast.Recorder.item r { Paxos.Value.uid = 1; isize = 125_000; app = Simnet.Noop; born = 0.5 }));
+  Sim.Engine.run_all engine;
+  Alcotest.(check int) "items" 1 (Abcast.Recorder.items r);
+  Alcotest.(check int) "bytes" 125_000 (Abcast.Recorder.bytes r);
+  Alcotest.(check (float 1e-6)) "mbps over 1s window" 1.0
+    (Abcast.Recorder.mbps r ~from:0.5 ~till:1.5);
+  Alcotest.(check (float 1e-6)) "latency ms" 500.0 (Abcast.Recorder.lat_mean_ms r);
+  Alcotest.(check int) "cdf points" 4 (List.length (Abcast.Recorder.lat_cdf r ~points:4))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "uring: single-crossing efficiency" `Quick
+        test_uring_single_crossing_efficiency;
+      Alcotest.test_case "recorder basics" `Quick test_recorder_basics ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "hpsmr"
+    [ ("sim", Test_sim.suite);
+      ("net", Test_net.suite);
+      ("paxos", Test_paxos.suite);
+      ("ringpaxos", Test_ringpaxos.suite);
+      ("abcast", Test_abcast.suite);
+      ("btree", Test_btree.suite);
+      ("smr", Test_smr.suite);
+      ("multiring", Test_multiring.suite);
+      ("psmr", Test_psmr.suite);
+      ("cloud", Test_cloud.suite);
+      ("core", Test_core.suite);
+      ("extra", Test_extra.suite);
+      ("storage", Test_storage.suite);
+      ("properties", Test_properties.suite) ]

@@ -1,0 +1,187 @@
+(* Tests for Multi-Ring Paxos (Chapter 5): deterministic merge, skip
+   messages, scalability behaviour and coordinator failure. *)
+
+type Simnet.payload += Cmd of int
+
+let make ?(config = Multiring.default_config) ?(n_learners = 1)
+    ?(subs = fun _ -> List.init config.Multiring.n_rings Fun.id) ?(seed = 91) () =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create seed) in
+  let log = Hashtbl.create 8 in
+  (* learner -> reversed (group, cmd) list *)
+  let deliver ~learner ~group (it : Paxos.Value.item) =
+    match it.app with
+    | Cmd i ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt log learner) in
+        Hashtbl.replace log learner ((group, i) :: prev)
+    | _ -> ()
+  in
+  let mr = Multiring.create net config ~n_learners ~subs ~proposers_per_ring:1 ~deliver in
+  (engine, net, mr, log)
+
+let seq log l = List.rev (Option.value ~default:[] (Hashtbl.find_opt log l))
+
+let test_single_ring_delivers () =
+  let cfg = { Multiring.default_config with n_rings = 1 } in
+  let engine, _, mr, log = make ~config:cfg () in
+  for i = 1 to 20 do
+    ignore (Multiring.multicast mr ~group:0 ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.5;
+  Alcotest.(check (list (pair int int))) "in order"
+    (List.init 20 (fun i -> (0, i + 1)))
+    (seq log 0)
+
+let test_two_rings_merge_deterministic () =
+  let cfg = { Multiring.default_config with n_rings = 2; lambda = 20_000.0 } in
+  let engine, _, mr, log = make ~config:cfg ~n_learners:2 () in
+  for i = 1 to 30 do
+    ignore (Multiring.multicast mr ~group:(i mod 2) ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.5;
+  let s0 = seq log 0 and s1 = seq log 1 in
+  Alcotest.(check int) "everything delivered" 30 (List.length s0);
+  Alcotest.(check (list (pair int int))) "identical merged order at both learners" s0 s1
+
+let test_skips_unblock_idle_ring () =
+  (* Ring 1 is silent; without skips the merge would stall forever. *)
+  let cfg = { Multiring.default_config with n_rings = 2; lambda = 5_000.0 } in
+  let engine, _, mr, log = make ~config:cfg () in
+  for i = 1 to 20 do
+    ignore (Multiring.multicast mr ~group:0 ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:1.0;
+  Alcotest.(check int) "all of group 0 delivered despite idle group 1" 20
+    (List.length (seq log 0));
+  Alcotest.(check bool) "skips were proposed for the idle ring" true
+    (Multiring.skips_proposed mr 1 > 0)
+
+let test_no_skips_stalls () =
+  (* The lambda = 0 configuration of Fig. 5.8: merge stalls on the idle
+     ring. *)
+  let cfg = { Multiring.default_config with n_rings = 2; lambda = 0.0; m = 1 } in
+  let engine, _, mr, log = make ~config:cfg () in
+  for i = 1 to 20 do
+    ignore (Multiring.multicast mr ~group:0 ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:1.0;
+  (* With m = 1 and strict round-robin, at most one message can be merged
+     before waiting on group 1. *)
+  Alcotest.(check bool) "merge stalls without skips" true (List.length (seq log 0) <= 1);
+  Alcotest.(check bool) "messages are buffered, not lost" true
+    (Multiring.learner_buffer mr 0 >= 19)
+
+let test_single_subscription_unaffected () =
+  (* A learner of only group 0 needs no merge and no skips. *)
+  let cfg = { Multiring.default_config with n_rings = 2; lambda = 0.0 } in
+  let subs = function 0 -> [ 0 ] | _ -> [ 1 ] in
+  let engine, _, mr, log = make ~config:cfg ~n_learners:2 ~subs () in
+  for i = 1 to 20 do
+    ignore (Multiring.multicast mr ~group:0 ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.5;
+  Alcotest.(check int) "dedicated learner flows freely" 20 (List.length (seq log 0));
+  Alcotest.(check int) "other learner sees nothing" 0 (List.length (seq log 1))
+
+let test_m_preserves_order () =
+  let cfg = { Multiring.default_config with n_rings = 2; m = 10; lambda = 20_000.0 } in
+  let engine, _, mr, log = make ~config:cfg ~n_learners:2 () in
+  for i = 1 to 40 do
+    ignore (Multiring.multicast mr ~group:(i mod 2) ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.5;
+  Alcotest.(check int) "all delivered" 40 (List.length (seq log 0));
+  Alcotest.(check (list (pair int int))) "m=10 merge still deterministic"
+    (seq log 0) (seq log 1);
+  (* Per-group subsequences keep their ring order. *)
+  let ring_order g = List.filter (fun (g', _) -> g' = g) (seq log 0) |> List.map snd in
+  Alcotest.(check (list int)) "group 0 FIFO" (List.sort compare (ring_order 0)) (ring_order 0);
+  Alcotest.(check (list int)) "group 1 FIFO" (List.sort compare (ring_order 1)) (ring_order 1)
+
+let test_buffer_overflow_halts () =
+  let cfg =
+    { Multiring.default_config with n_rings = 2; lambda = 0.0; buffer_items = 10 }
+  in
+  let engine, _, mr, log = make ~config:cfg () in
+  for i = 1 to 50 do
+    ignore (Multiring.multicast mr ~group:0 ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:1.0;
+  ignore log;
+  Alcotest.(check bool) "learner halted on overflow" true (Multiring.learner_halted mr 0)
+
+let test_coordinator_failure_recovery () =
+  (* Fig. 5.11: kill the coordinator of ring 0; delivery stalls, then
+     catches up after the ring recovers and skips cover the outage. *)
+  let cfg = { Multiring.default_config with n_rings = 2; lambda = 5_000.0 } in
+  let engine, net, mr, _log = make ~config:cfg () in
+  let stop =
+    Simnet.every net ~period:1.0e-3 (fun () ->
+        ignore (Multiring.multicast mr ~group:0 ~proposer:0 ~size:256 (Cmd 0));
+        ignore (Multiring.multicast mr ~group:1 ~proposer:0 ~size:256 (Cmd 0)))
+  in
+  Sim.Engine.run engine ~until:0.5;
+  let before = Multiring.learner_delivered mr 0 in
+  Multiring.kill_ring_coordinator mr 0;
+  Sim.Engine.run engine ~until:0.8;
+  Sim.Engine.run engine ~until:3.0;
+  stop ();
+  Sim.Engine.run engine ~until:4.0;
+  let after = Multiring.learner_delivered mr 0 in
+  Alcotest.(check bool) "delivered before failure" true (before > 100);
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery resumes after recovery (%d -> %d)" before after)
+    true
+    (after > before + 500)
+
+let prop_merge_agreement =
+  QCheck.Test.make ~name:"multiring: learners merge identically" ~count:10
+    QCheck.(pair (int_range 2 4) (int_range 10 50))
+    (fun (n_rings, n_msgs) ->
+      let cfg = { Multiring.default_config with n_rings; lambda = 20_000.0 } in
+      let engine, _, mr, log = make ~config:cfg ~n_learners:2 ~seed:(n_msgs * 31) () in
+      for i = 1 to n_msgs do
+        ignore (Multiring.multicast mr ~group:(i mod n_rings) ~proposer:0 ~size:256 (Cmd i))
+      done;
+      Sim.Engine.run engine ~until:1.5;
+      let s0 = seq log 0 in
+      List.length s0 = n_msgs && s0 = seq log 1)
+
+let suite =
+  [ Alcotest.test_case "single ring delivers" `Quick test_single_ring_delivers;
+    Alcotest.test_case "two rings merge deterministically" `Quick
+      test_two_rings_merge_deterministic;
+    Alcotest.test_case "skips unblock idle ring" `Quick test_skips_unblock_idle_ring;
+    Alcotest.test_case "lambda=0 stalls merge" `Quick test_no_skips_stalls;
+    Alcotest.test_case "single-subscription learner unaffected" `Quick
+      test_single_subscription_unaffected;
+    Alcotest.test_case "m=10 merge order" `Quick test_m_preserves_order;
+    Alcotest.test_case "buffer overflow halts learner" `Quick test_buffer_overflow_halts;
+    Alcotest.test_case "coordinator failure + catch-up" `Quick
+      test_coordinator_failure_recovery;
+    QCheck_alcotest.to_alcotest prop_merge_agreement ]
+
+let test_groups_share_rings () =
+  (* gamma = 4 groups over delta = 2 rings (§5.2.4): ordering still works,
+     and a single-group learner receives (and discards) co-hosted traffic. *)
+  let cfg =
+    { Multiring.default_config with n_rings = 2; n_groups = 4; lambda = 20_000.0 }
+  in
+  let subs = function 0 -> [ 0 ] | _ -> [ 0; 1; 2; 3 ] in
+  let engine, _, mr, log = make ~config:cfg ~n_learners:2 ~subs () in
+  for i = 1 to 40 do
+    ignore (Multiring.multicast mr ~group:(i mod 4) ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:1.0;
+  let s0 = seq log 0 and s1 = seq log 1 in
+  Alcotest.(check int) "all-group learner got everything" 40 (List.length s1);
+  Alcotest.(check bool) "single-group learner got only group 0" true
+    (List.for_all (fun (g, _) -> g = 0) s0 && List.length s0 = 10);
+  (* Group 0 shares ring 0 with group 2: learner 0 pays for group 2. *)
+  Alcotest.(check bool) "foreign traffic observed and discarded" true
+    (Multiring.foreign_items mr 0 > 0);
+  (* Merged order per group is identical across learners. *)
+  let only g l = List.filter (fun (g', _) -> g' = g) l in
+  Alcotest.(check (list (pair int int))) "group-0 order agrees" (only 0 s0) (only 0 s1)
+
+let suite = suite @ [ Alcotest.test_case "gamma groups over delta rings" `Quick test_groups_share_rings ]

@@ -1,0 +1,154 @@
+(* Tests for Basic Paxos (Algorithm 1). *)
+
+type Simnet.payload += Cmd of int
+
+let make ?(config = Paxos.Basic.default_config) ?(n_acceptors = 3) ?(n_standby = 0)
+    ?(n_proposers = 1) ?(n_learners = 2) ?(seed = 3) () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create seed in
+  let net = Simnet.create engine rng in
+  let deliveries = Hashtbl.create 16 in
+  (* learner -> reversed list of (inst, item payloads) *)
+  let deliver ~learner ~inst v =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt deliveries learner) in
+    Hashtbl.replace deliveries learner ((inst, v) :: prev)
+  in
+  let t =
+    Paxos.Basic.create net config ~n_acceptors ~n_standby ~n_proposers ~n_learners ~deliver
+  in
+  (engine, net, t, deliveries)
+
+let delivered_of deliveries learner =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt deliveries learner))
+
+let cmd_ids v =
+  List.filter_map
+    (fun (it : Paxos.Value.item) -> match it.app with Cmd i -> Some i | _ -> None)
+    v.Paxos.Value.items
+
+let test_single_decision () =
+  let engine, _, t, deliveries = make () in
+  ignore (Paxos.Basic.submit t ~proposer:0 ~size:100 (Cmd 1));
+  Sim.Engine.run engine ~until:0.4;
+  let d0 = delivered_of deliveries 0 in
+  Alcotest.(check int) "one instance delivered" 1 (List.length d0);
+  let _, v = List.hd d0 in
+  Alcotest.(check (list int)) "correct command" [ 1 ] (cmd_ids v)
+
+let test_many_decisions_in_order () =
+  let engine, _, t, deliveries = make () in
+  for i = 1 to 50 do
+    ignore (Paxos.Basic.submit t ~proposer:0 ~size:100 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.45;
+  let d0 = delivered_of deliveries 0 in
+  let cmds = List.concat_map (fun (_, v) -> cmd_ids v) d0 in
+  Alcotest.(check (list int)) "all commands in submission order" (List.init 50 (fun i -> i + 1)) cmds;
+  let insts = List.map fst d0 in
+  Alcotest.(check (list int)) "consecutive instances" (List.init (List.length insts) Fun.id) insts
+
+let test_learners_agree () =
+  let engine, _, t, deliveries = make ~n_learners:3 () in
+  for i = 1 to 30 do
+    ignore (Paxos.Basic.submit t ~proposer:0 ~size:200 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.45;
+  let seqs =
+    List.init 3 (fun l -> List.concat_map (fun (_, v) -> cmd_ids v) (delivered_of deliveries l))
+  in
+  match seqs with
+  | [ a; b; c ] ->
+      Alcotest.(check (list int)) "learner 1 = learner 0" a b;
+      Alcotest.(check (list int)) "learner 2 = learner 0" a c
+  | _ -> Alcotest.fail "expected three learners"
+
+let test_batching_packs_items () =
+  let config = { Paxos.Basic.default_config with batch_bytes = 8192 } in
+  let engine, _, t, deliveries = make ~config () in
+  for i = 1 to 64 do
+    ignore (Paxos.Basic.submit t ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.4;
+  let d0 = delivered_of deliveries 0 in
+  let n_inst = List.length d0 in
+  let n_items = List.fold_left (fun acc (_, v) -> acc + List.length v.Paxos.Value.items) 0 d0 in
+  Alcotest.(check int) "all items delivered" 64 n_items;
+  Alcotest.(check bool) "batching used fewer instances" true (n_inst < 32)
+
+let test_ucast_mode () =
+  let config = { Paxos.Basic.default_config with dissemination = `Ucast } in
+  let engine, _, t, deliveries = make ~config () in
+  for i = 1 to 10 do
+    ignore (Paxos.Basic.submit t ~proposer:0 ~size:200 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.4;
+  let cmds = List.concat_map (fun (_, v) -> cmd_ids v) (delivered_of deliveries 0) in
+  Alcotest.(check (list int)) "unicast mode delivers in order" (List.init 10 (fun i -> i + 1)) cmds
+
+let test_acceptor_crash_tolerated () =
+  let engine, _, t, deliveries = make ~n_acceptors:3 () in
+  ignore (Paxos.Basic.submit t ~proposer:0 ~size:100 (Cmd 1));
+  Sim.Engine.run engine ~until:0.2;
+  Paxos.Basic.kill_acceptor t 2;
+  for i = 2 to 10 do
+    ignore (Paxos.Basic.submit t ~proposer:0 ~size:100 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.8;
+  let cmds = List.concat_map (fun (_, v) -> cmd_ids v) (delivered_of deliveries 0) in
+  Alcotest.(check (list int)) "majority suffices" (List.init 10 (fun i -> i + 1)) cmds
+
+let test_coordinator_failover () =
+  let engine, _, t, deliveries = make ~n_standby:1 () in
+  for i = 1 to 5 do
+    ignore (Paxos.Basic.submit t ~proposer:0 ~size:100 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:0.3;
+  Paxos.Basic.kill_coordinator t;
+  Sim.Engine.run engine ~until:1.5;
+  (* Submit through the new coordinator. *)
+  for i = 6 to 10 do
+    ignore (Paxos.Basic.submit t ~proposer:0 ~size:100 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:3.5;
+  let cmds = List.concat_map (fun (_, v) -> cmd_ids v) (delivered_of deliveries 0) in
+  let uniq = List.sort_uniq compare cmds in
+  Alcotest.(check (list int)) "all commands eventually delivered" (List.init 10 (fun i -> i + 1)) uniq
+
+let test_no_creation_no_duplicates () =
+  (* Uniform integrity: delivered items were submitted, each at most once. *)
+  let engine, _, t, deliveries = make ~n_proposers:2 () in
+  for i = 1 to 20 do
+    ignore (Paxos.Basic.submit t ~proposer:(i mod 2) ~size:100 (Cmd i))
+  done;
+  Sim.Engine.run engine ~until:1.0;
+  let cmds = List.concat_map (fun (_, v) -> cmd_ids v) (delivered_of deliveries 0) in
+  let sorted = List.sort compare cmds in
+  Alcotest.(check (list int)) "exactly the submitted set" (List.init 20 (fun i -> i + 1)) sorted
+
+let prop_total_order =
+  (* Uniform total order across random loads: every pair of learners
+     delivers the same sequence. *)
+  QCheck.Test.make ~name:"paxos: learners deliver identical sequences" ~count:20
+    QCheck.(pair (int_range 1 60) (int_range 1 4))
+    (fun (n_cmds, n_proposers) ->
+      let engine, _, t, deliveries = make ~n_proposers ~n_learners:3 ~seed:n_cmds () in
+      for i = 1 to n_cmds do
+        ignore (Paxos.Basic.submit t ~proposer:(i mod n_proposers) ~size:(64 + (i mod 512)) (Cmd i))
+      done;
+      Sim.Engine.run engine ~until:2.0;
+      let seq l =
+        List.concat_map (fun (_, v) -> cmd_ids v) (delivered_of deliveries l)
+      in
+      let s0 = seq 0 and s1 = seq 1 and s2 = seq 2 in
+      List.length s0 = n_cmds && s0 = s1 && s1 = s2)
+
+let suite =
+  [ Alcotest.test_case "single decision" `Quick test_single_decision;
+    Alcotest.test_case "many decisions in order" `Quick test_many_decisions_in_order;
+    Alcotest.test_case "learners agree" `Quick test_learners_agree;
+    Alcotest.test_case "batching packs items" `Quick test_batching_packs_items;
+    Alcotest.test_case "unicast dissemination" `Quick test_ucast_mode;
+    Alcotest.test_case "acceptor crash tolerated" `Quick test_acceptor_crash_tolerated;
+    Alcotest.test_case "coordinator failover" `Quick test_coordinator_failover;
+    Alcotest.test_case "integrity: no creation, no dups" `Quick test_no_creation_no_duplicates;
+    QCheck_alcotest.to_alcotest prop_total_order ]

@@ -1,0 +1,140 @@
+(* Every protocol in the repository checked against the same Chapter 2
+   specifications, via the Abcast.Properties oracle. *)
+
+type Simnet.payload += Cmd of int
+
+let cmd_ids (v : Paxos.Value.t) =
+  List.filter_map
+    (fun (it : Paxos.Value.item) -> match it.app with Cmd i -> Some i | _ -> None)
+    v.items
+
+type deployment = {
+  submit : int -> bool;  (* submit command id; false = client buffer full *)
+  logs : unit -> int list list;
+  engine : Sim.Engine.t;
+}
+
+let n_learners = 3
+
+let make_deployment proto seed =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create seed) in
+  let logs = Array.make n_learners [] in
+  let record l ids = logs.(l) <- List.rev_append ids logs.(l) in
+  let logs_fn () = Array.to_list (Array.map List.rev logs) in
+  let submit =
+    match proto with
+    | `Mring ->
+        let mr =
+          Ringpaxos.Mring.create net Ringpaxos.Mring.default_config ~n_proposers:2
+            ~n_learners
+            ~learner_parts:(fun _ -> [ 0 ])
+            ~deliver:(fun ~learner ~inst:_ v ->
+              match v with Some v -> record learner (cmd_ids v) | None -> ())
+        in
+        fun i -> Ringpaxos.Mring.submit mr ~proposer:(i mod 2) ~size:300 (Cmd i) >= 0
+    | `Uring ->
+        let ur =
+          Ringpaxos.Uring.create net Ringpaxos.Uring.default_config
+            ~positions:(Ringpaxos.Uring.standard_positions ~n:5)
+            ~deliver:(fun ~learner ~inst:_ v ->
+              if learner < n_learners then record learner (cmd_ids v))
+        in
+        fun i -> Ringpaxos.Uring.submit ur ~proposer:(i mod 5) ~size:300 (Cmd i) >= 0
+    | `Lcr ->
+        let lcr =
+          Abcast.Lcr.create net Abcast.Lcr.default_config ~deliver:(fun ~learner v ->
+              if learner < n_learners then record learner (cmd_ids v))
+        in
+        fun i -> Abcast.Lcr.broadcast lcr ~from:(i mod 5) ~size:300 (Cmd i)
+    | `Totem ->
+        let tot =
+          Abcast.Totem.create net Abcast.Totem.default_config ~deliver:(fun ~learner v ->
+              if learner < n_learners then record learner (cmd_ids v))
+        in
+        fun i -> Abcast.Totem.broadcast tot ~from:(i mod 3) ~size:300 (Cmd i)
+    | `Spaxos ->
+        let sp =
+          Abcast.Spaxos.create net
+            { Abcast.Spaxos.default_config with gc_pause = 0.0 }
+            ~deliver:(fun ~learner v -> if learner < n_learners then record learner (cmd_ids v))
+        in
+        fun i -> Abcast.Spaxos.submit sp ~replica:(i mod 3) ~size:300 (Cmd i)
+    | `Basic_mcast | `Basic_ucast ->
+        let cfg =
+          { Paxos.Basic.default_config with
+            dissemination = (if proto = `Basic_mcast then `Mcast else `Ucast) }
+        in
+        let bp =
+          Paxos.Basic.create net cfg ~n_acceptors:3 ~n_standby:0 ~n_proposers:2
+            ~n_learners
+            ~deliver:(fun ~learner ~inst:_ v -> record learner (cmd_ids v))
+        in
+        fun i -> Paxos.Basic.submit bp ~proposer:(i mod 2) ~size:300 (Cmd i) >= 0
+  in
+  { submit; logs = logs_fn; engine }
+
+let protocols =
+  [ ("M-Ring Paxos", `Mring);
+    ("U-Ring Paxos", `Uring);
+    ("LCR", `Lcr);
+    ("Totem", `Totem);
+    ("S-Paxos", `Spaxos);
+    ("Basic Paxos (mcast)", `Basic_mcast);
+    ("Basic Paxos (ucast)", `Basic_ucast) ]
+
+let prop_atomic_broadcast (name, proto) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s satisfies atomic broadcast" name)
+    ~count:8
+    QCheck.(int_range 5 60)
+    (fun n_msgs ->
+      let d = make_deployment proto (n_msgs * 41) in
+      let broadcast = ref [] in
+      for i = 1 to n_msgs do
+        if d.submit i then broadcast := i :: !broadcast
+      done;
+      Sim.Engine.run d.engine ~until:2.5;
+      Abcast.Properties.atomic_broadcast ~broadcast:!broadcast (d.logs ()))
+
+(* Direct unit tests of the oracle itself. *)
+
+let test_oracle_accepts_valid () =
+  let logs = [ [ 1; 2; 3 ]; [ 1; 2; 3 ]; [ 1; 2; 3 ] ] in
+  Alcotest.(check bool) "valid logs pass" true
+    (Abcast.Properties.atomic_broadcast ~broadcast:[ 1; 2; 3 ] logs)
+
+let test_oracle_rejects_reorder () =
+  Alcotest.(check bool) "reordered logs fail" false
+    (Abcast.Properties.total_order [ [ 1; 2; 3 ]; [ 1; 3; 2 ] ])
+
+let test_oracle_rejects_duplicate () =
+  Alcotest.(check bool) "duplicate delivery fails" false
+    (Abcast.Properties.integrity ~broadcast:[ 1; 2 ] [ [ 1; 1; 2 ] ])
+
+let test_oracle_rejects_creation () =
+  Alcotest.(check bool) "delivering an unsent message fails" false
+    (Abcast.Properties.integrity ~broadcast:[ 1 ] [ [ 1; 9 ] ])
+
+let test_oracle_rejects_lost () =
+  Alcotest.(check bool) "a missing message fails validity" false
+    (Abcast.Properties.validity ~broadcast:[ 1; 2 ] [ [ 1 ] ])
+
+let test_oracle_partial_order () =
+  (* Different groups: disjoint logs are trivially compatible; common
+     messages must agree. *)
+  Alcotest.(check bool) "disjoint logs ok" true
+    (Abcast.Properties.partial_order [ [ 1; 2 ]; [ 3; 4 ] ]);
+  Alcotest.(check bool) "common messages in order" true
+    (Abcast.Properties.partial_order [ [ 1; 5; 2 ]; [ 5; 3; 4 ] ]);
+  Alcotest.(check bool) "conflicting common order fails" false
+    (Abcast.Properties.partial_order [ [ 5; 6 ]; [ 6; 5 ] ])
+
+let suite =
+  [ Alcotest.test_case "oracle: accepts valid histories" `Quick test_oracle_accepts_valid;
+    Alcotest.test_case "oracle: rejects reordering" `Quick test_oracle_rejects_reorder;
+    Alcotest.test_case "oracle: rejects duplicates" `Quick test_oracle_rejects_duplicate;
+    Alcotest.test_case "oracle: rejects creation" `Quick test_oracle_rejects_creation;
+    Alcotest.test_case "oracle: rejects loss" `Quick test_oracle_rejects_lost;
+    Alcotest.test_case "oracle: partial order" `Quick test_oracle_partial_order ]
+  @ List.map (fun p -> QCheck_alcotest.to_alcotest (prop_atomic_broadcast p)) protocols

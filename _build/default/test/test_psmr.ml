@@ -1,0 +1,140 @@
+(* Tests for parallel state-machine replication (Chapter 6). *)
+
+let make ?(config = Psmr.default_config) ?(n_clients = 8) ?(dep_pct = 0) ?(n_objects = 1024)
+    ?(seed = 101) () =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create seed) in
+  let rng = Sim.Rng.create (seed + 1) in
+  let gen _ =
+    let dependent = Sim.Rng.int rng 100 < dep_pct in
+    { Psmr.obj = Sim.Rng.int rng n_objects; dependent; size = 128 }
+  in
+  let sys = Psmr.create net config ~n_clients ~gen in
+  (engine, sys)
+
+let run_kcps ?(until = 1.0) engine sys =
+  Psmr.start sys;
+  Sim.Engine.run engine ~until;
+  Smr.Metrics.kcps (Psmr.metrics sys) ~from:(until /. 2.0) ~till:until
+
+let test_psmr_completes () =
+  let engine, sys = make () in
+  let kcps = run_kcps engine sys in
+  Alcotest.(check bool) "completes commands" true (kcps > 0.1);
+  Alcotest.(check bool) "executed at replica 0" true (Psmr.executed sys > 50)
+
+let test_all_approaches_complete () =
+  List.iter
+    (fun approach ->
+      let config = { Psmr.default_config with approach } in
+      let engine, sys = make ~config () in
+      let kcps = run_kcps ~until:0.5 engine sys in
+      Alcotest.(check bool) "completes" true (kcps > 0.05))
+    [ Psmr.Sequential; Psmr.Pipelined; Psmr.Sdpe; Psmr.Psmr ]
+
+let test_psmr_scales_with_workers_independent () =
+  (* Fig. 6.3/6.6: with independent commands, P-SMR throughput grows with
+     workers while sequential stays flat. *)
+  let tput approach n_workers =
+    let config =
+      { Psmr.default_config with approach; n_workers; exec_cost = 4.0e-5 }
+    in
+    let engine, sys = make ~config ~n_clients:200 () in
+    run_kcps ~until:0.6 engine sys
+  in
+  let p1 = tput Psmr.Psmr 1 and p4 = tput Psmr.Psmr 4 in
+  let s1 = tput Psmr.Sequential 1 and s4 = tput Psmr.Sequential 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "P-SMR scales (%.1f -> %.1f kcps)" p1 p4)
+    true (p4 > p1 *. 2.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "sequential does not (%.1f -> %.1f kcps)" s1 s4)
+    true (s4 < s1 *. 1.5)
+
+let test_dependent_commands_barrier () =
+  let config = { Psmr.default_config with n_workers = 4 } in
+  let engine, sys = make ~config ~dep_pct:100 ~n_clients:8 () in
+  ignore (run_kcps ~until:0.5 engine sys);
+  Alcotest.(check bool) "barriers executed" true (Psmr.barriers sys > 20);
+  Alcotest.(check int) "every execution was a barrier" (Psmr.barriers sys) (Psmr.executed sys)
+
+let test_dependent_no_scaling () =
+  (* Fig. 6.4: with dependent commands P-SMR gains nothing from workers. *)
+  let tput n_workers =
+    let config = { Psmr.default_config with n_workers; exec_cost = 4.0e-5 } in
+    let engine, sys = make ~config ~dep_pct:100 ~n_clients:32 () in
+    run_kcps ~until:0.6 engine sys
+  in
+  let p1 = tput 1 and p4 = tput 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "no scaling on dependent (%.1f vs %.1f kcps)" p1 p4)
+    true (p4 < p1 *. 1.5)
+
+let test_mixed_workload_between () =
+  (* Fig. 6.5: throughput degrades as the dependent share grows. *)
+  let tput dep_pct =
+    let config = { Psmr.default_config with n_workers = 4; exec_cost = 4.0e-5 } in
+    let engine, sys = make ~config ~dep_pct ~n_clients:48 () in
+    run_kcps ~until:0.6 engine sys
+  in
+  let t0 = tput 0 and t50 = tput 50 and t100 = tput 100 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone degradation (%.1f, %.1f, %.1f)" t0 t50 t100)
+    true
+    (t0 > t50 && t50 > t100)
+
+let test_sdpe_scheduler_bottleneck () =
+  (* SDPE is capped by its scheduler even with many workers. *)
+  let tput approach =
+    let config =
+      { Psmr.default_config with
+        approach;
+        n_workers = 8;
+        exec_cost = 4.0e-5;
+        sched_cost = 2.0e-5 }
+    in
+    let engine, sys = make ~config ~n_clients:200 () in
+    run_kcps ~until:0.6 engine sys
+  in
+  let sdpe = tput Psmr.Sdpe and psmr = tput Psmr.Psmr in
+  Alcotest.(check bool)
+    (Printf.sprintf "P-SMR (%.1f) beats SDPE (%.1f) with 8 workers" psmr sdpe)
+    true (psmr > sdpe *. 1.3)
+
+let test_table_6_1 () =
+  Alcotest.(check int) "five approaches" 5 (List.length Psmr.table_6_1);
+  let s = Psmr.render_table_6_1 () in
+  Alcotest.(check bool) "mentions P-SMR" true (Astring_contains.contains s "P-SMR")
+
+let suite =
+  [ Alcotest.test_case "psmr completes" `Quick test_psmr_completes;
+    Alcotest.test_case "all approaches complete" `Quick test_all_approaches_complete;
+    Alcotest.test_case "psmr scales with workers" `Quick
+      test_psmr_scales_with_workers_independent;
+    Alcotest.test_case "dependent commands barrier" `Quick test_dependent_commands_barrier;
+    Alcotest.test_case "dependent: no scaling" `Quick test_dependent_no_scaling;
+    Alcotest.test_case "mixed workloads degrade monotonically" `Quick
+      test_mixed_workload_between;
+    Alcotest.test_case "sdpe scheduler bottleneck" `Quick test_sdpe_scheduler_bottleneck;
+    Alcotest.test_case "table 6.1" `Quick test_table_6_1 ]
+
+let test_pipelined_beats_sequential_at_high_exec_cost () =
+  (* Sequential SMR executes on the delivery thread, so heavy commands also
+     stall its network processing; pipelined SMR moves execution to a
+     dedicated thread (Fig. 6.1 b vs c). *)
+  let tput approach =
+    let config =
+      { Psmr.default_config with approach; n_workers = 1; exec_cost = 3.0e-5 }
+    in
+    let engine, sys = make ~config ~n_clients:100 () in
+    run_kcps ~until:0.8 engine sys
+  in
+  let seq = tput Psmr.Sequential and pipe = tput Psmr.Pipelined in
+  Alcotest.(check bool)
+    (Printf.sprintf "pipelined (%.1f) >= sequential (%.1f)" pipe seq)
+    true (pipe >= seq *. 0.98)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "pipelined >= sequential" `Quick
+        test_pipelined_beats_sequential_at_high_exec_cost ]

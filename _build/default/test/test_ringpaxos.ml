@@ -1,0 +1,387 @@
+(* Tests for M-Ring Paxos (Algorithm 2) and U-Ring Paxos (Algorithm 3). *)
+
+type Simnet.payload += Cmd of int
+
+let cmd_ids (v : Paxos.Value.t) =
+  List.filter_map
+    (fun (it : Paxos.Value.item) -> match it.app with Cmd i -> Some i | _ -> None)
+    v.items
+
+(* --- M-Ring Paxos -------------------------------------------------------- *)
+
+type mring_env = {
+  engine : Sim.Engine.t;
+  net : Simnet.t;
+  mr : Ringpaxos.Mring.t;
+  seqs : (int, int list ref) Hashtbl.t; (* learner -> delivered cmd ids, reversed *)
+  skips : (int, int ref) Hashtbl.t; (* learner -> count of None deliveries *)
+}
+
+let make_mring ?(config = Ringpaxos.Mring.default_config) ?speculative ?(n_proposers = 1)
+    ?(n_learners = 2) ?(learner_parts = fun _ -> [ 0 ]) ?(seed = 9) () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create seed in
+  let net = Simnet.create engine rng in
+  let seqs = Hashtbl.create 8 and skips = Hashtbl.create 8 in
+  for i = 0 to n_learners - 1 do
+    Hashtbl.replace seqs i (ref []);
+    Hashtbl.replace skips i (ref 0)
+  done;
+  let deliver ~learner ~inst:_ v =
+    match v with
+    | Some v ->
+        let r = Hashtbl.find seqs learner in
+        r := List.rev_append (cmd_ids v) !r
+    | None -> incr (Hashtbl.find skips learner)
+  in
+  let mr =
+    Ringpaxos.Mring.create ?speculative net config ~n_proposers ~n_learners ~learner_parts
+      ~deliver
+  in
+  { engine; net; mr; seqs; skips }
+
+let seq env l = List.rev !(Hashtbl.find env.seqs l)
+
+let test_mring_basic () =
+  let env = make_mring () in
+  for i = 1 to 40 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:0.5;
+  Alcotest.(check (list int)) "all delivered in order" (List.init 40 (fun i -> i + 1)) (seq env 0);
+  Alcotest.(check (list int)) "learners agree" (seq env 0) (seq env 1)
+
+let test_mring_batching () =
+  let env = make_mring () in
+  for i = 1 to 64 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:0.5;
+  let n_inst = Ringpaxos.Mring.decided env.mr in
+  Alcotest.(check int) "all items" 64 (List.length (seq env 0));
+  Alcotest.(check bool) "batched into few instances" true (n_inst <= 8)
+
+let test_mring_ring_size () =
+  let cfg = { Ringpaxos.Mring.default_config with f = 3 } in
+  let env = make_mring ~config:cfg () in
+  Alcotest.(check int) "ring has f+1 members" 4 (Ringpaxos.Mring.ring_size env.mr);
+  ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:100 (Cmd 1));
+  Sim.Engine.run env.engine ~until:0.5;
+  Alcotest.(check (list int)) "delivers through longer ring" [ 1 ] (seq env 0)
+
+let test_mring_multi_proposer () =
+  let env = make_mring ~n_proposers:3 () in
+  for i = 1 to 30 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:(i mod 3) ~size:200 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:0.5;
+  Alcotest.(check int) "all delivered" 30 (List.length (seq env 0));
+  Alcotest.(check (list int)) "agreement" (seq env 0) (seq env 1);
+  Alcotest.(check (list int)) "no dup, no loss"
+    (List.init 30 (fun i -> i + 1))
+    (List.sort compare (seq env 0))
+
+let test_mring_speculative_before_decision () =
+  let spec_log = ref [] in
+  let speculative ~learner ~inst v =
+    if learner = 0 then spec_log := (inst, cmd_ids v) :: !spec_log
+  in
+  let env = make_mring ~speculative () in
+  for i = 1 to 10 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:0.5;
+  let spec_cmds = List.concat_map snd (List.rev !spec_log) in
+  Alcotest.(check (list int)) "speculative delivery sees all commands in order"
+    (List.init 10 (fun i -> i + 1))
+    spec_cmds;
+  (* Speculative order must match the confirmed order. *)
+  Alcotest.(check (list int)) "confirmed order matches" spec_cmds (seq env 0)
+
+let test_mring_partitioned_skip () =
+  let cfg = { Ringpaxos.Mring.default_config with partitions = 2 } in
+  let learner_parts = function 0 -> [ 0 ] | _ -> [ 1 ] in
+  let env = make_mring ~config:cfg ~learner_parts () in
+  (* Commands 1..10 to partition 0, 11..20 to partition 1. *)
+  for i = 1 to 10 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~parts:[ 0 ] ~size:256 (Cmd i))
+  done;
+  for i = 11 to 20 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~parts:[ 1 ] ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:0.5;
+  let s0 = seq env 0 and s1 = seq env 1 in
+  Alcotest.(check bool) "learner 0 only sees partition 0" true
+    (List.for_all (fun c -> c <= 10) s0 && List.length s0 = 10);
+  Alcotest.(check bool) "learner 1 only sees partition 1" true
+    (List.for_all (fun c -> c > 10) s1 && List.length s1 = 10);
+  Alcotest.(check bool) "learner 0 skipped foreign instances" true (!(Hashtbl.find env.skips 0) > 0)
+
+let test_mring_cross_partition_total_order () =
+  (* Commands addressed to both partitions must be ordered identically
+     relative to single-partition commands at both learners. *)
+  let cfg = { Ringpaxos.Mring.default_config with partitions = 2; batch_bytes = 0 } in
+  let learner_parts = function 0 -> [ 0 ] | _ -> [ 1 ] in
+  let env = make_mring ~config:cfg ~learner_parts () in
+  for i = 1 to 30 do
+    let parts = if i mod 3 = 0 then [ 0; 1 ] else if i mod 3 = 1 then [ 0 ] else [ 1 ] in
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~parts ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:0.5;
+  let cross = List.filter (fun c -> c mod 3 = 0) in
+  Alcotest.(check (list int)) "cross-partition commands identically ordered"
+    (cross (seq env 0)) (cross (seq env 1))
+
+let test_mring_flow_control_shrinks_window () =
+  let cfg = { Ringpaxos.Mring.default_config with fc_threshold = 8; window = 64 } in
+  let env = make_mring ~config:cfg () in
+  (* Learner 0 becomes extremely slow. *)
+  Ringpaxos.Mring.set_learner_delay env.mr 0 2.0e-3;
+  let stop =
+    Simnet.every env.net ~period:2.0e-4 (fun () ->
+        ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:4096 (Cmd 0)))
+  in
+  Sim.Engine.run env.engine ~until:1.0;
+  stop ();
+  Alcotest.(check bool) "window reduced below maximum" true
+    (Ringpaxos.Mring.current_window env.mr < 64)
+
+let test_mring_window_recovers () =
+  let cfg = { Ringpaxos.Mring.default_config with fc_threshold = 8; window = 64 } in
+  let env = make_mring ~config:cfg () in
+  Ringpaxos.Mring.set_learner_delay env.mr 0 2.0e-3;
+  let stop =
+    Simnet.every env.net ~period:2.0e-4 (fun () ->
+        ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:4096 (Cmd 0)))
+  in
+  Sim.Engine.run env.engine ~until:1.0;
+  stop ();
+  (* Learner speeds back up; the coordinator's window regrows. *)
+  Ringpaxos.Mring.set_learner_delay env.mr 0 0.0;
+  Sim.Engine.run env.engine ~until:3.0;
+  Alcotest.(check int) "window back at maximum" 64 (Ringpaxos.Mring.current_window env.mr)
+
+let test_mring_coordinator_failover () =
+  let env = make_mring () in
+  for i = 1 to 10 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:0.3;
+  Ringpaxos.Mring.kill_coordinator env.mr;
+  Sim.Engine.run env.engine ~until:1.5;
+  for i = 11 to 20 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:3.0;
+  let got = List.sort_uniq compare (seq env 0) in
+  Alcotest.(check (list int)) "all commands survive coordinator crash"
+    (List.init 20 (fun i -> i + 1))
+    got;
+  Alcotest.(check (list int)) "learners still agree" (seq env 0) (seq env 1)
+
+let test_mring_acceptor_failover () =
+  let env = make_mring () in
+  for i = 1 to 10 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:0.3;
+  (* Kill the first in-ring acceptor; a spare must replace it. *)
+  Ringpaxos.Mring.kill_ring_acceptor env.mr 0;
+  Sim.Engine.run env.engine ~until:1.5;
+  for i = 11 to 20 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:3.0;
+  let got = List.sort_uniq compare (seq env 0) in
+  Alcotest.(check (list int)) "all commands survive acceptor crash"
+    (List.init 20 (fun i -> i + 1))
+    got
+
+let test_mring_sync_disk_slower () =
+  let run durability =
+    let cfg = { Ringpaxos.Mring.default_config with durability } in
+    let env = make_mring ~config:cfg () in
+    let done_at = ref 0.0 in
+    let stop =
+      Simnet.every env.net ~period:1.0e-4 (fun () ->
+          if Sim.Engine.now env.engine < 0.05 then
+            ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:1024 (Cmd 1)))
+    in
+    Sim.Engine.run env.engine ~until:1.0;
+    stop ();
+    done_at := Sim.Engine.now env.engine;
+    List.length (seq env 0)
+  in
+  let mem = run Ringpaxos.Mring.Memory in
+  let disk = run Ringpaxos.Mring.Sync_disk in
+  Alcotest.(check bool) "sync disk not faster than memory" true (disk <= mem);
+  Alcotest.(check bool) "sync disk still delivers" true (disk > 0)
+
+let test_mring_gc_frees_memory () =
+  let cfg = { Ringpaxos.Mring.default_config with gc_period = 0.02 } in
+  let env = make_mring ~config:cfg () in
+  for i = 1 to 100 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:1024 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:2.0;
+  let accs = Ringpaxos.Mring.acceptor_procs env.mr in
+  let coord_mem = Simnet.mem (Ringpaxos.Mring.coordinator_proc env.mr) in
+  ignore accs;
+  (* After GC, the coordinator buffer should hold far less than the ~100 KB
+     proposed. *)
+  Alcotest.(check bool) "memory reclaimed" true (coord_mem < 50 * 1024)
+
+(* --- U-Ring Paxos --------------------------------------------------------- *)
+
+type uring_env = {
+  uengine : Sim.Engine.t;
+  unet : Simnet.t;
+  ur : Ringpaxos.Uring.t;
+  useqs : (int, int list ref) Hashtbl.t;
+}
+
+let make_uring ?(config = Ringpaxos.Uring.default_config) ?(n = 5) ?(seed = 21) () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create seed in
+  let net = Simnet.create engine rng in
+  let useqs = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    Hashtbl.replace useqs i (ref [])
+  done;
+  let deliver ~learner ~inst:_ v =
+    let r = Hashtbl.find useqs learner in
+    r := List.rev_append (cmd_ids v) !r
+  in
+  let ur =
+    Ringpaxos.Uring.create net config ~positions:(Ringpaxos.Uring.standard_positions ~n)
+      ~deliver
+  in
+  { uengine = engine; unet = net; ur; useqs }
+
+let useq env l = List.rev !(Hashtbl.find env.useqs l)
+
+let test_uring_basic () =
+  let env = make_uring () in
+  for i = 1 to 40 do
+    ignore (Ringpaxos.Uring.submit env.ur ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run env.uengine ~until:0.5;
+  Alcotest.(check (list int)) "all delivered in order" (List.init 40 (fun i -> i + 1))
+    (useq env 0)
+
+let test_uring_all_learners_agree () =
+  let env = make_uring ~n:7 () in
+  for i = 1 to 30 do
+    ignore (Ringpaxos.Uring.submit env.ur ~proposer:(i mod 7) ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run env.uengine ~until:0.6;
+  let s0 = useq env 0 in
+  Alcotest.(check int) "everything delivered" 30 (List.length s0);
+  for l = 1 to 6 do
+    Alcotest.(check (list int)) (Printf.sprintf "learner %d agrees" l) s0 (useq env l)
+  done
+
+let test_uring_rejects_small_rings () =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 1) in
+  Alcotest.check_raises "needs 2f+1 acceptors"
+    (Invalid_argument "Uring.create: needs at least 2f+1 acceptor positions") (fun () ->
+      ignore
+        (Ringpaxos.Uring.create net Ringpaxos.Uring.default_config
+           ~positions:(Ringpaxos.Uring.standard_positions ~n:3)
+           ~deliver:(fun ~learner:_ ~inst:_ _ -> ())))
+
+let test_uring_batching () =
+  let env = make_uring () in
+  for i = 1 to 200 do
+    ignore (Ringpaxos.Uring.submit env.ur ~proposer:0 ~size:256 (Cmd i))
+  done;
+  Sim.Engine.run env.uengine ~until:0.5;
+  Alcotest.(check int) "all items" 200 (List.length (useq env 0));
+  Alcotest.(check bool) "few instances (32K batches)" true (Ringpaxos.Uring.decided env.ur <= 8)
+
+let test_uring_coordinator_failover () =
+  let env = make_uring ~n:7 () in
+  for i = 1 to 10 do
+    ignore (Ringpaxos.Uring.submit env.ur ~proposer:2 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.uengine ~until:0.3;
+  Ringpaxos.Uring.kill_coordinator env.ur;
+  Sim.Engine.run env.uengine ~until:2.0;
+  for i = 11 to 20 do
+    ignore (Ringpaxos.Uring.submit env.ur ~proposer:2 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.uengine ~until:4.0;
+  (* Learner 2 was never killed; it must have everything exactly once
+     modulo resubmission duplicates, which U-Ring suppresses by uid. *)
+  let got = List.sort_uniq compare (useq env 2) in
+  Alcotest.(check (list int)) "all commands survive" (List.init 20 (fun i -> i + 1)) got
+
+let test_uring_middle_failure () =
+  let env = make_uring ~n:7 () in
+  for i = 1 to 10 do
+    ignore (Ringpaxos.Uring.submit env.ur ~proposer:2 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.uengine ~until:0.3;
+  (* Kill a non-coordinator, non-voting ring member. *)
+  Ringpaxos.Uring.kill_position env.ur 5;
+  Sim.Engine.run env.uengine ~until:2.0;
+  for i = 11 to 20 do
+    ignore (Ringpaxos.Uring.submit env.ur ~proposer:2 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.uengine ~until:4.0;
+  let got = List.sort_uniq compare (useq env 2) in
+  Alcotest.(check (list int)) "ring reconfigures around dead member"
+    (List.init 20 (fun i -> i + 1))
+    got
+
+let prop_mring_total_order =
+  QCheck.Test.make ~name:"mring: random load keeps total order" ~count:15
+    QCheck.(pair (int_range 1 80) (int_range 1 3))
+    (fun (n_cmds, n_props) ->
+      let env = make_mring ~n_proposers:n_props ~n_learners:3 ~seed:(n_cmds * 7) () in
+      for i = 1 to n_cmds do
+        ignore
+          (Ringpaxos.Mring.submit env.mr ~proposer:(i mod n_props) ~size:(64 + (i mod 1024))
+             (Cmd i))
+      done;
+      Sim.Engine.run env.engine ~until:2.0;
+      let s0 = seq env 0 and s1 = seq env 1 and s2 = seq env 2 in
+      List.length s0 = n_cmds && s0 = s1 && s1 = s2)
+
+let prop_uring_total_order =
+  QCheck.Test.make ~name:"uring: random load keeps total order" ~count:15
+    QCheck.(int_range 1 80)
+    (fun n_cmds ->
+      let env = make_uring ~n:5 ~seed:(n_cmds * 13) () in
+      for i = 1 to n_cmds do
+        ignore (Ringpaxos.Uring.submit env.ur ~proposer:(i mod 5) ~size:(64 + (i mod 1024)) (Cmd i))
+      done;
+      Sim.Engine.run env.uengine ~until:2.0;
+      let s0 = useq env 0 in
+      List.length s0 = n_cmds
+      && List.for_all (fun l -> useq env l = s0) [ 1; 2; 3; 4 ])
+
+let suite =
+  [ Alcotest.test_case "mring: basic order + agreement" `Quick test_mring_basic;
+    Alcotest.test_case "mring: batching" `Quick test_mring_batching;
+    Alcotest.test_case "mring: ring size = f+1" `Quick test_mring_ring_size;
+    Alcotest.test_case "mring: multiple proposers" `Quick test_mring_multi_proposer;
+    Alcotest.test_case "mring: speculative delivery" `Quick test_mring_speculative_before_decision;
+    Alcotest.test_case "mring: partitioned skip" `Quick test_mring_partitioned_skip;
+    Alcotest.test_case "mring: cross-partition order" `Quick test_mring_cross_partition_total_order;
+    Alcotest.test_case "mring: flow control shrinks window" `Quick
+      test_mring_flow_control_shrinks_window;
+    Alcotest.test_case "mring: window recovers" `Quick test_mring_window_recovers;
+    Alcotest.test_case "mring: coordinator failover" `Quick test_mring_coordinator_failover;
+    Alcotest.test_case "mring: acceptor failover via spare" `Quick test_mring_acceptor_failover;
+    Alcotest.test_case "mring: sync disk throttles" `Quick test_mring_sync_disk_slower;
+    Alcotest.test_case "mring: gc frees memory" `Quick test_mring_gc_frees_memory;
+    QCheck_alcotest.to_alcotest prop_mring_total_order;
+    Alcotest.test_case "uring: basic order" `Quick test_uring_basic;
+    Alcotest.test_case "uring: all learners agree" `Quick test_uring_all_learners_agree;
+    Alcotest.test_case "uring: rejects small rings" `Quick test_uring_rejects_small_rings;
+    Alcotest.test_case "uring: batching" `Quick test_uring_batching;
+    Alcotest.test_case "uring: coordinator failover" `Quick test_uring_coordinator_failover;
+    Alcotest.test_case "uring: middle member failure" `Quick test_uring_middle_failure;
+    QCheck_alcotest.to_alcotest prop_uring_total_order ]

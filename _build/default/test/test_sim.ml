@@ -1,0 +1,199 @@
+(* Unit and property tests for the simulation substrate (lib/sim). *)
+
+open Sim
+
+let test_heap_order () =
+  let h = Heap.create compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let out = List.init (Heap.length h) (fun _ -> Heap.pop h) in
+  Alcotest.(check (list int)) "sorted ascending" [ 1; 2; 3; 5; 7; 8; 9 ] out
+
+let test_heap_empty () =
+  let h = Heap.create compare in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Heap.pop: empty heap") (fun () ->
+      ignore (Heap.pop h))
+
+let test_heap_clear () =
+  let h = Heap.create compare in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Heap.clear h;
+  Alcotest.(check int) "length after clear" 0 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create compare in
+      List.iter (Heap.push h) xs;
+      let out = List.init (List.length xs) (fun _ -> Heap.pop h) in
+      out = List.sort compare xs)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:0.3 (fun () -> log := 3 :: !log));
+  ignore (Engine.schedule e ~delay:0.1 (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule e ~delay:0.2 (fun () -> log := 2 :: !log));
+  Engine.run_all e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 0.3 (Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log))
+  done;
+  Engine.run_all e;
+  Alcotest.(check (list int)) "fifo at equal time" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:0.5 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run_all e;
+  Alcotest.(check bool) "cancelled does not fire" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:3.0 (fun () -> incr fired));
+  Engine.run e ~until:2.0;
+  Alcotest.(check int) "only events before horizon" 1 !fired;
+  Alcotest.(check (float 1e-9)) "clock moved to horizon" 2.0 (Engine.now e)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~delay:0.1 (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.schedule e ~delay:0.1 (fun () -> log := "inner" :: !log))));
+  Engine.run_all e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, n) ->
+      let r = Rng.create seed in
+      let x = Rng.int r n in
+      x >= 0 && x < n)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float stays in bounds" ~count:500 QCheck.small_int (fun seed ->
+      let r = Rng.create seed in
+      let x = Rng.float r 3.5 in
+      x >= 0.0 && x < 3.5)
+
+let test_rng_bool_bias () =
+  let r = Rng.create 11 in
+  let n = 20000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool r 0.3 then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "bernoulli(0.3) near 0.3" true (frac > 0.27 && frac < 0.33)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 13 in
+  let n = 50000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "exponential mean near 2.0" true (mean > 1.9 && mean < 2.1)
+
+let test_zipf_skew () =
+  let r = Rng.create 17 in
+  let g = Rng.Zipf.create r ~n:100 ~s:1.0 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20000 do
+    let i = Rng.Zipf.draw g in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true (counts.(0) > counts.(10));
+  Alcotest.(check bool) "rank 10 beats rank 90" true (counts.(10) > counts.(90))
+
+let test_rate_mbps () =
+  let r = Stats.Rate.create () in
+  (* 10 events of 125000 bytes over 1 second = 10 Mbps. *)
+  for i = 0 to 9 do
+    Stats.Rate.add r ~now:(0.1 *. float_of_int i) ~bytes:125_000
+  done;
+  Alcotest.(check (float 1e-6)) "mbps" 10.0 (Stats.Rate.mbps r ~from:0.0 ~till:1.0);
+  Alcotest.(check (float 1e-6)) "events/s" 10.0 (Stats.Rate.events_per_sec r ~from:0.0 ~till:1.0)
+
+let test_rate_series () =
+  let r = Stats.Rate.create () in
+  Stats.Rate.add r ~now:0.5 ~bytes:125_000;
+  Stats.Rate.add r ~now:1.5 ~bytes:250_000;
+  let s = Stats.Rate.series r ~window:1.0 ~till:2.0 in
+  match s with
+  | [ (_, a); (_, b) ] ->
+      Alcotest.(check (float 1e-6)) "bucket 1" 1.0 a;
+      Alcotest.(check (float 1e-6)) "bucket 2" 2.0 b
+  | _ -> Alcotest.fail "expected two buckets"
+
+let test_latency_percentiles () =
+  let l = Stats.Latency.create () in
+  for i = 1 to 100 do
+    Stats.Latency.add l (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-6)) "mean" 50.5 (Stats.Latency.mean l);
+  Alcotest.(check bool) "p50 near middle" true (abs_float (Stats.Latency.percentile l 0.5 -. 50.0) <= 1.0);
+  Alcotest.(check (float 1e-6)) "max" 100.0 (Stats.Latency.max l)
+
+let test_latency_trimmed () =
+  let l = Stats.Latency.create () in
+  List.iter (Stats.Latency.add l) [ 1.0; 1.0; 1.0; 1.0; 100.0 ];
+  let tm = Stats.Latency.trimmed_mean l ~drop_top:0.2 in
+  Alcotest.(check (float 1e-6)) "outlier dropped" 1.0 tm
+
+let test_busy_utilization () =
+  let b = Stats.Busy.create () in
+  Stats.Busy.add b 0.25;
+  Stats.Busy.add b 0.25;
+  Alcotest.(check (float 1e-6)) "50%" 50.0 (Stats.Busy.utilization b ~from:0.0 ~till:1.0)
+
+let suite =
+  [ Alcotest.test_case "heap: pops sorted" `Quick test_heap_order;
+    Alcotest.test_case "heap: empty behaviour" `Quick test_heap_empty;
+    Alcotest.test_case "heap: clear" `Quick test_heap_clear;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    Alcotest.test_case "engine: time order" `Quick test_engine_order;
+    Alcotest.test_case "engine: FIFO at equal times" `Quick test_engine_same_time_fifo;
+    Alcotest.test_case "engine: cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine: run until horizon" `Quick test_engine_until;
+    Alcotest.test_case "engine: nested scheduling" `Quick test_engine_nested_schedule;
+    Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
+    QCheck_alcotest.to_alcotest prop_rng_int_bounds;
+    QCheck_alcotest.to_alcotest prop_rng_float_bounds;
+    Alcotest.test_case "rng: bernoulli bias" `Quick test_rng_bool_bias;
+    Alcotest.test_case "rng: exponential mean" `Quick test_rng_exponential_mean;
+    Alcotest.test_case "rng: zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "stats: rate mbps" `Quick test_rate_mbps;
+    Alcotest.test_case "stats: rate series" `Quick test_rate_series;
+    Alcotest.test_case "stats: latency percentiles" `Quick test_latency_percentiles;
+    Alcotest.test_case "stats: trimmed mean" `Quick test_latency_trimmed;
+    Alcotest.test_case "stats: busy utilization" `Quick test_busy_utilization ]

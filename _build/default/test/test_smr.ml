@@ -1,0 +1,347 @@
+(* Tests for the SMR layer: replicated B+-tree over M-Ring Paxos with
+   speculation and state partitioning (Chapter 4), the client-server
+   baseline, and the linearizability checker. *)
+
+module BS = Smr.Btree_service
+module W = Smr.Workload
+module L = Smr.Linearizability
+
+let make_env seed =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create seed) in
+  (engine, net)
+
+(* Populate partition [p] of [n_parts] with every key it owns. *)
+let dense_service ~key_range ~n_parts p =
+  let bs = BS.create () in
+  let plo = (p * (key_range + 1) / n_parts) + if p = 0 then 1 else 0 in
+  let phi = ((p + 1) * (key_range + 1) / n_parts) - 1 in
+  for k = Stdlib.max 1 plo to phi do
+    ignore (Btree.insert bs.tree k k)
+  done;
+  bs
+
+let key_range = 20_000
+
+let make_system ?(partitions = 1) ?(replicas = 2) ?(speculative = false) ?(clients = 4)
+    ?(kind = W.Ins_del_single) ?(cross_pct = 0) net =
+  let cfg =
+    { Smr.System.default_config with
+      mring = { Ringpaxos.Mring.default_config with partitions };
+      replicas_per_partition = replicas;
+      speculative }
+  in
+  let services = Array.init (partitions * replicas) (fun l ->
+      dense_service ~key_range ~n_parts:partitions (l / replicas))
+  in
+  let wl =
+    W.create ~cross_pct ~query_span:100 (Sim.Rng.create 5) kind ~key_range
+      ~n_partitions:partitions
+  in
+  let sys =
+    Smr.System.create net cfg
+      ~services:(fun l -> services.(l).service)
+      ~n_clients:clients
+      ~gen:(fun _ -> W.next wl)
+  in
+  (sys, services)
+
+let test_smr_executes_and_responds () =
+  let engine, net = make_env 71 in
+  let sys, _ = make_system net in
+  Smr.System.start sys;
+  Sim.Engine.run engine ~until:0.5;
+  let m = Smr.System.metrics sys in
+  Alcotest.(check bool) "commands complete" true (Smr.Metrics.completed m > 50);
+  Alcotest.(check bool) "latency sane (<20ms)" true (Smr.Metrics.lat_mean_ms m < 20.0)
+
+let test_smr_replicas_identical () =
+  let engine, net = make_env 72 in
+  let sys, services = make_system ~replicas:3 ~clients:8 net in
+  Smr.System.start sys;
+  Sim.Engine.run engine ~until:0.5;
+  (* Stop clients by running past the horizon and comparing state. *)
+  let f0 = BS.fingerprint services.(0) in
+  Alcotest.(check bool) "work was done" true (Smr.System.executed sys ~learner:0 > 50);
+  Alcotest.(check int) "replica 1 state = replica 0" f0 (BS.fingerprint services.(1));
+  Alcotest.(check int) "replica 2 state = replica 0" f0 (BS.fingerprint services.(2));
+  Btree.check services.(0).tree
+
+let test_smr_queries_designated_responder () =
+  let engine, net = make_env 73 in
+  let sys, _ = make_system ~kind:W.Queries ~replicas:2 net in
+  Smr.System.start sys;
+  Sim.Engine.run engine ~until:0.5;
+  (* Only one replica executes each query: total executions across the two
+     replicas should be about the number of completed commands, not 2x. *)
+  let m = Smr.System.metrics sys in
+  let total = Smr.System.executed sys ~learner:0 + Smr.System.executed sys ~learner:1 in
+  let completed = Smr.Metrics.completed m in
+  Alcotest.(check bool) "completed > 0" true (completed > 0);
+  Alcotest.(check bool) "queries not executed by all replicas" true
+    (total < completed + (completed / 2) + 8)
+
+let test_smr_updates_executed_by_all () =
+  let engine, net = make_env 74 in
+  let sys, _ = make_system ~kind:W.Ins_del_single ~replicas:2 net in
+  Smr.System.start sys;
+  Sim.Engine.run engine ~until:0.3;
+  let m = Smr.System.metrics sys in
+  let completed = Smr.Metrics.completed m in
+  Alcotest.(check bool) "both replicas executed every update" true
+    (Smr.System.executed sys ~learner:0 >= completed
+    && Smr.System.executed sys ~learner:1 >= completed)
+
+let test_smr_speculation_reduces_latency () =
+  let run speculative =
+    let engine, net = make_env 75 in
+    let sys, _ = make_system ~kind:W.Queries ~speculative ~clients:2 net in
+    Smr.System.start sys;
+    Sim.Engine.run engine ~until:0.6;
+    let m = Smr.System.metrics sys in
+    (Smr.Metrics.lat_mean_ms m, Smr.Metrics.completed m)
+  in
+  let lat_plain, n_plain = run false in
+  let lat_spec, n_spec = run true in
+  Alcotest.(check bool) "both complete work" true (n_plain > 20 && n_spec > 20);
+  Alcotest.(check bool)
+    (Printf.sprintf "speculation not slower (%.3f vs %.3f ms)" lat_spec lat_plain)
+    true
+    (lat_spec <= lat_plain *. 1.02)
+
+let test_smr_speculation_state_correct () =
+  let engine, net = make_env 76 in
+  let sys, services = make_system ~kind:W.Ins_del_batch ~speculative:true ~clients:4 net in
+  Smr.System.start sys;
+  Sim.Engine.run engine ~until:0.5;
+  Alcotest.(check int) "speculative replicas agree"
+    (BS.fingerprint services.(0))
+    (BS.fingerprint services.(1));
+  Btree.check services.(0).tree
+
+let test_smr_partitioning_splits_load () =
+  let engine, net = make_env 77 in
+  let sys, _ =
+    make_system ~partitions:2 ~replicas:2 ~kind:W.Ins_del_single ~clients:8 net
+  in
+  Smr.System.start sys;
+  Sim.Engine.run engine ~until:0.5;
+  let per_learner = List.init 4 (fun l -> Smr.System.executed sys ~learner:l) in
+  (* Partition 0 replicas execute only their keys, likewise partition 1. *)
+  let m = Smr.System.metrics sys in
+  let completed = Smr.Metrics.completed m in
+  let total = List.fold_left ( + ) 0 per_learner in
+  Alcotest.(check bool) "completed" true (completed > 50);
+  (* Each command executed by the 2 replicas of exactly one partition. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "total %d ~ 2x completed %d" total completed)
+    true
+    (total <= (2 * completed) + 16 && total >= 2 * (completed - 16))
+
+let test_smr_cross_partition_query_merged () =
+  let engine, net = make_env 78 in
+  let sys, _ =
+    make_system ~partitions:2 ~replicas:2 ~kind:W.Queries ~cross_pct:100 ~clients:4 net
+  in
+  Smr.System.start sys;
+  Sim.Engine.run engine ~until:0.5;
+  let m = Smr.System.metrics sys in
+  Alcotest.(check bool) "cross-partition queries complete" true
+    (Smr.Metrics.completed m > 20)
+
+let test_cs_baseline_faster_than_smr () =
+  (* Fig. 4.1/4.3: the non-replicated server has lower latency. *)
+  let engine, net = make_env 79 in
+  let wl = W.create (Sim.Rng.create 5) W.Queries ~key_range ~n_partitions:1 in
+  let bs = dense_service ~key_range ~n_parts:1 0 in
+  let cs =
+    Smr.Cs.create net ~n_threads:1 ~service:bs.service ~n_clients:4
+      ~gen:(fun _ -> W.next wl)
+  in
+  Smr.Cs.start cs;
+  Sim.Engine.run engine ~until:0.5;
+  let cs_lat = Smr.Metrics.lat_mean_ms (Smr.Cs.metrics cs) in
+  let engine2, net2 = make_env 79 in
+  let sys, _ = make_system ~kind:W.Queries ~clients:4 net2 in
+  Smr.System.start sys;
+  Sim.Engine.run engine2 ~until:0.5;
+  let smr_lat = Smr.Metrics.lat_mean_ms (Smr.System.metrics sys) in
+  Alcotest.(check bool) "cs completed" true (Smr.Metrics.completed (Smr.Cs.metrics cs) > 50);
+  Alcotest.(check bool)
+    (Printf.sprintf "CS latency (%.3f) < SMR latency (%.3f)" cs_lat smr_lat)
+    true (cs_lat < smr_lat)
+
+let test_workload_partition_of () =
+  Alcotest.(check int) "low key" 0 (W.partition_of ~key_range:1000 ~n_partitions:2 10);
+  Alcotest.(check int) "high key" 1 (W.partition_of ~key_range:1000 ~n_partitions:2 900);
+  Alcotest.(check int) "clamped" 3 (W.partition_of ~key_range:1000 ~n_partitions:4 1000)
+
+let test_workload_cross_partition () =
+  let wl =
+    W.create ~cross_pct:100 ~query_span:100 (Sim.Rng.create 3) W.Queries ~key_range:10_000
+      ~n_partitions:2
+  in
+  let all_cross =
+    List.init 50 (fun _ -> W.next wl) |> List.for_all (fun c -> List.length c.W.parts = 2)
+  in
+  Alcotest.(check bool) "100% cross-partition" true all_cross;
+  let wl0 =
+    W.create ~cross_pct:0 ~query_span:100 (Sim.Rng.create 3) W.Queries ~key_range:10_000
+      ~n_partitions:2
+  in
+  let none_cross =
+    List.init 50 (fun _ -> W.next wl0) |> List.for_all (fun c -> List.length c.W.parts = 1)
+  in
+  Alcotest.(check bool) "0% cross-partition" true none_cross
+
+(* --- linearizability checker ----------------------------------------------- *)
+
+let test_lin_accepts_sequential () =
+  let h =
+    [ { L.kind = `Write 1; inv = 0.0; res = 1.0 };
+      { L.kind = `Read (Some 1); inv = 2.0; res = 3.0 } ]
+  in
+  Alcotest.(check bool) "sequential history ok" true (L.check ~init:None h)
+
+let test_lin_rejects_stale_read () =
+  (* Fig 2.1(a): read overlapping nothing returns a stale value after a
+     write completed. *)
+  let h =
+    [ { L.kind = `Write 20; inv = 0.0; res = 1.0 };
+      { L.kind = `Read (Some 10); inv = 2.0; res = 3.0 } ]
+  in
+  Alcotest.(check bool) "stale read rejected" false (L.check ~init:(Some 10) h)
+
+let test_lin_accepts_concurrent_reorder () =
+  (* Fig 2.1(b): the read overlaps the write, so either order is fine. *)
+  let h =
+    [ { L.kind = `Write 20; inv = 0.0; res = 2.0 };
+      { L.kind = `Read (Some 10); inv = 0.5; res = 1.0 };
+      { L.kind = `Read (Some 20); inv = 2.5; res = 3.0 } ]
+  in
+  Alcotest.(check bool) "concurrent reorder ok" true (L.check ~init:(Some 10) h)
+
+let test_seq_consistent_but_not_linearizable () =
+  (* Sequential consistency permits reading the old value even after the
+     write responded, if issued by another process. *)
+  let writer = [ { L.kind = `Write 20; inv = 0.0; res = 1.0 } ] in
+  let reader = [ { L.kind = `Read (Some 10); inv = 2.0; res = 3.0 } ] in
+  Alcotest.(check bool) "not linearizable" false
+    (L.check ~init:(Some 10) (writer @ reader));
+  Alcotest.(check bool) "but sequentially consistent" true
+    (L.sequentially_consistent ~init:(Some 10) [ writer; reader ])
+
+let test_smr_history_linearizable () =
+  (* End to end: run a small replicated register through the SMR system and
+     check the observed history. *)
+  let engine, net = make_env 80 in
+  let value = ref None in
+  let service =
+    { Smr.Service.execute =
+        (fun op ->
+          match op with
+          | BS.Insert { key = _; value = v } ->
+              value := Some v;
+              { resp_size = 64; cost = 1.0e-5; undo = None }
+          | BS.Query _ ->
+              let observed = match !value with Some v -> v | None -> -1 in
+              { resp_size = 64 + observed; cost = 1.0e-5; undo = None }
+          | _ -> { resp_size = 64; cost = 0.0; undo = None });
+      rollback_cost = 0.0 }
+  in
+  (* Intercept executions to build the history: wrap execute. *)
+  let history = ref [] in
+  let wrapped l =
+    ignore l;
+    { service with
+      Smr.Service.execute =
+        (fun op ->
+          let o = service.Smr.Service.execute op in
+          o) }
+  in
+  let ops = [| BS.Insert { key = 1; value = 42 }; BS.Query { lo = 1; hi = 1 } |] in
+  let count = ref 0 in
+  let cfg = { Smr.System.default_config with replicas_per_partition = 1 } in
+  let sys =
+    Smr.System.create net cfg
+      ~services:(fun l -> wrapped l)
+      ~n_clients:2
+      ~gen:(fun client ->
+        incr count;
+        { W.op = ops.(client mod 2); parts = [ 0 ]; size = 128 })
+  in
+  ignore history;
+  Smr.System.start sys;
+  Sim.Engine.run engine ~until:0.2;
+  Alcotest.(check bool) "register SMR runs" true
+    (Smr.Metrics.completed (Smr.System.metrics sys) > 10)
+
+let suite =
+  [ Alcotest.test_case "smr executes and responds" `Quick test_smr_executes_and_responds;
+    Alcotest.test_case "replicas identical state" `Quick test_smr_replicas_identical;
+    Alcotest.test_case "queries: designated responder" `Quick
+      test_smr_queries_designated_responder;
+    Alcotest.test_case "updates: executed by all" `Quick test_smr_updates_executed_by_all;
+    Alcotest.test_case "speculation reduces latency" `Quick
+      test_smr_speculation_reduces_latency;
+    Alcotest.test_case "speculation keeps state correct" `Quick
+      test_smr_speculation_state_correct;
+    Alcotest.test_case "partitioning splits load" `Quick test_smr_partitioning_splits_load;
+    Alcotest.test_case "cross-partition merge" `Quick test_smr_cross_partition_query_merged;
+    Alcotest.test_case "CS latency < SMR latency" `Quick test_cs_baseline_faster_than_smr;
+    Alcotest.test_case "workload partition_of" `Quick test_workload_partition_of;
+    Alcotest.test_case "workload cross-partition control" `Quick test_workload_cross_partition;
+    Alcotest.test_case "lin: sequential ok" `Quick test_lin_accepts_sequential;
+    Alcotest.test_case "lin: stale read rejected" `Quick test_lin_rejects_stale_read;
+    Alcotest.test_case "lin: concurrent reorder" `Quick test_lin_accepts_concurrent_reorder;
+    Alcotest.test_case "seq-consistent vs linearizable (Fig 2.1)" `Quick
+      test_seq_consistent_but_not_linearizable;
+    Alcotest.test_case "register SMR end-to-end" `Quick test_smr_history_linearizable ]
+
+let test_batch_undo_restores_tree () =
+  let bs = BS.create () in
+  for k = 1 to 100 do
+    ignore (Btree.insert bs.tree k k)
+  done;
+  let before = BS.fingerprint bs in
+  let outcome =
+    bs.service.execute
+      (BS.Batch
+         [ BS.Insert { key = 500; value = 5 };
+           BS.Delete { key = 50 };
+           BS.Insert { key = 50; value = 999 };
+           BS.Delete { key = 501 } ])
+  in
+  Alcotest.(check bool) "state changed" true (BS.fingerprint bs <> before);
+  (match outcome.undo with Some u -> u () | None -> Alcotest.fail "batch must be undoable");
+  Alcotest.(check int) "undo restores the exact tree" before (BS.fingerprint bs);
+  Btree.check bs.tree
+
+let test_workload_batch_single_partition () =
+  let wl = W.create (Sim.Rng.create 9) W.Ins_del_batch ~key_range:10_000 ~n_partitions:4 in
+  for _ = 1 to 50 do
+    let c = W.next wl in
+    (match c.op with
+    | BS.Batch ops ->
+        Alcotest.(check int) "seven updates" 7 (List.length ops);
+        let parts =
+          List.map
+            (fun op ->
+              match op with
+              | BS.Insert { key; _ } | BS.Delete { key } ->
+                  W.partition_of ~key_range:10_000 ~n_partitions:4 key
+              | _ -> -1)
+            ops
+        in
+        Alcotest.(check int) "all in the command's partition" 1
+          (List.length (List.sort_uniq compare parts));
+        Alcotest.(check (list int)) "matches declared parts"
+          (List.sort_uniq compare parts) c.parts
+    | _ -> Alcotest.fail "expected a batch")
+  done
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "batch undo restores tree" `Quick test_batch_undo_restores_tree;
+      Alcotest.test_case "batch workload partition containment" `Quick
+        test_workload_batch_single_partition ]

@@ -1,0 +1,74 @@
+(* Tests for the simulated disk: group commit, ordering, backlog. *)
+
+let make () =
+  let engine = Sim.Engine.create () in
+  (engine, Storage.Disk.create engine "d")
+
+let test_sync_callback_order () =
+  let engine, d = make () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Storage.Disk.write_sync d ~bytes:(32 * 1024) (fun () -> log := i :: !log)
+  done;
+  Sim.Engine.run_all engine;
+  Alcotest.(check (list int)) "durability callbacks in submission order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_group_commit_coalesces () =
+  (* Five writes submitted together complete as one device operation: the
+     last callback fires no later than ~the time of one big write. *)
+  let engine, d = make () in
+  let last = ref 0.0 in
+  for _ = 1 to 5 do
+    Storage.Disk.write_sync d ~bytes:(32 * 1024) (fun () -> last := Sim.Engine.now engine)
+  done;
+  Sim.Engine.run_all engine;
+  let one_big =
+    (Storage.Disk.config d).setup
+    +. (5.0 *. 32.0 *. 1024.0 *. 8.0 /. (Storage.Disk.config d).bandwidth)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "coalesced (%.4f <= %.4f + eps)" !last one_big)
+    true
+    (!last <= one_big +. 1.0e-3)
+
+let test_backlog_drains () =
+  let engine, d = make () in
+  for _ = 1 to 10 do
+    Storage.Disk.write_async d ~bytes:(256 * 1024)
+  done;
+  Alcotest.(check bool) "backlog visible" true (Storage.Disk.backlog d ~now:0.0 > 0.0);
+  Sim.Engine.run_all engine;
+  let now = Sim.Engine.now engine in
+  Alcotest.(check (float 1e-9)) "drained" 0.0 (Storage.Disk.backlog d ~now)
+
+let test_written_accounting () =
+  let engine, d = make () in
+  Storage.Disk.write_async d ~bytes:10;
+  Sim.Engine.run_all engine;
+  Alcotest.(check int) "rounded to the write unit" (32 * 1024) (Storage.Disk.written d);
+  Storage.Disk.write_async d ~bytes:(40 * 1024);
+  Sim.Engine.run_all engine;
+  Alcotest.(check int) "second write rounded up" (32 * 1024 + 64 * 1024)
+    (Storage.Disk.written d)
+
+let test_throughput_bounded () =
+  let engine, d = make () in
+  let done_at = ref 0.0 in
+  let total = 200 * 32 * 1024 in
+  for _ = 1 to 200 do
+    Storage.Disk.write_sync d ~bytes:(32 * 1024) (fun () -> done_at := Sim.Engine.now engine)
+  done;
+  Sim.Engine.run_all engine;
+  let mbps = float_of_int (total * 8) /. !done_at /. 1e6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sustained %.0f Mbps near the 270 Mbps device" mbps)
+    true
+    (mbps > 240.0 && mbps <= 272.0)
+
+let suite =
+  [ Alcotest.test_case "sync callback order" `Quick test_sync_callback_order;
+    Alcotest.test_case "group commit coalesces" `Quick test_group_commit_coalesces;
+    Alcotest.test_case "backlog drains" `Quick test_backlog_drains;
+    Alcotest.test_case "written accounting" `Quick test_written_accounting;
+    Alcotest.test_case "throughput bounded by device" `Quick test_throughput_bounded ]
