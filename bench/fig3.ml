@@ -46,6 +46,15 @@ let one_to_many strategy n_receivers =
     Sim.Stats.Rate.mbps (Simnet.recv_rate receivers.(0)) ~from:0.5 ~till:2.0
   in
   let cpu = Util.cpu_pct (Simnet.cpu_busy sender_node) ~from:0.5 ~till:2.0 in
+  let sname =
+    match strategy with `Unicast -> "unicast" | `Multicast -> "multicast" | `Pipeline -> "pipeline"
+  in
+  Util.snapshot
+    (Sim.Stats.Snapshot.make
+       ~rate:(Simnet.recv_rate receivers.(0))
+       ~busy:(Simnet.cpu_busy sender_node)
+       ~label:(Printf.sprintf "fig3.2/%s/%d" sname n_receivers)
+       ~from:0.5 ~till:2.0 ());
   (thr, cpu)
 
 let fig3_2 () =

@@ -69,17 +69,29 @@ let chapters =
   [ ("ch3", Fig3.all); ("ch4", Fig4.all); ("ch5", Fig5.all); ("ch6", Fig6.all);
     ("ch7", Fig7.all) ]
 
+(* Strip `--json <path>` (request a machine-readable metrics dump) from
+   the argument list before experiment dispatch. *)
+let rec extract_json_flag = function
+  | [] -> []
+  | [ "--json" ] ->
+      prerr_endline "--json requires a file path";
+      exit 1
+  | "--json" :: path :: rest ->
+      Util.set_json_output path;
+      extract_json_flag rest
+  | a :: rest -> a :: extract_json_flag rest
+
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] | [ _; "all" ] ->
+  (match extract_json_flag (List.tl (Array.to_list Sys.argv)) with
+  | [] | [ "all" ] ->
       List.iter
         (fun (id, _, f) ->
           ignore id;
           f ();
           flush stdout)
         experiments
-  | [ _; "list" ] -> list_experiments ()
-  | _ :: args ->
+  | [ "list" ] -> list_experiments ()
+  | args ->
       List.iter
         (fun a ->
           match List.assoc_opt a chapters with
@@ -87,5 +99,5 @@ let () =
               f ();
               flush stdout
           | None -> run_one a)
-        args
-  | [] -> ()
+        args);
+  Util.write_json ()

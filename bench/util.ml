@@ -13,3 +13,34 @@ let header title =
   Printf.printf "\n%s\n%s\n%!" title line
 
 let cpu_pct busy ~from ~till = Sim.Stats.Busy.utilization busy ~from ~till
+
+(* --json plumbing: experiments append machine-readable snapshots here
+   and main.ml writes them all out once the requested runs finish. *)
+let json_path : string option ref = ref None
+let snapshots : Sim.Stats.Snapshot.t list ref = ref []
+
+(* Fail fast on an unwritable path, before hours of experiments run. *)
+let set_json_output path =
+  (try close_out (open_out path)
+   with Sys_error e ->
+     Printf.eprintf "cannot write --json output: %s\n" e;
+     exit 1);
+  json_path := Some path
+
+let snapshot s = if !json_path <> None then snapshots := s :: !snapshots
+
+let write_json () =
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "[\n";
+      List.iteri
+        (fun i s ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc "  ";
+          output_string oc (Sim.Stats.Snapshot.to_json s))
+        (List.rev !snapshots);
+      output_string oc "\n]\n";
+      close_out oc;
+      Printf.printf "wrote %d metric snapshots to %s\n%!" (List.length !snapshots) path

@@ -12,7 +12,7 @@ let acquire t ~at ~dur =
   let start = if at > t.free_at then at else t.free_at in
   let finish = start +. dur in
   t.free_at <- finish;
-  Sim.Stats.Busy.add t.busy dur;
+  Sim.Stats.Busy.add ~at:start t.busy dur;
   (start, finish)
 
 let free_at t = t.free_at

@@ -109,7 +109,7 @@ let rec pump t rep w =
         let start = Stdlib.max arrived rep.workers.(w) in
         let fin = start +. t.cfg.exec_cost in
         rep.workers.(w) <- fin;
-        Sim.Stats.Busy.add rep.busy t.cfg.exec_cost;
+        Sim.Stats.Busy.add ~at:start rep.busy t.cfg.exec_cost;
         rep.exec_count <- rep.exec_count + 1;
         respond t rep ~learner:((rep.rep_idx * t.cfg.n_workers) + w)
           ~uid:it.Paxos.Value.uid ~at:fin;
@@ -132,7 +132,7 @@ let rec pump t rep w =
               | _ -> assert false);
               rep.workers.(i) <- fin
             done;
-            Sim.Stats.Busy.add rep.busy t.cfg.exec_cost;
+            Sim.Stats.Busy.add ~at:b.b_ready rep.busy t.cfg.exec_cost;
             rep.exec_count <- rep.exec_count + 1;
             rep.barrier_count <- rep.barrier_count + 1;
             Hashtbl.remove rep.barriers it.uid;
@@ -182,7 +182,7 @@ let sdpe_deliver t ~learner (it : Paxos.Value.item) =
           fin
         end
       in
-      Sim.Stats.Busy.add rep.busy t.cfg.exec_cost;
+      Sim.Stats.Busy.add ~at:(fin -. t.cfg.exec_cost) rep.busy t.cfg.exec_cost;
       rep.exec_count <- rep.exec_count + 1;
       respond t rep ~learner ~uid:it.uid ~at:fin
   | _ -> ())
@@ -194,7 +194,7 @@ let serial_deliver t ~learner (it : Paxos.Value.item) =
   let start = Stdlib.max now rep.workers.(0) in
   let fin = start +. t.cfg.exec_cost in
   rep.workers.(0) <- fin;
-  Sim.Stats.Busy.add rep.busy t.cfg.exec_cost;
+  Sim.Stats.Busy.add ~at:start rep.busy t.cfg.exec_cost;
   rep.exec_count <- rep.exec_count + 1;
   respond t rep ~learner ~uid:it.Paxos.Value.uid ~at:fin
 

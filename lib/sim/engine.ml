@@ -1,7 +1,3 @@
-type handle = { mutable cancelled : bool }
-
-type event = { time : float; seq : int; h : handle; action : unit -> unit }
-
 type t = {
   mutable now : float;
   mutable seq : int;
@@ -9,9 +5,13 @@ type t = {
   heap : event Heap.t;
 }
 
+and event = { time : float; order : int; h : handle; action : unit -> unit }
+
+and handle = { mutable cancelled : bool; owner : t }
+
 let compare_event a b =
-  let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.order b.order
 
 let create () = { now = 0.0; seq = 0; live = 0; heap = Heap.create compare_event }
 
@@ -19,17 +19,23 @@ let now t = t.now
 
 let at t ~time f =
   let time = if time < t.now then t.now else time in
-  let h = { cancelled = false } in
+  let h = { cancelled = false; owner = t } in
   t.seq <- t.seq + 1;
   t.live <- t.live + 1;
-  Heap.push t.heap { time; seq = t.seq; h; action = f };
+  Heap.push t.heap { time; order = t.seq; h; action = f };
   h
 
 let schedule t ~delay f =
   let delay = if delay < 0.0 then 0.0 else delay in
   at t ~time:(t.now +. delay) f
 
-let cancel h = h.cancelled <- true
+(* [live] is decremented here rather than when the event is eventually
+   popped, so [pending] counts only uncancelled events. *)
+let cancel h =
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    h.owner.live <- h.owner.live - 1
+  end
 
 let step t =
   let ev = Heap.pop t.heap in
@@ -38,7 +44,6 @@ let step t =
     t.now <- ev.time;
     ev.action ()
   end
-  else t.live <- t.live - 1
 
 let default_max = 200_000_000
 

@@ -22,7 +22,8 @@ val schedule : t -> delay:float -> (unit -> unit) -> handle
 (** [at t ~time f] runs [f] at absolute [time] (clamped to [now t]). *)
 val at : t -> time:float -> (unit -> unit) -> handle
 
-(** [cancel h] prevents the event from firing; idempotent. *)
+(** [cancel h] prevents the event from firing; idempotent.  The event is
+    uncounted from {!pending} immediately (not when its slot drains). *)
 val cancel : handle -> unit
 
 (** [run t ~until] processes events in time order until the queue drains or

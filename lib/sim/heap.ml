@@ -2,19 +2,25 @@ type 'a t = {
   cmp : 'a -> 'a -> int;
   mutable data : 'a array;
   mutable size : int;
+  (* Filler written into vacated slots so popped elements (and whatever
+     their closures capture) become collectable.  Holds at most one
+     element -- the first ever pushed -- which is the only value a heap
+     may pin beyond its live contents; dropped again when the heap
+     empties. *)
+  mutable dummy : 'a array;
 }
 
-let create cmp = { cmp; data = [||]; size = 0 }
+let create cmp = { cmp; data = [||]; size = 0; dummy = [||] }
 
 let is_empty h = h.size = 0
 
 let length h = h.size
 
-let grow h x =
+let grow h =
   let cap = Array.length h.data in
   if h.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let nd = Array.make ncap x in
+    let nd = Array.make ncap h.dummy.(0) in
     Array.blit h.data 0 nd 0 h.size;
     h.data <- nd
   end
@@ -31,7 +37,8 @@ let rec sift_up h i =
   end
 
 let push h x =
-  grow h x;
+  if Array.length h.dummy = 0 then h.dummy <- [| x |];
+  grow h;
   h.data.(h.size) <- x;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
@@ -48,19 +55,27 @@ let rec sift_down h i =
     sift_down h !smallest
   end
 
+let release_storage h =
+  h.data <- [||];
+  h.dummy <- [||]
+
 let pop h =
   if h.size = 0 then invalid_arg "Heap.pop: empty heap";
   let top = h.data.(0) in
   h.size <- h.size - 1;
   if h.size > 0 then begin
     h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- h.dummy.(0);
     sift_down h 0
-  end;
+  end
+  else release_storage h;
   top
 
 let peek h = if h.size = 0 then None else Some h.data.(0)
 
-let clear h = h.size <- 0
+let clear h =
+  h.size <- 0;
+  release_storage h
 
 let to_list h =
   let rec go i acc = if i < 0 then acc else go (i - 1) (h.data.(i) :: acc) in

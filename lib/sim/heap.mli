@@ -16,14 +16,17 @@ val length : 'a t -> int
 
 val push : 'a t -> 'a -> unit
 
-(** [pop h] removes and returns the minimum element.
+(** [pop h] removes and returns the minimum element.  The vacated slot is
+    overwritten so the element is collectable once the caller drops it;
+    the heap retains at most one filler element (the first ever pushed)
+    while non-empty, and nothing once it empties.
     @raise Invalid_argument if the heap is empty. *)
 val pop : 'a t -> 'a
 
 (** [peek h] returns the minimum element without removing it. *)
 val peek : 'a t -> 'a option
 
-(** [clear h] removes every element. *)
+(** [clear h] removes every element and releases the backing storage. *)
 val clear : 'a t -> unit
 
 (** [to_list h] is the (unsorted) list of elements currently stored. *)

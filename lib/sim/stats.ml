@@ -1,132 +1,318 @@
-module Rate = struct
+(* Streaming, constant-memory measurement accumulators.
+
+   Everything here sits on the innermost loop of the simulator: every
+   packet, disk write and command funnels through [Rate]/[Busy]/[Latency]
+   across the protocol libraries and the bench harness.  The accumulators
+   therefore keep fixed-width time-bucket rings -- O(buckets) memory and
+   query cost, O(1) amortised per sample -- instead of retaining every
+   sample, which previously made [Rate] O(n) per query and unbounded in
+   memory. *)
+
+let default_bucket_width = 0.1
+let default_buckets = 1024 (* ~102 s of history at the default width *)
+
+(* Bucket index of [time].  The epsilon absorbs float-division noise so a
+   sample recorded exactly on a bucket edge lands in the bucket that
+   starts there (0.5 /. 0.1 evaluates below 5.0 in binary floats). *)
+let bucket_index ~width time =
+  int_of_float (floor ((time /. width) +. 1e-9))
+
+(* Shared ring bookkeeping: which contiguous range of absolute bucket
+   indices [first, last] is currently retained, and where each lives in a
+   circular store of [cap] slots owned by the caller. *)
+module Ring = struct
   type t = {
-    mutable events : int;
-    mutable bytes : int;
-    mutable samples : (float * int) list; (* newest first *)
+    width : float;
+    cap : int;
+    mutable first : int; (* lowest retained bucket index *)
+    mutable last : int;  (* highest bucket index written; -1 when empty *)
   }
 
-  let create () = { events = 0; bytes = 0; samples = [] }
+  let create ~width ~cap = { width; cap; first = 0; last = -1 }
+
+  let slot t b = b mod t.cap
+
+  let bucket t time = Stdlib.max 0 (bucket_index ~width:t.width time)
+
+  (* Make bucket [b] addressable, recycling (via [clear]) any slots whose
+     previous tenants fall off the horizon.  [None] means [b] is older
+     than the retained window: the caller should drop the per-bucket part
+     (lifetime totals are kept separately). *)
+  let locate t b ~clear =
+    if t.last < 0 then begin
+      t.first <- b;
+      t.last <- b;
+      let s = slot t b in
+      clear s;
+      Some s
+    end
+    else if b < t.first then None
+    else begin
+      if b > t.last then begin
+        let lo = Stdlib.max (t.last + 1) (b - t.cap + 1) in
+        for i = lo to b do
+          clear (slot t i)
+        done;
+        t.last <- b;
+        if b - t.first >= t.cap then t.first <- b - t.cap + 1
+      end;
+      Some (slot t b)
+    end
+
+  (* [fold_window t ~from ~till f acc] folds [f acc slot covered_fraction]
+     over the retained buckets intersecting [from, till).  Edge buckets
+     contribute the fraction of the bucket the window covers, so
+     bucket-aligned windows are exact and unaligned ones assume uniform
+     density within the edge buckets. *)
+  let fold_window t ~from ~till f acc =
+    if t.last < 0 || till <= from then acc
+    else begin
+      let b0 = Stdlib.max t.first (bucket t from) in
+      let b1 = Stdlib.min t.last (bucket t till) in
+      let acc = ref acc in
+      for b = b0 to b1 do
+        let bs = float_of_int b *. t.width in
+        let be = bs +. t.width in
+        let lo = Stdlib.max from bs and hi = Stdlib.min till be in
+        if hi > lo then begin
+          let frac = (hi -. lo) /. t.width in
+          let frac = if frac > 1.0 then 1.0 else frac in
+          acc := f !acc (slot t b) frac
+        end
+      done;
+      !acc
+    end
+end
+
+module Rate = struct
+  type t = {
+    ring : Ring.t;
+    ev : int array; (* events per retained bucket *)
+    by : int array; (* bytes per retained bucket *)
+    mutable events : int;
+    mutable bytes : int;
+  }
+
+  let create ?(bucket_width = default_bucket_width) ?(buckets = default_buckets) () =
+    let cap = Stdlib.max 1 buckets in
+    { ring = Ring.create ~width:bucket_width ~cap;
+      ev = Array.make cap 0;
+      by = Array.make cap 0;
+      events = 0;
+      bytes = 0 }
 
   let add t ~now ~bytes =
     t.events <- t.events + 1;
     t.bytes <- t.bytes + bytes;
-    t.samples <- (now, bytes) :: t.samples
+    let b = Ring.bucket t.ring now in
+    match
+      Ring.locate t.ring b ~clear:(fun s ->
+          t.ev.(s) <- 0;
+          t.by.(s) <- 0)
+    with
+    | None -> () (* older than the retained horizon: lifetime totals only *)
+    | Some s ->
+        t.ev.(s) <- t.ev.(s) + 1;
+        t.by.(s) <- t.by.(s) + bytes
 
   let events t = t.events
   let bytes t = t.bytes
 
   let in_window t ~from ~till =
-    List.fold_left
-      (fun (n, b) (time, bytes) ->
-        if time >= from && time < till then (n + 1, b + bytes) else (n, b))
-      (0, 0) t.samples
+    Ring.fold_window t.ring ~from ~till
+      (fun (n, b) s frac ->
+        (n +. (frac *. float_of_int t.ev.(s)), b +. (frac *. float_of_int t.by.(s))))
+      (0.0, 0.0)
 
   let mbps t ~from ~till =
     let span = till -. from in
     if span <= 0.0 then 0.0
     else
       let _, b = in_window t ~from ~till in
-      float_of_int b *. 8.0 /. span /. 1e6
+      b *. 8.0 /. span /. 1e6
 
   let events_per_sec t ~from ~till =
     let span = till -. from in
-    if span <= 0.0 then 0.0
-    else
-      let n, _ = in_window t ~from ~till in
-      float_of_int n /. span
+    if span <= 0.0 then 0.0 else fst (in_window t ~from ~till) /. span
 
   let series t ~window ~till =
-    let nbuckets = int_of_float (ceil (till /. window)) in
-    let buckets = Array.make (Stdlib.max nbuckets 1) 0 in
-    List.iter
-      (fun (time, bytes) ->
-        if time < till then begin
-          let i = int_of_float (time /. window) in
-          if i >= 0 && i < Array.length buckets then
-            buckets.(i) <- buckets.(i) + bytes
-        end)
-      t.samples;
-    List.init (Array.length buckets) (fun i ->
-        let wend = window *. float_of_int (i + 1) in
-        (wend, float_of_int buckets.(i) *. 8.0 /. window /. 1e6))
+    let nbuckets = Stdlib.max 1 (int_of_float (ceil (till /. window))) in
+    List.init nbuckets (fun i ->
+        let ws = window *. float_of_int i in
+        let we = window *. float_of_int (i + 1) in
+        let _, b = in_window t ~from:ws ~till:(Stdlib.min we till) in
+        (we, b *. 8.0 /. window /. 1e6))
 end
 
 module Latency = struct
-  type t = { mutable samples : float list; mutable n : int }
+  type t = {
+    reservoir : int; (* 0 = keep every sample *)
+    mutable data : float array;
+    mutable len : int;
+    mutable n : int; (* finite samples recorded (NaN adds are dropped) *)
+    mutable nans : int;
+    mutable sum : float;
+    mutable max_s : float;
+    mutable cache : float array; (* sorted copy, rebuilt lazily per query generation *)
+    mutable dirty : bool;
+    mutable seed : int; (* deterministic stream for reservoir replacement *)
+  }
 
-  let create () = { samples = []; n = 0 }
+  let create ?(reservoir = 0) () =
+    { reservoir = Stdlib.max 0 reservoir;
+      data = [||];
+      len = 0;
+      n = 0;
+      nans = 0;
+      sum = 0.0;
+      max_s = neg_infinity;
+      cache = [||];
+      dirty = false;
+      seed = 0x2545F491 }
+
+  (* 48-bit LCG (java.util.Random constants); only used to pick reservoir
+     victims, so statistical quality requirements are mild but determinism
+     matters. *)
+  let rand_below t n =
+    t.seed <- ((t.seed * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+    (t.seed lsr 17) mod n
+
+  let append t x =
+    if t.len = Array.length t.data then begin
+      let ncap = Stdlib.max 64 (2 * t.len) in
+      let nd = Array.make ncap 0.0 in
+      Array.blit t.data 0 nd 0 t.len;
+      t.data <- nd
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
 
   let add t x =
-    t.samples <- x :: t.samples;
-    t.n <- t.n + 1
+    if Float.is_nan x then t.nans <- t.nans + 1
+    else begin
+      t.n <- t.n + 1;
+      t.sum <- t.sum +. x;
+      if x > t.max_s then t.max_s <- x;
+      if t.reservoir = 0 || t.len < t.reservoir then append t x
+      else begin
+        (* Algorithm R: after the reservoir fills, the i-th sample
+           replaces a random slot with probability reservoir/i. *)
+        let j = rand_below t t.n in
+        if j < t.reservoir then t.data.(j) <- x
+      end;
+      t.dirty <- true
+    end
 
   let count t = t.n
-
-  let mean t =
-    if t.n = 0 then 0.0 else List.fold_left ( +. ) 0.0 t.samples /. float_of_int t.n
+  let dropped_nan t = t.nans
+  let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+  let max t = if t.n = 0 then 0.0 else t.max_s
 
   let sorted t =
-    let a = Array.of_list t.samples in
-    Array.sort compare a;
-    a
+    if t.dirty || Array.length t.cache <> t.len then begin
+      let a = Array.sub t.data 0 t.len in
+      Array.sort Float.compare a;
+      t.cache <- a;
+      t.dirty <- false
+    end;
+    t.cache
 
   let percentile t p =
-    if t.n = 0 then 0.0
-    else
+    if t.len = 0 then 0.0
+    else begin
+      let p = if Float.is_nan p then 0.0 else Stdlib.min 1.0 (Stdlib.max 0.0 p) in
       let a = sorted t in
-      let idx = int_of_float (p *. float_of_int (t.n - 1)) in
-      a.(Stdlib.max 0 (Stdlib.min (t.n - 1) idx))
-
-  let max t = percentile t 1.0
+      let idx = int_of_float (p *. float_of_int (t.len - 1)) in
+      a.(Stdlib.max 0 (Stdlib.min (t.len - 1) idx))
+    end
 
   let trimmed_mean t ~drop_top =
-    if t.n = 0 then 0.0
-    else
+    if t.len = 0 then 0.0
+    else begin
       let a = sorted t in
-      let keep = Stdlib.max 1 (int_of_float (float_of_int t.n *. (1.0 -. drop_top))) in
+      let keep =
+        Stdlib.max 1 (int_of_float (float_of_int t.len *. (1.0 -. drop_top)))
+      in
+      let keep = Stdlib.min t.len keep in
       let sum = ref 0.0 in
       for i = 0 to keep - 1 do
         sum := !sum +. a.(i)
       done;
       !sum /. float_of_int keep
+    end
 
   let cdf t ~points =
-    if t.n = 0 then []
-    else
+    if t.len = 0 then []
+    else begin
       let a = sorted t in
       List.init points (fun i ->
           let frac = float_of_int (i + 1) /. float_of_int points in
-          let idx = Stdlib.min (t.n - 1) (int_of_float (frac *. float_of_int (t.n - 1))) in
+          let idx =
+            Stdlib.min (t.len - 1) (int_of_float (frac *. float_of_int (t.len - 1)))
+          in
           (a.(idx), frac))
+    end
 end
 
 module Busy = struct
   type t = {
+    ring : Ring.t;
+    per_bucket : float array; (* busy seconds per retained bucket *)
     mutable total : float;
+    mutable cursor : float; (* assumed start time of the next un-timestamped add *)
     mutable window_start : float;
     mutable window_busy : float;
-    mutable log : (float * float) list; (* (start_of_accounting_instant, dur) *)
   }
 
-  let create () = { total = 0.0; window_start = 0.0; window_busy = 0.0; log = [] }
+  let create ?(bucket_width = default_bucket_width) ?(buckets = default_buckets) () =
+    let cap = Stdlib.max 1 buckets in
+    { ring = Ring.create ~width:bucket_width ~cap;
+      per_bucket = Array.make cap 0.0;
+      total = 0.0;
+      cursor = 0.0;
+      window_start = 0.0;
+      window_busy = 0.0 }
 
-  let add t dur =
+  (* Record the busy interval [start, start +. dur), split exactly across
+     the buckets it spans. *)
+  let record t start dur =
+    let fin = start +. dur in
+    let b0 = Ring.bucket t.ring start in
+    let b1 = Ring.bucket t.ring fin in
+    for b = b0 to b1 do
+      let bs = float_of_int b *. t.ring.Ring.width in
+      let be = bs +. t.ring.Ring.width in
+      let lo = Stdlib.max start bs and hi = Stdlib.min fin be in
+      if hi > lo then
+        match Ring.locate t.ring b ~clear:(fun s -> t.per_bucket.(s) <- 0.0) with
+        | None -> ()
+        | Some s -> t.per_bucket.(s) <- t.per_bucket.(s) +. (hi -. lo)
+    done
+
+  let add ?at t dur =
     t.total <- t.total +. dur;
-    t.window_busy <- t.window_busy +. dur
+    t.window_busy <- t.window_busy +. dur;
+    if dur > 0.0 then begin
+      let start = match at with Some s -> s | None -> t.cursor in
+      record t start dur;
+      let fin = start +. dur in
+      if fin > t.cursor then t.cursor <- fin
+    end
 
-  let add_at t ~now dur =
-    add t dur;
-    t.log <- (now, dur) :: t.log
-
-  let _ = add_at
+  let add_at t ~now dur = add ~at:now t dur
 
   let total t = t.total
+
+  let busy_in t ~from ~till =
+    Ring.fold_window t.ring ~from ~till
+      (fun acc s frac -> acc +. (frac *. t.per_bucket.(s)))
+      0.0
 
   let utilization t ~from ~till =
     let span = till -. from in
     if span <= 0.0 then 0.0
     else
-      let pct = t.total /. span *. 100.0 in
+      let pct = busy_in t ~from ~till /. span *. 100.0 in
       Stdlib.min 100.0 (Stdlib.max 0.0 pct)
 
   let reset_window t ~now =
@@ -137,4 +323,88 @@ module Busy = struct
     let span = now -. t.window_start in
     if span <= 0.0 then 0.0
     else Stdlib.min 100.0 (Stdlib.max 0.0 (t.window_busy /. span *. 100.0))
+end
+
+module Snapshot = struct
+  type t = {
+    label : string;
+    from_ : float;
+    till : float;
+    events : int;
+    bytes : int;
+    mbps : float;
+    events_per_sec : float;
+    lat_count : int;
+    lat_mean : float;
+    lat_p50 : float;
+    lat_p95 : float;
+    lat_p99 : float;
+    lat_max : float;
+    cpu_pct : float;
+  }
+
+  let make ?rate ?latency ?busy ~label ~from ~till () =
+    let events, bytes, mbps, eps =
+      match rate with
+      | None -> (0, 0, 0.0, 0.0)
+      | Some r ->
+          ( Rate.events r,
+            Rate.bytes r,
+            Rate.mbps r ~from ~till,
+            Rate.events_per_sec r ~from ~till )
+    in
+    let lat_count, lat_mean, lat_p50, lat_p95, lat_p99, lat_max =
+      match latency with
+      | None -> (0, 0.0, 0.0, 0.0, 0.0, 0.0)
+      | Some l ->
+          ( Latency.count l,
+            Latency.mean l,
+            Latency.percentile l 0.5,
+            Latency.percentile l 0.95,
+            Latency.percentile l 0.99,
+            Latency.max l )
+    in
+    let cpu_pct =
+      match busy with None -> 0.0 | Some b -> Busy.utilization b ~from ~till
+    in
+    { label; from_ = from; till; events; bytes; mbps; events_per_sec = eps;
+      lat_count; lat_mean; lat_p50; lat_p95; lat_p99; lat_max; cpu_pct }
+
+  let json_number f =
+    if Float.is_nan f || Float.abs f = infinity then "null"
+    else Printf.sprintf "%.6g" f
+
+  let to_json t =
+    let b = Buffer.create 256 in
+    let field name v = Buffer.add_string b (Printf.sprintf "%S:%s" name v) in
+    Buffer.add_char b '{';
+    field "label" (Printf.sprintf "%S" t.label);
+    Buffer.add_char b ',';
+    field "from" (json_number t.from_);
+    Buffer.add_char b ',';
+    field "till" (json_number t.till);
+    Buffer.add_char b ',';
+    field "events" (string_of_int t.events);
+    Buffer.add_char b ',';
+    field "bytes" (string_of_int t.bytes);
+    Buffer.add_char b ',';
+    field "mbps" (json_number t.mbps);
+    Buffer.add_char b ',';
+    field "events_per_sec" (json_number t.events_per_sec);
+    Buffer.add_char b ',';
+    field "lat_count" (string_of_int t.lat_count);
+    Buffer.add_char b ',';
+    field "lat_mean" (json_number t.lat_mean);
+    Buffer.add_char b ',';
+    field "lat_p50" (json_number t.lat_p50);
+    Buffer.add_char b ',';
+    field "lat_p95" (json_number t.lat_p95);
+    Buffer.add_char b ',';
+    field "lat_p99" (json_number t.lat_p99);
+    Buffer.add_char b ',';
+    field "lat_max" (json_number t.lat_max);
+    Buffer.add_char b ',';
+    field "cpu_pct" (json_number t.cpu_pct);
+    Buffer.add_char b '}';
+    Buffer.contents b
 end

@@ -86,7 +86,7 @@ let book t r cost =
   let start = if now > r.rp_exec_free then now else r.rp_exec_free in
   let fin = start +. cost in
   r.rp_exec_free <- fin;
-  Sim.Stats.Busy.add r.rp_exec_busy cost;
+  Sim.Stats.Busy.add ~at:start r.rp_exec_busy cost;
   fin
 
 let send_resps t r ~at resps =

@@ -288,10 +288,44 @@ let test_charge_cpu_delays_later_messages () =
   Sim.Engine.run_all engine;
   Alcotest.(check bool) "handler waited for the busy CPU" true (!served_at >= 0.1)
 
+let test_fig32_unicast_regression () =
+  (* Mirrors bench/fig3.ml one_to_many `Unicast 2 and pins the throughput
+     measured before the streaming-stats rewrite (481.645909 Mbps), so a
+     change in Rate bucketing that shifts figure outputs by more than 1%
+     fails here rather than silently skewing the reproduction. *)
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 7) in
+  let sender_node = Simnet.add_node net "sender" in
+  let sender = Simnet.add_proc net sender_node "sender" in
+  let receivers =
+    Array.init 2 (fun i ->
+        let nd = Simnet.add_node net (Printf.sprintf "r%d" i) in
+        Simnet.add_proc net nd (Printf.sprintf "r%d" i))
+  in
+  let group = Simnet.new_group net "g" in
+  Array.iter (fun r -> Simnet.join group r) receivers;
+  let pkt = 8192 in
+  let stop =
+    Simnet.every net ~period:(float_of_int (pkt * 8) /. 1.0e9) (fun () ->
+        Array.iter
+          (fun r -> Simnet.send net ~src:sender ~dst:r ~size:pkt (Ping 0))
+          receivers)
+  in
+  Sim.Engine.run engine ~until:2.0;
+  stop ();
+  let thr = Sim.Stats.Rate.mbps (Simnet.recv_rate receivers.(0)) ~from:0.5 ~till:2.0 in
+  let expected = 481.645909 in
+  Alcotest.(check bool)
+    (Printf.sprintf "fig3.2 unicast/2 throughput %.3f within 1%% of %.3f" thr expected)
+    true
+    (Float.abs (thr -. expected) /. expected < 0.01)
+
 let suite =
   suite
   @ [ Alcotest.test_case "tcp FIFO under backpressure" `Quick
         test_tcp_fifo_under_backpressure;
       Alcotest.test_case "engine event budget guard" `Quick test_engine_event_budget;
       Alcotest.test_case "charge_cpu delays handlers" `Quick
-        test_charge_cpu_delays_later_messages ]
+        test_charge_cpu_delays_later_messages;
+      Alcotest.test_case "fig3.2 unicast throughput regression" `Quick
+        test_fig32_unicast_regression ]

@@ -175,6 +175,129 @@ let test_busy_utilization () =
   Stats.Busy.add b 0.25;
   Alcotest.(check (float 1e-6)) "50%" 50.0 (Stats.Busy.utilization b ~from:0.0 ~till:1.0)
 
+let test_busy_windowed_utilization () =
+  let b = Stats.Busy.create () in
+  (* 0.6 s of work, all inside [0, 1). *)
+  Stats.Busy.add ~at:0.2 b 0.3;
+  Stats.Busy.add ~at:0.6 b 0.3;
+  Alcotest.(check (float 1e-6)) "busy window" 60.0 (Stats.Busy.utilization b ~from:0.0 ~till:1.0);
+  (* The old code divided lifetime busy time by the span, reporting 60%
+     here instead of 0%. *)
+  Alcotest.(check (float 1e-6)) "idle window" 0.0 (Stats.Busy.utilization b ~from:1.0 ~till:2.0);
+  Stats.Busy.add ~at:2.2 b 0.5;
+  Alcotest.(check (float 1e-6)) "later window" 50.0 (Stats.Busy.utilization b ~from:2.0 ~till:3.0);
+  Alcotest.(check (float 1e-6)) "total still lifetime" 1.1 (Stats.Busy.total b)
+
+let test_busy_interval_straddles_window () =
+  let b = Stats.Busy.create () in
+  (* [0.95, 1.05): half before the window edge, half after. *)
+  Stats.Busy.add ~at:0.95 b 0.1;
+  Alcotest.(check (float 1e-6)) "first half" 5.0 (Stats.Busy.utilization b ~from:0.0 ~till:1.0);
+  Alcotest.(check (float 1e-6)) "second half" 5.0 (Stats.Busy.utilization b ~from:1.0 ~till:2.0)
+
+let test_latency_edge_cases () =
+  let l = Stats.Latency.create () in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 (Stats.Latency.percentile l 0.5);
+  Alcotest.(check (float 0.0)) "empty max" 0.0 (Stats.Latency.max l);
+  Stats.Latency.add l 7.0;
+  Alcotest.(check (float 1e-9)) "n=1 p0" 7.0 (Stats.Latency.percentile l 0.0);
+  Alcotest.(check (float 1e-9)) "n=1 p1" 7.0 (Stats.Latency.percentile l 1.0);
+  Stats.Latency.add l Float.nan;
+  Alcotest.(check int) "NaN dropped from count" 1 (Stats.Latency.count l);
+  Alcotest.(check int) "NaN drop recorded" 1 (Stats.Latency.dropped_nan l);
+  Alcotest.(check (float 1e-9)) "mean unaffected by NaN" 7.0 (Stats.Latency.mean l);
+  Stats.Latency.add l 1.0;
+  Stats.Latency.add l 1.0;
+  Alcotest.(check (float 1e-9)) "p0 is min" 1.0 (Stats.Latency.percentile l 0.0);
+  Alcotest.(check (float 1e-9)) "p1 is max" 7.0 (Stats.Latency.percentile l 1.0);
+  Alcotest.(check (float 1e-9)) "p out of range clamped" 7.0 (Stats.Latency.percentile l 1.5);
+  Alcotest.(check (float 1e-9)) "NaN p treated as 0" 1.0 (Stats.Latency.percentile l Float.nan)
+
+let test_latency_reservoir () =
+  let l = Stats.Latency.create ~reservoir:128 () in
+  for i = 1 to 100_000 do
+    Stats.Latency.add l (float_of_int i)
+  done;
+  Alcotest.(check int) "count exact" 100_000 (Stats.Latency.count l);
+  Alcotest.(check (float 1e-3)) "mean exact" 50000.5 (Stats.Latency.mean l);
+  Alcotest.(check (float 1e-9)) "max exact" 100000.0 (Stats.Latency.max l);
+  let p50 = Stats.Latency.percentile l 0.5 in
+  Alcotest.(check bool) "p50 estimate in range" true (p50 > 25000.0 && p50 < 75000.0);
+  Alcotest.(check bool) "reservoir bounds memory" true
+    (Obj.reachable_words (Obj.repr l) < 4096)
+
+let test_rate_bucket_boundary () =
+  let r = Stats.Rate.create () in
+  (* Exactly on a bucket edge: must land in the bucket starting at 0.5. *)
+  Stats.Rate.add r ~now:0.5 ~bytes:1000;
+  Alcotest.(check (float 1e-9)) "excluded before the edge" 0.0
+    (Stats.Rate.mbps r ~from:0.0 ~till:0.5);
+  Alcotest.(check (float 1e-6)) "included from the edge" 0.016
+    (Stats.Rate.mbps r ~from:0.5 ~till:1.0);
+  Alcotest.(check (float 1e-6)) "events prorated exactly" 2.0
+    (Stats.Rate.events_per_sec r ~from:0.5 ~till:1.0)
+
+let test_rate_bounded_memory () =
+  let r = Stats.Rate.create () in
+  (* 1M samples over 1000 s: far beyond the ring horizon. *)
+  for i = 0 to 999_999 do
+    Stats.Rate.add r ~now:(0.001 *. float_of_int i) ~bytes:100
+  done;
+  Alcotest.(check int) "lifetime totals exact" 1_000_000 (Stats.Rate.events r);
+  Alcotest.(check int) "bytes exact" 100_000_000 (Stats.Rate.bytes r);
+  (* Recent windows stay queryable after eviction of old buckets. *)
+  Alcotest.(check (float 1e-6)) "recent window rate" 0.8
+    (Stats.Rate.mbps r ~from:999.0 ~till:1000.0);
+  Alcotest.(check bool) "memory is O(buckets), not O(samples)" true
+    (Obj.reachable_words (Obj.repr r) < 50_000)
+
+let test_heap_releases_popped () =
+  let h = Heap.create (fun (a, _) (b, _) -> Stdlib.compare a b) in
+  Heap.push h (0, Bytes.create 8);
+  for i = 1 to 50 do
+    Heap.push h (i, Bytes.create 100_000)
+  done;
+  for _ = 1 to 40 do
+    ignore (Heap.pop h)
+  done;
+  (* 11 big elements remain (~138k words); stale slots would pin ~500k more. *)
+  Alcotest.(check bool) "popped elements are collectable" true
+    (Obj.reachable_words (Obj.repr h) < 200_000);
+  for _ = 1 to 11 do
+    ignore (Heap.pop h)
+  done;
+  Alcotest.(check bool) "empty heap releases storage" true
+    (Obj.reachable_words (Obj.repr h) < 100)
+
+let test_engine_pending_cancel () =
+  let e = Engine.create () in
+  let h1 = Engine.schedule e ~delay:1.0 (fun () -> ()) in
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> ()));
+  Alcotest.(check int) "two pending" 2 (Engine.pending e);
+  Engine.cancel h1;
+  Alcotest.(check int) "cancel uncounts immediately" 1 (Engine.pending e);
+  Engine.cancel h1;
+  Alcotest.(check int) "cancel idempotent" 1 (Engine.pending e);
+  Engine.run e ~until:2.0;
+  Alcotest.(check int) "still one pending after horizon" 1 (Engine.pending e)
+
+let test_snapshot_json () =
+  let r = Stats.Rate.create () in
+  let l = Stats.Latency.create () in
+  let b = Stats.Busy.create () in
+  Stats.Rate.add r ~now:0.25 ~bytes:125_000;
+  Stats.Latency.add l 0.004;
+  Stats.Busy.add ~at:0.1 b 0.2;
+  let s = Stats.Snapshot.make ~rate:r ~latency:l ~busy:b ~label:"t" ~from:0.0 ~till:1.0 () in
+  Alcotest.(check (float 1e-6)) "snapshot mbps" 1.0 s.Stats.Snapshot.mbps;
+  Alcotest.(check (float 1e-6)) "snapshot cpu" 20.0 s.Stats.Snapshot.cpu_pct;
+  let j = Stats.Snapshot.to_json s in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "json has %s" needle) true
+        (Astring_contains.contains j needle))
+    [ {|"label":"t"|}; {|"events":1|}; {|"bytes":125000|}; {|"lat_count":1|}; {|"cpu_pct":20|} ]
+
 let suite =
   [ Alcotest.test_case "heap: pops sorted" `Quick test_heap_order;
     Alcotest.test_case "heap: empty behaviour" `Quick test_heap_empty;
@@ -196,4 +319,14 @@ let suite =
     Alcotest.test_case "stats: rate series" `Quick test_rate_series;
     Alcotest.test_case "stats: latency percentiles" `Quick test_latency_percentiles;
     Alcotest.test_case "stats: trimmed mean" `Quick test_latency_trimmed;
-    Alcotest.test_case "stats: busy utilization" `Quick test_busy_utilization ]
+    Alcotest.test_case "stats: busy utilization" `Quick test_busy_utilization;
+    Alcotest.test_case "stats: windowed busy utilization" `Quick test_busy_windowed_utilization;
+    Alcotest.test_case "stats: busy interval straddles window" `Quick
+      test_busy_interval_straddles_window;
+    Alcotest.test_case "stats: latency edge cases" `Quick test_latency_edge_cases;
+    Alcotest.test_case "stats: latency reservoir" `Quick test_latency_reservoir;
+    Alcotest.test_case "stats: rate bucket boundary" `Quick test_rate_bucket_boundary;
+    Alcotest.test_case "stats: rate bounded memory" `Quick test_rate_bounded_memory;
+    Alcotest.test_case "heap: releases popped elements" `Quick test_heap_releases_popped;
+    Alcotest.test_case "engine: pending tracks cancel" `Quick test_engine_pending_cancel;
+    Alcotest.test_case "stats: snapshot json" `Quick test_snapshot_json ]
