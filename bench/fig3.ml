@@ -103,7 +103,14 @@ let fig3_3 () =
   List.iter
     (fun rate ->
       let l1 = mcast_loss 1 rate and l2 = mcast_loss 2 rate and l5 = mcast_loss 5 rate in
-      Printf.printf "%-12.0f %10.2f %10.2f %10.2f\n" rate l1 l2 l5)
+      Printf.printf "%-12.0f %10.2f %10.2f %10.2f\n" rate l1 l2 l5;
+      List.iter
+        (fun (n, loss) ->
+          Util.snap
+            (Printf.sprintf "fig3.3/%dsenders/%.0fMbps" n rate)
+            ~mbps:rate
+            ~counters:[ ("loss_basis_points", int_of_float (loss *. 100.0)) ])
+        [ (1, l1); (2, l2); (5, l5) ])
     [ 200.0; 400.0; 600.0; 800.0; 850.0; 900.0; 950.0; 1000.0 ]
 
 (* --- Fig 3.4: many-to-one — pipeline vs unicast ----------------------------- *)
@@ -157,7 +164,10 @@ let fig3_4 () =
       List.iter
         (fun (name, s) ->
           let thr, insts, cc, ac = many_to_one s size in
-          Printf.printf "%-8d %-9s %12.0f %12.0f %10.0f %10.0f\n" size name thr insts cc ac)
+          Printf.printf "%-8d %-9s %12.0f %12.0f %10.0f %10.0f\n" size name thr insts cc ac;
+          Util.snap
+            (Printf.sprintf "fig3.4/%s/%d" name size)
+            ~mbps:thr ~events_per_sec:insts ~cpu_pct:cc)
         [ ("unicast", `Unicast); ("pipeline", `Pipeline) ])
     [ 512; 1024; 2048; 4096; 8192 ]
 
@@ -296,7 +306,10 @@ let fig3_7 () =
       List.iter
         (fun n ->
           let thr, msgs, _ = run_proto proto n in
-          Printf.printf "%-14s %10d %12.1f %12.0f\n" (proto_name proto) n thr msgs)
+          Printf.printf "%-14s %10d %12.1f %12.0f\n" (proto_name proto) n thr msgs;
+          Util.snap
+            (Printf.sprintf "fig3.7/%s/%d" (proto_name proto) n)
+            ~mbps:thr ~events_per_sec:msgs)
         [ 5; 10; 25 ])
     [ MRing; URing; Lcr; SPaxos; Spread; Libpaxos; Pfsb ]
 
@@ -307,7 +320,8 @@ let table3_2 () =
     (fun proto ->
       let thr, _, _ = run_proto proto 10 in
       Printf.printf "%-14s %10d %12.1f %11.1f%%\n" (proto_name proto) (best_size proto) thr
-        (thr /. 1000.0 *. 100.0))
+        (thr /. 1000.0 *. 100.0);
+      Util.snap (Printf.sprintf "table3.2/%s" (proto_name proto)) ~mbps:thr)
     [ Lcr; URing; MRing; SPaxos; Spread; Pfsb; Libpaxos ]
 
 let table3_1 () =
@@ -324,7 +338,10 @@ let fig3_8 () =
           (* For M-Ring Paxos the x-axis is the ring itself: f+1 = n. *)
           let mring_f = if proto = MRing then Some (n - 1) else None in
           let thr, _, lat = run_proto ?mring_f proto n in
-          Printf.printf "%-14s %10d %12.1f %12.2f\n" (proto_name proto) n thr lat)
+          Printf.printf "%-14s %10d %12.1f %12.2f\n" (proto_name proto) n thr lat;
+          Util.snap
+            (Printf.sprintf "fig3.8/%s/%d" (proto_name proto) n)
+            ~mbps:thr ~lat_mean:lat)
         sizes)
     [ (MRing, [ 3; 5; 9; 15 ]);
       (URing, [ 5; 9; 15 ]);
@@ -342,7 +359,10 @@ let fig3_9 () =
           let thr, _, lat =
             run_proto ~durability:Ringpaxos.Mring.Sync_disk ?mring_f proto n
           in
-          Printf.printf "%-14s %10d %12.1f %12.2f\n" (proto_name proto) n thr lat)
+          Printf.printf "%-14s %10d %12.1f %12.2f\n" (proto_name proto) n thr lat;
+          Util.snap
+            (Printf.sprintf "fig3.9/%s/%d" (proto_name proto) n)
+            ~mbps:thr ~lat_mean:lat)
         sizes)
     [ (MRing, [ 3; 5; 9 ]); (URing, [ 5; 9 ]); (Lcr, [ 3; 5; 9 ]) ];
   Printf.printf "\nLatency CDF with 9 processes in the ring (M-Ring Paxos):\n";
@@ -374,7 +394,9 @@ let fig3_10 () =
     (fun size ->
       let thr, msgs, lat = run_proto ~msg_size:size MRing 3 in
       let batches = msgs /. Stdlib.max 1.0 (8192.0 /. float_of_int size) in
-      Printf.printf "%-8d %12.1f %10.2f %12.0f %12.0f\n" size thr lat msgs batches)
+      Printf.printf "%-8d %12.1f %10.2f %12.0f %12.0f\n" size thr lat msgs batches;
+      Util.snap (Printf.sprintf "fig3.10/%d" size) ~mbps:thr ~lat_mean:lat
+        ~events_per_sec:msgs)
     [ 200; 1024; 2048; 4096; 8192 ]
 
 let fig3_11 () =
@@ -384,7 +406,9 @@ let fig3_11 () =
     (fun size ->
       let thr, msgs, lat = run_proto ~msg_size:size URing 5 in
       let batches = msgs /. Stdlib.max 1.0 (32768.0 /. float_of_int size) in
-      Printf.printf "%-8d %12.1f %10.2f %12.0f %12.0f\n" size thr lat msgs batches)
+      Printf.printf "%-8d %12.1f %10.2f %12.0f %12.0f\n" size thr lat msgs batches;
+      Util.snap (Printf.sprintf "fig3.11/%d" size) ~mbps:thr ~lat_mean:lat
+        ~events_per_sec:msgs)
     [ 200; 1024; 2048; 4096; 8192; 32768 ]
 
 (* --- Figs 3.12/3.13: socket buffer sizes ----------------------------------- *)
@@ -430,15 +454,17 @@ let buffer_sweep_at proto buf offered =
       (Abcast.Recorder.mbps rec_ ~from:0.7 ~till:2.0, Abcast.Recorder.lat_trimmed_ms rec_)
 
 (* Throughput at saturation; latency in a second pass at 60 % of it. *)
-let buffer_sweep proto =
+let buffer_sweep label proto =
   List.iter
     (fun buf ->
       let thr, _ = buffer_sweep_at proto buf 1500.0 in
       let _, lat = buffer_sweep_at proto buf (Stdlib.max 2.0 (0.6 *. thr)) in
-      Printf.printf "%-10s %12.1f %10.2f\n"
-        (if buf >= 1024 * 1024 then Printf.sprintf "%dM" (buf / 1024 / 1024)
-         else Printf.sprintf "%dK" (buf / 1024))
-        thr lat)
+      let bufname =
+        if buf >= 1024 * 1024 then Printf.sprintf "%dM" (buf / 1024 / 1024)
+        else Printf.sprintf "%dK" (buf / 1024)
+      in
+      Printf.printf "%-10s %12.1f %10.2f\n" bufname thr lat;
+      Util.snap (Printf.sprintf "%s/%s" label bufname) ~mbps:thr ~lat_mean:lat)
     [ 100 * 1024;
       1024 * 1024;
       4 * 1024 * 1024;
@@ -449,12 +475,12 @@ let buffer_sweep proto =
 let fig3_12 () =
   Util.header "Fig 3.12 - socket buffer size impact on M-Ring Paxos";
   Printf.printf "%-10s %12s %10s\n" "buffer" "thr(Mbps)" "lat(ms)";
-  buffer_sweep `MRing
+  buffer_sweep "fig3.12" `MRing
 
 let fig3_13 () =
   Util.header "Fig 3.13 - socket buffer size impact on U-Ring Paxos";
   Printf.printf "%-10s %12s %10s\n" "buffer" "thr(Mbps)" "lat(ms)";
-  buffer_sweep `URing
+  buffer_sweep "fig3.13" `URing
 
 (* --- Fig 3.14: flow control timeline ---------------------------------------- *)
 
@@ -491,8 +517,15 @@ let fig3_14 () =
       let m i = Sim.Stats.Rate.mbps rates.(i) ~from:(t -. 2.5) ~till:t in
       Printf.printf "%-6.1f %12.1f %12.1f %12.1f %10d %10d\n" t (m 0) (m 1) (m 2)
         (Ringpaxos.Mring.current_window mr)
-        (Ringpaxos.Mring.coord_drops mr))
-    [ 2.5; 5.0; 7.5; 10.0; 12.5; 15.0; 17.5; 20.0; 22.5; 25.0; 27.5; 30.0 ]
+        (Ringpaxos.Mring.coord_drops mr);
+      Util.snap
+        (Printf.sprintf "fig3.14/t%.1f" t)
+        ~mbps:(m 1)
+        ~counters:
+          [ ("window", Ringpaxos.Mring.current_window mr);
+            ("coord_drops", Ringpaxos.Mring.coord_drops mr) ])
+    [ 2.5; 5.0; 7.5; 10.0; 12.5; 15.0; 17.5; 20.0; 22.5; 25.0; 27.5; 30.0 ];
+  Util.snap "fig3.14/counters" ~counters:(Ringpaxos.Mring.counters mr)
 
 (* --- Tables 3.3/3.4: CPU and memory per role --------------------------------- *)
 
@@ -513,15 +546,19 @@ let table3_3 () =
   Sim.Engine.run engine ~until:3.0;
   stop ();
   let report role proc =
-    Printf.printf "%-12s %8.1f%% %10d KB\n" role
-      (Util.cpu_pct (Simnet.cpu_busy (Simnet.proc_node proc)) ~from:1.0 ~till:3.0)
-      (Simnet.mem proc / 1024)
+    let cpu = Util.cpu_pct (Simnet.cpu_busy (Simnet.proc_node proc)) ~from:1.0 ~till:3.0 in
+    Printf.printf "%-12s %8.1f%% %10d KB\n" role cpu (Simnet.mem proc / 1024);
+    Util.snap
+      (Printf.sprintf "table3.3/%s" role)
+      ~cpu_pct:cpu
+      ~counters:[ ("mem_kb", Simnet.mem proc / 1024) ]
   in
   Printf.printf "%-12s %9s %13s\n" "role" "CPU" "memory";
   report "proposer" (Ringpaxos.Mring.proposer_proc mr 0);
   report "coordinator" (Ringpaxos.Mring.coordinator_proc mr);
   report "acceptor" (Ringpaxos.Mring.acceptor_procs mr).(0);
-  report "learner" (Ringpaxos.Mring.learner_proc mr 0)
+  report "learner" (Ringpaxos.Mring.learner_proc mr 0);
+  Util.snap "table3.3/counters" ~counters:(Ringpaxos.Mring.counters mr)
 
 let table3_4 () =
   Util.header "Table 3.4 - CPU and memory per role, U-Ring Paxos at peak";
@@ -542,8 +579,9 @@ let table3_4 () =
   stop ();
   Printf.printf "%-26s %9s\n" "role" "CPU";
   let p = Ringpaxos.Uring.position_proc ur 1 in
-  Printf.printf "%-26s %8.1f%%\n" "proposer-acceptor-learner"
-    (Util.cpu_pct (Simnet.cpu_busy (Simnet.proc_node p)) ~from:1.0 ~till:3.0)
+  let cpu = Util.cpu_pct (Simnet.cpu_busy (Simnet.proc_node p)) ~from:1.0 ~till:3.0 in
+  Printf.printf "%-26s %8.1f%%\n" "proposer-acceptor-learner" cpu;
+  Util.snap "table3.4/proposer-acceptor-learner" ~cpu_pct:cpu
 
 let all () =
   fig3_2 ();

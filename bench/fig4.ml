@@ -77,7 +77,11 @@ let fig4_3 () =
         (fun c ->
           let ck, cl = run_cs kind c in
           let sk, sl, _ = run_smr ~batch kind c in
-          Printf.printf "%-16s %8d %10.1f %10.2f %10.1f %10.2f\n" name c ck cl sk sl)
+          Printf.printf "%-16s %8d %10.1f %10.2f %10.1f %10.2f\n" name c ck cl sk sl;
+          Util.snap (Printf.sprintf "fig4.3/%s/cs/%d" name c)
+            ~events_per_sec:(ck *. 1000.0) ~lat_mean:cl;
+          Util.snap (Printf.sprintf "fig4.3/%s/smr/%d" name c)
+            ~events_per_sec:(sk *. 1000.0) ~lat_mean:sl)
         [ 4; 40; 160 ])
     workloads
 
@@ -88,14 +92,18 @@ let fig4_4 () =
     (fun (name, kind, batch) ->
       let ck, cl = run_cs kind 120 in
       Printf.printf "%-16s %10s %10.1f %10.2f\n" name "CS" ck cl;
+      Util.snap (Printf.sprintf "fig4.4/%s/cs" name) ~events_per_sec:(ck *. 1000.0)
+        ~lat_mean:cl;
       List.iter
         (fun r ->
           let sk, sl, _ = run_smr ~replicas:r ~batch kind 120 in
-          Printf.printf "%-16s %10d %10.1f %10.2f\n" name r sk sl)
+          Printf.printf "%-16s %10d %10.1f %10.2f\n" name r sk sl;
+          Util.snap (Printf.sprintf "fig4.4/%s/%dreplicas" name r)
+            ~events_per_sec:(sk *. 1000.0) ~lat_mean:sl)
         [ 1; 2; 4; 8 ])
     workloads
 
-let spec_sweep kind clients_list =
+let spec_sweep label kind clients_list =
   Printf.printf "%-9s %8s %12s %12s %12s %12s\n" "replicas" "clients" "smr-kcps" "smr-lat"
     "spec-kcps" "spec-lat";
   List.iter
@@ -104,17 +112,21 @@ let spec_sweep kind clients_list =
         (fun c ->
           let sk, sl, _ = run_smr ~replicas:r kind c in
           let pk, pl, _ = run_smr ~replicas:r ~speculative:true kind c in
-          Printf.printf "%-9d %8d %12.1f %12.2f %12.1f %12.2f\n" r c sk sl pk pl)
+          Printf.printf "%-9d %8d %12.1f %12.2f %12.1f %12.2f\n" r c sk sl pk pl;
+          Util.snap (Printf.sprintf "%s/smr/%dr/%dc" label r c)
+            ~events_per_sec:(sk *. 1000.0) ~lat_mean:sl;
+          Util.snap (Printf.sprintf "%s/spec/%dr/%dc" label r c)
+            ~events_per_sec:(pk *. 1000.0) ~lat_mean:pl)
         clients_list)
     [ 1; 2; 4; 8 ]
 
 let fig4_5 () =
   Util.header "Fig 4.5 - speculative execution, Queries workload";
-  spec_sweep W.Queries [ 4; 40 ]
+  spec_sweep "fig4.5" W.Queries [ 4; 40 ]
 
 let fig4_6 () =
   Util.header "Fig 4.6 - speculative execution, Ins/Del (batch) workload";
-  spec_sweep W.Ins_del_batch [ 20; 160 ]
+  spec_sweep "fig4.6" W.Ins_del_batch [ 20; 160 ]
 
 let fig4_7 () =
   Util.header "Fig 4.7 - state partitioning (2 replicas/partition, no cross-partition)";
@@ -127,11 +139,13 @@ let fig4_7 () =
       List.iter
         (fun p ->
           let k, l, _ = run_smr ~partitions:p ~replicas:2 kind clients in
-          Printf.printf "%-16s %12d %10.1f %10.2f %9.1fx\n" name p k l (k /. base))
+          Printf.printf "%-16s %12d %10.1f %10.2f %9.1fx\n" name p k l (k /. base);
+          Util.snap (Printf.sprintf "fig4.7/%s/%dparts" name p)
+            ~events_per_sec:(k *. 1000.0) ~lat_mean:l)
         [ 1; 2; 4 ])
     [ ("Queries", W.Queries, 160); ("Ins/Del(batch)", W.Ins_del_batch, 500) ]
 
-let cross_partition_figure ~replicas =
+let cross_partition_figure label ~replicas =
   Printf.printf "%-8s %8s %10s %10s %12s %12s\n" "cross%" "clients" "kcps" "lat(ms)"
     "execCPU%" "respCPU%";
   List.iter
@@ -145,17 +159,19 @@ let cross_partition_figure ~replicas =
               (Simnet.cpu_busy (Simnet.proc_node (Smr.System.replica_proc sys ~learner:0)))
               ~from:warm ~till:duration
           in
-          Printf.printf "%-8d %8d %10.1f %10.2f %12.1f %12.1f\n" cross c k l exec resp)
+          Printf.printf "%-8d %8d %10.1f %10.2f %12.1f %12.1f\n" cross c k l exec resp;
+          Util.snap (Printf.sprintf "%s/%dcross/%dc" label cross c)
+            ~events_per_sec:(k *. 1000.0) ~lat_mean:l ~cpu_pct:exec)
         [ 60; 200 ])
     [ 0; 25; 50; 75; 100 ]
 
 let fig4_8 () =
   Util.header "Fig 4.8 - cross-partition queries, 2 partitions x 2 replicas";
-  cross_partition_figure ~replicas:2
+  cross_partition_figure "fig4.8" ~replicas:2
 
 let fig4_9 () =
   Util.header "Fig 4.9 - cross-partition queries, 2 partitions x 3 replicas";
-  cross_partition_figure ~replicas:3
+  cross_partition_figure "fig4.9" ~replicas:3
 
 let fig4_10 () =
   (* Moderate load: at saturation the executor queue dwarfs the ordering
@@ -171,7 +187,11 @@ let fig4_10 () =
       in
       Printf.printf "%-8d %14.1f %14.1f %12.1f %12.1f\n" cross k0 k1
         ((k1 -. k0) /. k0 *. 100.0)
-        ((l0 -. l1) /. l0 *. 100.0))
+        ((l0 -. l1) /. l0 *. 100.0);
+      Util.snap (Printf.sprintf "fig4.10/plain/%dcross" cross)
+        ~events_per_sec:(k0 *. 1000.0) ~lat_mean:l0;
+      Util.snap (Printf.sprintf "fig4.10/spec/%dcross" cross)
+        ~events_per_sec:(k1 *. 1000.0) ~lat_mean:l1)
     [ 0; 25; 50; 75; 100 ]
 
 let all () =

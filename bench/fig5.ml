@@ -36,10 +36,13 @@ let fig5_1 () =
               (Simnet.cpu_busy (Simnet.proc_node (Ringpaxos.Mring.coordinator_proc mr)))
               ~from:0.7 ~till:2.0
           in
-          Printf.printf "%-12s %12.0f %12.1f %10.2f %10.1f\n" name offered
-            (Abcast.Recorder.mbps rec_ ~from:0.7 ~till:2.0)
-            (Abcast.Recorder.lat_trimmed_ms rec_)
-            cpu)
+          let thr = Abcast.Recorder.mbps rec_ ~from:0.7 ~till:2.0 in
+          let lat = Abcast.Recorder.lat_trimmed_ms rec_ in
+          Printf.printf "%-12s %12.0f %12.1f %10.2f %10.1f\n" name offered thr lat cpu;
+          Util.snap
+            (Printf.sprintf "fig5.1/%s/%.0fMbps" name offered)
+            ~mbps:thr ~lat_mean:lat ~cpu_pct:cpu
+            ~counters:(Ringpaxos.Mring.counters mr))
         [ 100.0; 200.0; 300.0; 400.0; 500.0; 700.0; 900.0 ])
     [ ("in-memory", Ringpaxos.Mring.Memory); ("recoverable", Ringpaxos.Mring.Async_disk) ]
 
@@ -71,7 +74,10 @@ let fig5_2 () =
       stop ();
       (* Aggregate service throughput = sum over partitions (each delivery
          callback above counts once per owning learner). *)
-      Printf.printf "%-12d %14.1f\n" parts (Abcast.Recorder.mbps rec_ ~from:0.7 ~till:2.0))
+      let thr = Abcast.Recorder.mbps rec_ ~from:0.7 ~till:2.0 in
+      Printf.printf "%-12d %14.1f\n" parts thr;
+      Util.snap (Printf.sprintf "fig5.2/%dparts" parts) ~mbps:thr
+        ~counters:(Ringpaxos.Mring.counters mr))
     [ 1; 2; 4; 8 ]
 
 (* --- Fig 5.4/5.5: Multi-Ring Paxos scalability -------------------------------- *)
@@ -112,7 +118,8 @@ let fig5_4 () =
   List.iter
     (fun n ->
       let thr, lat = run_multiring ~n_rings:n ~subs_all:false ~duration:1.0 () in
-      Printf.printf "%-22s %8d %14.1f %10.2f\n" "RAM Multi-Ring" n thr lat)
+      Printf.printf "%-22s %8d %14.1f %10.2f\n" "RAM Multi-Ring" n thr lat;
+      Util.snap (Printf.sprintf "fig5.4/ram/%drings" n) ~mbps:thr ~lat_mean:lat)
     [ 1; 2; 4; 8 ];
   List.iter
     (fun n ->
@@ -120,15 +127,16 @@ let fig5_4 () =
         run_multiring ~durability:Ringpaxos.Mring.Async_disk ~n_rings:n ~subs_all:false
           ~duration:1.5 ()
       in
-      Printf.printf "%-22s %8d %14.1f %10.2f\n" "DISK Multi-Ring" n thr lat)
+      Printf.printf "%-22s %8d %14.1f %10.2f\n" "DISK Multi-Ring" n thr lat;
+      Util.snap (Printf.sprintf "fig5.4/disk/%drings" n) ~mbps:thr ~lat_mean:lat)
     [ 1; 2; 4; 8 ];
   (* References: single Ring Paxos, LCR, Spread do not scale with groups. *)
-  let thr, _, lat = Fig3.run_proto Fig3.MRing 4 in
-  Printf.printf "%-22s %8s %14.1f %10.2f\n" "single M-Ring Paxos" "-" thr lat;
-  let thr, _, lat = Fig3.run_proto Fig3.Lcr 4 in
-  Printf.printf "%-22s %8s %14.1f %10.2f\n" "LCR" "-" thr lat;
-  let thr, _, lat = Fig3.run_proto Fig3.Spread 4 in
-  Printf.printf "%-22s %8s %14.1f %10.2f\n" "Spread" "-" thr lat
+  List.iter
+    (fun (name, proto) ->
+      let thr, _, lat = Fig3.run_proto proto 4 in
+      Printf.printf "%-22s %8s %14.1f %10.2f\n" name "-" thr lat;
+      Util.snap (Printf.sprintf "fig5.4/%s" name) ~mbps:thr ~lat_mean:lat)
+    [ ("single M-Ring Paxos", Fig3.MRing); ("LCR", Fig3.Lcr); ("Spread", Fig3.Spread) ]
 
 let fig5_5 () =
   Util.header "Fig 5.5 - learner subscribing to ALL groups";
@@ -140,7 +148,8 @@ let fig5_5 () =
           let thr, lat =
             run_multiring ~durability ~n_rings:n ~subs_all:true ~duration:4.0 ()
           in
-          Printf.printf "%-22s %8d %14.1f %10.2f\n" name n thr lat)
+          Printf.printf "%-22s %8d %14.1f %10.2f\n" name n thr lat;
+          Util.snap (Printf.sprintf "fig5.5/%s/%drings" name n) ~mbps:thr ~lat_mean:lat)
         [ 1; 2; 4 ])
     [ ("RAM Multi-Ring", Ringpaxos.Mring.Memory);
       ("DISK Multi-Ring", Ringpaxos.Mring.Async_disk) ]
@@ -175,10 +184,13 @@ let fig5_5b () =
       in
       Sim.Engine.run engine ~until:1.0;
       stop ();
-      Printf.printf "%-8d %12.1f %14d %14d\n" n_rings
-        (Abcast.Recorder.mbps rec_ ~from:0.4 ~till:1.0)
-        (Abcast.Recorder.items rec_)
-        (Multiring.foreign_items mr 0))
+      let thr = Abcast.Recorder.mbps rec_ ~from:0.4 ~till:1.0 in
+      Printf.printf "%-8d %12.1f %14d %14d\n" n_rings thr (Abcast.Recorder.items rec_)
+        (Multiring.foreign_items mr 0);
+      Util.snap (Printf.sprintf "fig5.5b/%drings" n_rings) ~mbps:thr
+        ~counters:
+          [ ("useful_items", Abcast.Recorder.items rec_);
+            ("foreign_items", Multiring.foreign_items mr 0) ])
     [ 8; 4; 2; 1 ]
 
 (* --- Figs 5.6/5.7: Delta and M ------------------------------------------------ *)
@@ -220,7 +232,10 @@ let fig5_6 () =
         (fun offered ->
           let thr, lat, cpu = delta_m_run ~delta ~m:1 ~offered in
           Printf.printf "%-10.3f %10.0f %12.1f %10.2f %10.1f\n" (delta *. 1e3) offered thr
-            lat cpu)
+            lat cpu;
+          Util.snap
+            (Printf.sprintf "fig5.6/delta%.3fms/%.0fMbps" (delta *. 1e3) offered)
+            ~mbps:thr ~lat_mean:lat ~cpu_pct:cpu)
         [ 100.0; 400.0; 800.0 ])
     [ 1.0e-3; 1.0e-2; 1.0e-1 ]
 
@@ -232,13 +247,16 @@ let fig5_7 () =
       List.iter
         (fun offered ->
           let thr, lat, cpu = delta_m_run ~delta:1.0e-3 ~m ~offered in
-          Printf.printf "%-6d %10.0f %12.1f %10.2f %10.1f\n" m offered thr lat cpu)
+          Printf.printf "%-6d %10.0f %12.1f %10.2f %10.1f\n" m offered thr lat cpu;
+          Util.snap
+            (Printf.sprintf "fig5.7/m%d/%.0fMbps" m offered)
+            ~mbps:thr ~lat_mean:lat ~cpu_pct:cpu)
         [ 100.0; 400.0; 800.0 ])
     [ 1; 10; 100 ]
 
 (* --- Figs 5.8-5.10: lambda timelines ------------------------------------------ *)
 
-let lambda_timeline ~name ~lambda ~load =
+let lambda_timeline ~fig ~name ~lambda ~load =
   let engine, net = Util.fresh () in
   let lat = Sim.Stats.Latency.create () in
   let recent = ref [] in
@@ -264,7 +282,11 @@ let lambda_timeline ~name ~lambda ~load =
         if xs = [] then 0.0
         else List.fold_left (fun a (_, l) -> a +. l) 0.0 xs /. float_of_int (List.length xs)
       in
-      Printf.printf "t<%.0fs:%6.1fms " w avg)
+      Printf.printf "t<%.0fs:%6.1fms " w avg;
+      Util.snap
+        (Printf.sprintf "%s/%s/t%.1f" fig name w)
+        ~lat_mean:avg
+        ~counters:[ ("buffered", Multiring.learner_buffer mr 0) ])
     [ 1.2; 2.4; 3.6; 4.8; 6.0 ];
   Printf.printf " halted=%b buffered=%d\n" (Multiring.learner_halted mr 0)
     (Multiring.learner_buffer mr 0)
@@ -304,22 +326,22 @@ let lam rate_mbps = rate_mbps *. 1e6 /. float_of_int (msg * 8)
 
 let fig5_8 () =
   Util.header "Fig 5.8 - impact of lambda, equal constant rates (staircase to 400 Mbps)";
-  lambda_timeline ~name:"0 (no skips)" ~lambda:0.0 ~load:staircase_equal;
-  lambda_timeline ~name:"1000 msg/s" ~lambda:1000.0 ~load:staircase_equal;
-  lambda_timeline ~name:"5000 msg/s" ~lambda:5000.0 ~load:staircase_equal;
+  lambda_timeline ~fig:"fig5.8" ~name:"0 (no skips)" ~lambda:0.0 ~load:staircase_equal;
+  lambda_timeline ~fig:"fig5.8" ~name:"1000 msg/s" ~lambda:1000.0 ~load:staircase_equal;
+  lambda_timeline ~fig:"fig5.8" ~name:"5000 msg/s" ~lambda:5000.0 ~load:staircase_equal;
   Printf.printf "  (reference: 400 Mbps of 8 KB messages = %.0f msg/s)\n" (lam 400.0)
 
 let fig5_9 () =
   Util.header "Fig 5.9 - impact of lambda, ring 0 at twice ring 1's rate";
-  lambda_timeline ~name:"1000 msg/s" ~lambda:1000.0 ~load:staircase_skewed;
-  lambda_timeline ~name:"5000 msg/s" ~lambda:5000.0 ~load:staircase_skewed;
-  lambda_timeline ~name:"9000 msg/s" ~lambda:9000.0 ~load:staircase_skewed
+  lambda_timeline ~fig:"fig5.9" ~name:"1000 msg/s" ~lambda:1000.0 ~load:staircase_skewed;
+  lambda_timeline ~fig:"fig5.9" ~name:"5000 msg/s" ~lambda:5000.0 ~load:staircase_skewed;
+  lambda_timeline ~fig:"fig5.9" ~name:"9000 msg/s" ~lambda:9000.0 ~load:staircase_skewed
 
 let fig5_10 () =
   Util.header "Fig 5.10 - impact of lambda, oscillating rates";
-  lambda_timeline ~name:"5000 msg/s" ~lambda:5000.0 ~load:oscillating;
-  lambda_timeline ~name:"9000 msg/s" ~lambda:9000.0 ~load:oscillating;
-  lambda_timeline ~name:"12000 msg/s" ~lambda:12000.0 ~load:oscillating
+  lambda_timeline ~fig:"fig5.10" ~name:"5000 msg/s" ~lambda:5000.0 ~load:oscillating;
+  lambda_timeline ~fig:"fig5.10" ~name:"9000 msg/s" ~lambda:9000.0 ~load:oscillating;
+  lambda_timeline ~fig:"fig5.10" ~name:"12000 msg/s" ~lambda:12000.0 ~load:oscillating
 
 (* --- Fig 5.11: coordinator failure --------------------------------------------- *)
 
@@ -367,10 +389,12 @@ let fig5_11 () =
   Printf.printf "%-6s %14s %14s %16s\n" "t(s)" "recv0(Mbps)" "recv1(Mbps)" "deliver(Mbps)";
   List.iter
     (fun t ->
+      let deliver = Sim.Stats.Rate.mbps delv ~from:(t -. 1.0) ~till:t in
       Printf.printf "%-6.1f %14.1f %14.1f %16.1f\n" t
         (Sim.Stats.Rate.mbps recv.(0) ~from:(t -. 1.0) ~till:t)
         (Sim.Stats.Rate.mbps recv.(1) ~from:(t -. 1.0) ~till:t)
-        (Sim.Stats.Rate.mbps delv ~from:(t -. 1.0) ~till:t))
+        deliver;
+      Util.snap (Printf.sprintf "fig5.11/t%.1f" t) ~mbps:deliver)
     [ 5.0; 8.0; 9.0; 10.0; 11.0; 12.0; 13.0; 14.0; 15.0; 16.0; 18.0; 20.0 ]
 
 let all () =

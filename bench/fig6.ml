@@ -34,7 +34,7 @@ let approaches =
     ("SDPE", Psmr.Sdpe);
     ("P-SMR", Psmr.Psmr) ]
 
-let sweep ~dep_pct title =
+let sweep ~fig ~dep_pct title =
   Util.header title;
   Printf.printf "%-12s %8s %10s %10s\n" "approach" "clients" "kcps" "lat(ms)";
   List.iter
@@ -42,12 +42,14 @@ let sweep ~dep_pct title =
       List.iter
         (fun clients ->
           let k, l = run ~approach ~dep_pct ~clients () in
-          Printf.printf "%-12s %8d %10.1f %10.2f\n" name clients k l)
+          Printf.printf "%-12s %8d %10.1f %10.2f\n" name clients k l;
+          Util.snap (Printf.sprintf "%s/%s/%dc" fig name clients)
+            ~events_per_sec:(k *. 1000.0) ~lat_mean:l)
         [ 16; 64; 200 ])
     approaches
 
-let fig6_3 () = sweep ~dep_pct:0 "Fig 6.3 - independent commands (4 workers)"
-let fig6_4 () = sweep ~dep_pct:100 "Fig 6.4 - dependent commands (4 workers)"
+let fig6_3 () = sweep ~fig:"fig6.3" ~dep_pct:0 "Fig 6.3 - independent commands (4 workers)"
+let fig6_4 () = sweep ~fig:"fig6.4" ~dep_pct:100 "Fig 6.4 - dependent commands (4 workers)"
 
 let fig6_5 () =
   Util.header "Fig 6.5 - mixed workloads: % of dependent commands (4 workers, 200 clients)";
@@ -57,11 +59,13 @@ let fig6_5 () =
       List.iter
         (fun dep_pct ->
           let k, l = run ~approach ~dep_pct ~clients:200 () in
-          Printf.printf "%-12s %8d %10.1f %10.2f\n" name dep_pct k l)
+          Printf.printf "%-12s %8d %10.1f %10.2f\n" name dep_pct k l;
+          Util.snap (Printf.sprintf "fig6.5/%s/%ddep" name dep_pct)
+            ~events_per_sec:(k *. 1000.0) ~lat_mean:l)
         [ 0; 10; 25; 50; 100 ])
     approaches
 
-let scalability ~skew title =
+let scalability ~fig ~skew title =
   Util.header title;
   Printf.printf "%-12s %8s %10s %10s\n" "approach" "workers" "kcps" "lat(ms)";
   List.iter
@@ -69,12 +73,15 @@ let scalability ~skew title =
       List.iter
         (fun w ->
           let k, l = run ~approach ~n_workers:w ~skew ~clients:200 () in
-          Printf.printf "%-12s %8d %10.1f %10.2f\n" name w k l)
+          Printf.printf "%-12s %8d %10.1f %10.2f\n" name w k l;
+          Util.snap (Printf.sprintf "%s/%s/%dworkers" fig name w)
+            ~events_per_sec:(k *. 1000.0) ~lat_mean:l)
         [ 1; 2; 4; 8 ])
     [ ("SDPE", Psmr.Sdpe); ("P-SMR", Psmr.Psmr) ]
 
-let fig6_6 () = scalability ~skew:0.0 "Fig 6.6 - scalability, uniform workload"
-let fig6_7 () = scalability ~skew:1.0 "Fig 6.7 - scalability, skewed (zipf s=1) workload"
+let fig6_6 () = scalability ~fig:"fig6.6" ~skew:0.0 "Fig 6.6 - scalability, uniform workload"
+let fig6_7 () =
+  scalability ~fig:"fig6.7" ~skew:1.0 "Fig 6.7 - scalability, skewed (zipf s=1) workload"
 
 let table6_1 () =
   Util.header "Table 6.1 - approaches to parallelizing SMR";

@@ -12,37 +12,49 @@ let fig7_2 () =
     (fun lib ->
       let r = Cloud.run ~lib ~duration:6.0 () in
       Printf.printf "%-14s %12.1f %10.1f %10.2f\n" (Cloud.lib_name lib) r.Cloud.mbps
-        r.Cloud.kcps r.Cloud.lat_ms)
+        r.Cloud.kcps r.Cloud.lat_ms;
+      Util.snap
+        (Printf.sprintf "fig7.2/%s" (Cloud.lib_name lib))
+        ~mbps:r.Cloud.mbps ~events_per_sec:(r.Cloud.kcps *. 1000.0)
+        ~lat_mean:r.Cloud.lat_ms)
     Cloud.all_libs
 
-let failure_figure ~lib ~hetero title =
+let failure_figure ~fig ~lib ~hetero title =
   Util.header title;
   let r = Cloud.run ~lib ~hetero ~kill_leader_at:6.0 ~duration:18.0 () in
   Printf.printf "(leader killed at t=6s; steady %.1f Mbps; outage %.1fs; recovered=%b)\n"
     r.Cloud.mbps r.Cloud.outage r.Cloud.recovered;
+  Util.snap (fig ^ "/summary") ~mbps:r.Cloud.mbps
+    ~counters:
+      [ ("outage_ms", int_of_float (r.Cloud.outage *. 1000.0));
+        ("recovered", if r.Cloud.recovered then 1 else 0) ];
   Printf.printf "%-6s %12s\n" "t(s)" "Mbps";
   List.iter
-    (fun (t, v) -> if Float.rem t 1.0 < 0.26 then Printf.printf "%-6.1f %12.1f\n" t v)
+    (fun (t, v) ->
+      if Float.rem t 1.0 < 0.26 then begin
+        Printf.printf "%-6.1f %12.1f\n" t v;
+        Util.snap (Printf.sprintf "%s/t%.1f" fig t) ~mbps:v
+      end)
     r.Cloud.series
 
 let fig7_3 () =
-  failure_figure ~lib:Cloud.S_paxos ~hetero:true
+  failure_figure ~fig:"fig7.3" ~lib:Cloud.S_paxos ~hetero:true
     "Fig 7.3 - S-Paxos, heterogeneous configuration, leader crash"
 
 let fig7_4 () =
-  failure_figure ~lib:Cloud.Openreplica ~hetero:true
+  failure_figure ~fig:"fig7.4" ~lib:Cloud.Openreplica ~hetero:true
     "Fig 7.4 - OpenReplica, heterogeneous configuration, leader crash"
 
 let fig7_5 () =
-  failure_figure ~lib:Cloud.U_ring ~hetero:true
+  failure_figure ~fig:"fig7.5" ~lib:Cloud.U_ring ~hetero:true
     "Fig 7.5 - U-Ring Paxos, heterogeneous configuration, coordinator crash"
 
 let fig7_6 () =
-  failure_figure ~lib:Cloud.Libpaxos ~hetero:false
+  failure_figure ~fig:"fig7.6" ~lib:Cloud.Libpaxos ~hetero:false
     "Fig 7.6 - Libpaxos, coordinator crash"
 
 let fig7_7 () =
-  failure_figure ~lib:Cloud.Libpaxos_plus ~hetero:false
+  failure_figure ~fig:"fig7.7" ~lib:Cloud.Libpaxos_plus ~hetero:false
     "Fig 7.7 - Libpaxos+, coordinator crash"
 
 let all () =

@@ -29,6 +29,13 @@ let set_json_output path =
 
 let snapshot s = if !json_path <> None then snapshots := s :: !snapshots
 
+(* Scalar-row shorthand: most experiments print derived numbers (a
+   throughput, a latency average) rather than keeping raw accumulators
+   per row; [snap] records the same values under --json. *)
+let snap ?mbps ?events_per_sec ?lat_mean ?cpu_pct ?counters label =
+  snapshot
+    (Sim.Stats.Snapshot.scalar ?mbps ?events_per_sec ?lat_mean ?cpu_pct ?counters ~label ())
+
 let write_json () =
   match !json_path with
   | None -> ()

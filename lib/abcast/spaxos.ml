@@ -44,9 +44,8 @@ type replica = {
   r_client : Simnet.proc;  (* client stub feeding this replica *)
   r_idx : int;
   (* batching of locally received client requests *)
-  r_pending : Paxos.Value.item Queue.t;
-  mutable r_pending_bytes : int;
-  mutable r_batch_timer : Sim.Engine.handle option;
+  r_batch : unit Protocol.Batcher.t;
+  mutable r_inflight : int;  (* client bytes submitted, not yet sealed *)
   mutable r_next_seq : int;
   (* batch store *)
   r_batches : (bid, batch_info) Hashtbl.t;
@@ -62,7 +61,6 @@ type replica = {
   mutable r_next_del : int;
   r_decisions : (int, bid) Hashtbl.t;
   r_delivered_bids : (bid, unit) Hashtbl.t;
-  mutable r_last_hb : float;
 }
 
 type t = {
@@ -71,6 +69,7 @@ type t = {
   rng : Sim.Rng.t;
   replicas : replica array;
   deliver : learner:int -> Paxos.Value.t -> unit;
+  mutable fd : Protocol.Failure_detector.t option;
   mutable next_uid : int;
   mutable delivered : int;
 }
@@ -156,29 +155,15 @@ and on_order2b t l inst =
 
 (* --- batching ------------------------------------------------------------ *)
 
-let seal_batch t r =
-  let items = ref [] and size = ref 0 in
-  let continue = ref true in
-  while !continue && not (Queue.is_empty r.r_pending) do
-    let (it : Paxos.Value.item) = Queue.peek r.r_pending in
-    if !size > 0 && !size + it.isize > t.cfg.batch_bytes then continue := false
-    else begin
-      ignore (Queue.pop r.r_pending);
-      r.r_pending_bytes <- r.r_pending_bytes - it.isize;
-      items := it :: !items;
-      size := !size + it.isize
-    end
-  done;
-  List.rev !items
-
 let disseminate t r =
-  match seal_batch t r with
+  match Protocol.Batcher.seal r.r_batch () with
   | [] -> ()
   | items ->
       r.r_next_seq <- r.r_next_seq + 1;
       let bid = (r.r_idx, r.r_next_seq) in
       t.next_uid <- t.next_uid + 1;
       let v = Paxos.Value.make ~vid:t.next_uid items in
+      r.r_inflight <- Stdlib.max 0 (r.r_inflight - v.size);
       let info = info_of r bid in
       info.b_value <- Some v;
       Hashtbl.replace info.b_ackers r.r_idx ();
@@ -196,17 +181,16 @@ let disseminate t r =
           order_drain t l
       | _ -> ())
 
+(* The seal threshold counts submitted bytes still in flight from the client
+   stubs, not just arrived ones, mirroring S-Paxos's client-side batching. *)
 let rec batch_tick t r =
-  if r.r_pending_bytes >= t.cfg.batch_bytes then disseminate t r
-  else if (not (Queue.is_empty r.r_pending)) && r.r_batch_timer = None then
-    r.r_batch_timer <-
-      Some
-        (Simnet.after t.net t.cfg.batch_timeout (fun () ->
-             r.r_batch_timer <- None;
-             if Simnet.is_alive r.r_proc then begin
-               disseminate t r;
-               batch_tick t r
-             end))
+  if r.r_inflight >= t.cfg.batch_bytes then disseminate t r
+  else
+    Protocol.Batcher.arm_timeout r.r_batch t.net ~timeout:t.cfg.batch_timeout (fun () ->
+        if Simnet.is_alive r.r_proc then begin
+          disseminate t r;
+          batch_tick t r
+        end)
 
 (* --- GC pauses ------------------------------------------------------------ *)
 
@@ -222,48 +206,51 @@ let rec gc_loop t r =
 
 (* --- leader failover -------------------------------------------------------- *)
 
-let monitor t =
-  let (_stop : unit -> unit) =
-    Simnet.every t.net ~period:t.cfg.hb_period (fun () ->
-        match leader t with
-        | Some l ->
-            Array.iter
-              (fun r ->
-                if r.r_idx <> l.r_idx && Simnet.is_alive r.r_proc then
-                  Simnet.send t.net ~src:l.r_proc ~dst:r.r_proc ~size:hdr
-                    (SHb { from = l.r_idx }))
-              t.replicas
-        | None -> begin
-            let candidates =
-              Array.to_list t.replicas
-              |> List.filter (fun r ->
-                     Simnet.is_alive r.r_proc
-                     && Simnet.now t.net -. r.r_last_hb > t.cfg.hb_timeout)
-            in
-            match candidates with
-            | r :: _ ->
-                r.r_is_leader <- true;
-                r.r_rnd <- r.r_rnd + n t + 1;
-                (* The new leader re-orders every stable batch it has not yet
-                   seen decided; duplicates are suppressed at delivery. *)
-                r.r_next_inst <- Stdlib.max r.r_next_inst r.r_next_del;
-                Hashtbl.iter
-                  (fun bid info ->
-                    if info.b_value <> None && not (Hashtbl.mem r.r_delivered_bids bid) then
-                      Queue.push bid r.r_unordered)
-                  r.r_batches;
-                order_drain t r
-            | [] -> ()
-          end)
+let failure_detection t =
+  let emit () =
+    match leader t with
+    | Some l ->
+        Array.iter
+          (fun r ->
+            if r.r_idx <> l.r_idx && Simnet.is_alive r.r_proc then
+              Simnet.send t.net ~src:l.r_proc ~dst:r.r_proc ~size:hdr
+                (SHb { from = l.r_idx }))
+          t.replicas
+    | None -> ()
   in
-  ()
+  let on_suspect ~stale =
+    let candidates =
+      Array.to_list t.replicas
+      |> List.filter (fun r -> Simnet.is_alive r.r_proc && stale r.r_idx)
+    in
+    match candidates with
+    | r :: _ ->
+        r.r_is_leader <- true;
+        r.r_rnd <- r.r_rnd + n t + 1;
+        (* The new leader re-orders every stable batch it has not yet
+           seen decided; duplicates are suppressed at delivery. *)
+        r.r_next_inst <- Stdlib.max r.r_next_inst r.r_next_del;
+        Hashtbl.iter
+          (fun bid info ->
+            if info.b_value <> None && not (Hashtbl.mem r.r_delivered_bids bid) then
+              Queue.push bid r.r_unordered)
+          r.r_batches;
+        order_drain t r
+    | [] -> ()
+  in
+  t.fd <-
+    Some
+      (Protocol.Failure_detector.create t.net ~hb_period:t.cfg.hb_period
+         ~hb_timeout:t.cfg.hb_timeout
+         ~leader:(fun () -> leader t <> None)
+         ~emit ~on_suspect)
 
 (* --- handlers ----------------------------------------------------------------- *)
 
 let handler t r (msg : Simnet.msg) =
   match msg.payload with
   | Request item ->
-      Queue.push item r.r_pending;
+      ignore (Protocol.Batcher.enqueue r.r_batch ~key:() item);
       batch_tick t r
   | Forward { bid; value } ->
       Simnet.charge_cpu t.net r.r_proc t.cfg.cpu_per_batch;
@@ -303,7 +290,9 @@ let handler t r (msg : Simnet.msg) =
       Hashtbl.replace r.r_decisions inst bid;
       try_deliver t r
   | SHb { from } ->
-      r.r_last_hb <- Simnet.now t.net;
+      (match t.fd with
+      | Some fd -> Protocol.Failure_detector.heartbeat fd r.r_idx
+      | None -> ());
       if from <> r.r_idx && r.r_is_leader && from < r.r_idx then r.r_is_leader <- false
   | _ -> ()
 
@@ -318,9 +307,8 @@ let create net cfg ~deliver =
         { r_proc = proc;
           r_client = client;
           r_idx = i;
-          r_pending = Queue.create ();
-          r_pending_bytes = 0;
-          r_batch_timer = None;
+          r_batch = Protocol.Batcher.create ~batch_bytes:cfg.batch_bytes ();
+          r_inflight = 0;
           r_next_seq = 0;
           r_batches = Hashtbl.create 4096;
           r_is_leader = i = 0;
@@ -332,8 +320,7 @@ let create net cfg ~deliver =
           r_votes = Hashtbl.create 256;
           r_next_del = 0;
           r_decisions = Hashtbl.create 4096;
-          r_delivered_bids = Hashtbl.create 4096;
-          r_last_hb = 0.0 })
+          r_delivered_bids = Hashtbl.create 4096 })
   in
   let t =
     { net;
@@ -341,6 +328,7 @@ let create net cfg ~deliver =
       rng = Sim.Rng.create 77;
       replicas;
       deliver;
+      fd = None;
       next_uid = 0;
       delivered = 0 }
   in
@@ -349,19 +337,19 @@ let create net cfg ~deliver =
       Simnet.set_handler r.r_proc (handler t r);
       if cfg.gc_pause > 0.0 then gc_loop t r)
     replicas;
-  monitor t;
+  failure_detection t;
   t
 
 let submit t ~replica ~size app =
   let r = t.replicas.(replica) in
-  if r.r_pending_bytes + size > 4 * 1024 * 1024 then false
+  if r.r_inflight + size > 4 * 1024 * 1024 then false
   else begin
     t.next_uid <- t.next_uid + 1;
     let item = { Paxos.Value.uid = t.next_uid; isize = size; app; born = Simnet.now t.net } in
     (* Requests reach the replica over TCP from a client stub, so the
        replica pays the receive cost the paper attributes to S-Paxos's
        request-dissemination layer. *)
-    r.r_pending_bytes <- r.r_pending_bytes + size;
+    r.r_inflight <- r.r_inflight + size;
     Simnet.send t.net ~src:r.r_client ~dst:r.r_proc ~size:(size + hdr) (Request item);
     true
   end

@@ -1,0 +1,106 @@
+type 'k t = {
+  queues : ('k, Paxos.Value.item Queue.t) Hashtbl.t;
+  bytes : ('k, int ref) Hashtbl.t;
+  mutable pending : int;
+  batch_bytes : int;
+  buffer_bytes : int;
+  mutable dropped : int;
+  mutable armed : bool;
+}
+
+let create ?(buffer_bytes = max_int) ~batch_bytes () =
+  { queues = Hashtbl.create 8;
+    bytes = Hashtbl.create 8;
+    pending = 0;
+    batch_bytes;
+    buffer_bytes;
+    dropped = 0;
+    armed = false }
+
+let pending_bytes t = t.pending
+let is_empty t = t.pending = 0
+let drops t = t.dropped
+
+let bytes_of t key =
+  match Hashtbl.find_opt t.bytes key with Some b -> !b | None -> 0
+
+let enqueue t ~key (item : Paxos.Value.item) =
+  if t.pending + item.isize > t.buffer_bytes then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    let q =
+      match Hashtbl.find_opt t.queues key with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.add t.queues key q;
+          Hashtbl.add t.bytes key (ref 0);
+          q
+    in
+    Queue.push item q;
+    let b = Hashtbl.find t.bytes key in
+    b := !b + item.isize;
+    t.pending <- t.pending + item.isize;
+    true
+  end
+
+let largest t =
+  Hashtbl.fold
+    (fun key b acc ->
+      if !b > 0 then
+        match acc with
+        | Some (_, best) when best >= !b -> acc
+        | _ -> Some (key, !b)
+      else acc)
+    t.bytes None
+
+(* A batch is ready when some key has a full packet's worth of traffic, or
+   batching is disabled and anything at all is pending. *)
+let ready t =
+  if t.pending = 0 then None
+  else if t.batch_bytes <= 0 then Option.map fst (largest t)
+  else
+    Hashtbl.fold
+      (fun key b acc -> if acc = None && !b >= t.batch_bytes then Some key else acc)
+      t.bytes None
+
+(* Pop items while they fit in one batch.  The first item always pops, so an
+   item larger than [batch_bytes] seals alone rather than stalling the
+   queue; with [batch_bytes <= 0] every batch is a single item. *)
+let seal t key =
+  match Hashtbl.find_opt t.queues key with
+  | None -> []
+  | Some q ->
+      let bytes = Hashtbl.find t.bytes key in
+      let items = ref [] and size = ref 0 in
+      let continue = ref true in
+      while !continue && not (Queue.is_empty q) do
+        let (it : Paxos.Value.item) = Queue.peek q in
+        if !size > 0 && !size + it.isize > t.batch_bytes then continue := false
+        else begin
+          ignore (Queue.pop q);
+          bytes := !bytes - it.isize;
+          t.pending <- t.pending - it.isize;
+          items := it :: !items;
+          size := !size + it.isize
+        end
+      done;
+      List.rev !items
+
+let timer_armed t = t.armed
+
+let arm_timeout t net ~timeout f =
+  if t.pending > 0 && not t.armed then begin
+    t.armed <- true;
+    ignore
+      (Simnet.after net timeout (fun () ->
+           t.armed <- false;
+           f ()))
+  end
+
+let clear t =
+  Hashtbl.reset t.queues;
+  Hashtbl.reset t.bytes;
+  t.pending <- 0

@@ -1,0 +1,25 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+let add t name n = cell t name := !(cell t name) + n
+let incr t name = add t name 1
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let snapshot t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset t = Hashtbl.reset t
+
+let dump t ~label =
+  Printf.printf "--- %s counters ---\n" label;
+  List.iter (fun (k, v) -> Printf.printf "  %-24s %d\n" k v) (snapshot t)

@@ -1,0 +1,24 @@
+type t = {
+  net : Simnet.t;
+  hb_timeout : float;
+  last : (int, float) Hashtbl.t;
+  mutable stopped : bool;
+}
+
+let heartbeat t peer = Hashtbl.replace t.last peer (Simnet.now t.net)
+
+let last_heartbeat t peer =
+  match Hashtbl.find_opt t.last peer with Some x -> x | None -> 0.0
+
+let stale t peer = Simnet.now t.net -. last_heartbeat t peer > t.hb_timeout
+
+let create net ~hb_period ~hb_timeout ~leader ~emit ~on_suspect =
+  let t = { net; hb_timeout; last = Hashtbl.create 16; stopped = false } in
+  let (_stop : unit -> unit) =
+    Simnet.every net ~period:hb_period (fun () ->
+        if not t.stopped then
+          if leader () then emit () else on_suspect ~stale:(stale t))
+  in
+  t
+
+let stop t = t.stopped <- true

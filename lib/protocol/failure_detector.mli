@@ -1,0 +1,38 @@
+(** Heartbeat-based leader failure detection.
+
+    One detector serves a whole protocol instance.  Every [hb_period] it
+    checks [leader ()]: while a leader is in charge it runs [emit] (the
+    leader's alive-duties — heartbeating followers, checking members for
+    death); once no leader remains it runs [on_suspect], passing a
+    [stale] predicate that is true for a peer whose last recorded leader
+    heartbeat is older than [hb_timeout].  The suspicion callback selects
+    and promotes a replacement; because promotion makes [leader ()] true
+    again, a suspicion that reconfigures does not re-fire for the same
+    peer.
+
+    Follower message handlers record leader liveness with [heartbeat];
+    peers start stale at time 0, so [hb_timeout] also bounds how long a
+    cold start waits before electing. *)
+
+type t
+
+val create :
+  Simnet.t ->
+  hb_period:float ->
+  hb_timeout:float ->
+  leader:(unit -> bool) ->
+  emit:(unit -> unit) ->
+  on_suspect:(stale:(int -> bool) -> unit) ->
+  t
+
+(** [heartbeat t peer] — [peer] heard from the leader just now. *)
+val heartbeat : t -> int -> unit
+
+(** Time [peer] last heard from the leader; 0.0 if never. *)
+val last_heartbeat : t -> int -> float
+
+(** [stale t peer] — no leader heartbeat within the last [hb_timeout]. *)
+val stale : t -> int -> bool
+
+(** Permanently disable the monitor (the periodic timer becomes a no-op). *)
+val stop : t -> unit

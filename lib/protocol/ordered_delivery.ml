@@ -1,0 +1,116 @@
+type 'v t = {
+  mutable next : int;
+  mutable max_seen : int;
+  tbl : (int, 'v) Hashtbl.t;
+  spec : (int, unit) Hashtbl.t;
+}
+
+let create () = { next = 0; max_seen = -1; tbl = Hashtbl.create 4096; spec = Hashtbl.create 256 }
+
+let next t = t.next
+let max_seen t = t.max_seen
+let note_max t i = if i > t.max_seen then t.max_seen <- i
+let size t = Hashtbl.length t.tbl
+let has t i = Hashtbl.mem t.tbl i
+let find t i = Hashtbl.find_opt t.tbl i
+
+let offer t ~inst v =
+  if inst >= t.next && not (Hashtbl.mem t.tbl inst) then begin
+    Hashtbl.replace t.tbl inst v;
+    note_max t inst;
+    true
+  end
+  else false
+
+let pump t f =
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt t.tbl t.next with
+    | Some v when f t.next v ->
+        Hashtbl.remove t.tbl t.next;
+        Hashtbl.remove t.spec t.next;
+        t.next <- t.next + 1
+    | _ -> continue := false
+  done
+
+let backlog t = Stdlib.max 0 (t.max_seen + 1 - t.next)
+
+let missing t ?(window = 64) ?(limit = 16) ~complete () =
+  let upto = Stdlib.min t.max_seen (t.next + window - 1) in
+  let rec collect i acc n =
+    if i > upto || n >= limit then List.rev acc
+    else
+      let miss =
+        match Hashtbl.find_opt t.tbl i with
+        | None -> true
+        | Some v -> not (complete i v)
+      in
+      if miss then collect (i + 1) (i :: acc) (n + 1) else collect (i + 1) acc n
+  in
+  collect t.next [] 0
+
+let speculate t ~inst f =
+  if inst >= t.next && not (Hashtbl.mem t.spec inst) then begin
+    Hashtbl.replace t.spec inst ();
+    f ()
+  end
+
+let drop_below t floor =
+  Hashtbl.iter
+    (fun i _ -> if i < floor then Hashtbl.remove t.tbl i)
+    (Hashtbl.copy t.tbl)
+
+(* --- gap repair ---------------------------------------------------------- *)
+
+type repair = { mutable active : bool }
+
+let repairer () = { active = false }
+let repairing r = r.active
+
+let request_repairs r t net ~timeout ~cooldown ~alive ~complete ~send =
+  let rec cycle delay =
+    if not r.active && backlog t > 0 then begin
+      r.active <- true;
+      ignore
+        (Simnet.after net delay (fun () ->
+             r.active <- false;
+             if alive () then begin
+               match missing t ~complete () with
+               | [] -> ()
+               | insts ->
+                   send insts;
+                   (* Cool down before the next request. *)
+                   r.active <- true;
+                   ignore
+                     (Simnet.after net cooldown (fun () ->
+                          r.active <- false;
+                          cycle delay))
+             end))
+    end
+  in
+  cycle timeout
+
+(* --- delivery processing queue ------------------------------------------- *)
+
+type 'a sink = { q : 'a Queue.t; mutable busy : bool }
+
+let sink () = { q = Queue.create (); busy = false }
+let sink_length s = Queue.length s.q
+let sink_push s x = Queue.push x s.q
+
+let rec drain_sink s net proc ~cost deliver =
+  if (not s.busy) && not (Queue.is_empty s.q) then begin
+    let x = Queue.pop s.q in
+    let c = cost () in
+    if c <= 0.0 then begin
+      deliver x;
+      drain_sink s net proc ~cost deliver
+    end
+    else begin
+      s.busy <- true;
+      Simnet.exec net proc ~dur:c (fun () ->
+          s.busy <- false;
+          deliver x;
+          drain_sink s net proc ~cost deliver)
+    end
+  end

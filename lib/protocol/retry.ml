@@ -1,0 +1,56 @@
+type t = { r_name : string; r_stop : unit -> unit }
+
+let every ?counters net ~name ~period f =
+  let tick =
+    match counters with
+    | None -> f
+    | Some c ->
+        let key = name ^ "_tick" in
+        fun () ->
+          Counters.incr c key;
+          f ()
+  in
+  { r_name = name; r_stop = Simnet.every net ~period tick }
+
+let name t = t.r_name
+let stop t = t.r_stop ()
+
+type ('k, 'v) tracker = {
+  tbl : ('k, 'v) Hashtbl.t;
+  last : ('k, float) Hashtbl.t;
+}
+
+let tracker () = { tbl = Hashtbl.create 256; last = Hashtbl.create 256 }
+
+let watch tr ~now key v =
+  Hashtbl.replace tr.tbl key v;
+  Hashtbl.replace tr.last key now
+
+let touch tr ~now key = Hashtbl.replace tr.last key now
+
+let ack tr key =
+  match Hashtbl.find_opt tr.tbl key with
+  | Some v ->
+      Hashtbl.remove tr.tbl key;
+      Hashtbl.remove tr.last key;
+      Some v
+  | None -> None
+
+let mem tr key = Hashtbl.mem tr.tbl key
+let find tr key = Hashtbl.find_opt tr.tbl key
+let length tr = Hashtbl.length tr.tbl
+let iter tr f = Hashtbl.iter f tr.tbl
+
+let clear tr =
+  Hashtbl.reset tr.tbl;
+  Hashtbl.reset tr.last
+
+let iter_due tr ~now ~older_than f =
+  Hashtbl.iter
+    (fun key v ->
+      let last = match Hashtbl.find_opt tr.last key with Some x -> x | None -> 0.0 in
+      if now -. last > older_than then begin
+        Hashtbl.replace tr.last key now;
+        f key v
+      end)
+    tr.tbl

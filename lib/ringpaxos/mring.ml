@@ -35,21 +35,9 @@ let default_config =
 
 let hdr = 64
 
-let dbg_counters : (string, int ref) Hashtbl.t = Hashtbl.create 16
-
-let dbg name =
-  let r =
-    match Hashtbl.find_opt dbg_counters name with
-    | Some r -> r
-    | None ->
-        let r = ref 0 in
-        Hashtbl.add dbg_counters name r;
-        r
-  in
-  incr r
-
-let dbg_dump () =
-  Hashtbl.iter (fun k v -> Printf.printf "  %s = %d\n" k !v) dbg_counters
+module Batcher = Protocol.Batcher
+module Od = Protocol.Ordered_delivery
+module Retry = Protocol.Retry
 
 (* An application item annotated with its destination partitions. *)
 type Simnet.payload +=
@@ -80,7 +68,6 @@ type acc = {
   x_durable : (int, bool) Hashtbl.t;  (* inst -> write completed *)
   x_held : (int, int * int) Hashtbl.t;  (* inst -> (rnd, vid): P2B awaiting P2A/durability *)
   x_disk : Storage.Disk.t option;
-  mutable x_last_hb : float;
   mutable x_mem : int;
   mutable x_gc_floor : int;
   mutable x_max_dec : int;  (* highest instance known decided *)
@@ -91,19 +78,15 @@ type acc = {
   c_claimed : (int, int * Paxos.Value.t * int list) Hashtbl.t;
   mutable c_next_inst : int;
   mutable c_outstanding : int;
-  c_pend : (int list, Paxos.Value.item Queue.t) Hashtbl.t;
+  c_batch : int list Batcher.t;
       (* pending proposals, batched per destination-partition set *)
-  c_pend_bytes : (int list, int ref) Hashtbl.t;
-  mutable c_pending_bytes : int;  (* aggregate, for the buffer bound *)
-  mutable c_batch_timer : Sim.Engine.handle option;
-  c_insts : (int, Paxos.Value.t * int list) Hashtbl.t;  (* proposed, undecided *)
+  c_insts : (int, Paxos.Value.t * int list) Retry.tracker;
+      (* proposed, undecided; stamped for Phase 2A retransmission *)
   mutable c_window : int;  (* flow-controlled window *)
   mutable c_decided : int;
-  mutable c_drops : int;
   c_versions : (int, int) Hashtbl.t;  (* learner -> version *)
   mutable c_gc_floor : int;
   c_seen_uids : (int, unit) Hashtbl.t;  (* duplicate-proposal suppression *)
-  c_inst_born : (int, float) Hashtbl.t;  (* proposal time, for P2A retransmit *)
   mutable c_rate_window : float;  (* start of the pacing window *)
   mutable c_rate_bits : float;  (* Phase 2A bits sent in the window *)
   mutable c_rate_timer : bool;  (* a deferred drain is scheduled *)
@@ -114,30 +97,27 @@ type lrn = {
   l_proc : Simnet.proc;
   l_idx : int;
   l_parts : int list;
-  mutable l_next : int;
+  l_od : (int * int list) Od.t;  (* inst -> (vid, parts) *)
   l_vals : (int, Paxos.Value.t) Hashtbl.t;  (* vid -> value *)
-  l_dec : (int, int * int list) Hashtbl.t;  (* inst -> (vid, parts) *)
-  l_spec_seen : (int, unit) Hashtbl.t;  (* instances already spec-delivered *)
-  mutable l_max_dec : int;  (* highest instance seen decided, repair bound *)
   mutable l_delay : float;  (* processing cost per delivered instance *)
-  l_queue : (int * Paxos.Value.t option) Queue.t;  (* in-order, unprocessed *)
-  mutable l_busy : bool;
+  l_sink : (int * Paxos.Value.t option) Od.sink;  (* in-order, unprocessed *)
   mutable l_fc_sent : bool;
-  mutable l_repair : Sim.Engine.handle option;
+  l_repair : Od.repair;
 }
 
 type prop = {
   p_proc : Simnet.proc;
   p_idx : int;
-  p_unacked : (int, Paxos.Value.item * int list) Hashtbl.t;
+  p_pending : (int, Paxos.Value.item * int list) Retry.tracker;
+      (* uid -> unacknowledged item, stamped with its last send *)
   mutable p_unacked_bytes : int;
-  p_last_sent : (int, float) Hashtbl.t;
   mutable p_buffer : int;  (* client-side buffer bound, bytes *)
 }
 
 type t = {
   net : Simnet.t;
   cfg : config;
+  ctrs : Protocol.Counters.t;  (* per-instance event counters *)
   accs : acc array;  (* 2f+1 acceptors; initial ring = 0..f with f last *)
   lrns : lrn array;
   props : prop array;
@@ -145,10 +125,14 @@ type t = {
   dec_group : Simnet.group;  (* decisions, gc *)
   deliver : learner:int -> inst:int -> Paxos.Value.t option -> unit;
   speculative : (learner:int -> inst:int -> Paxos.Value.t -> unit) option;
+  mutable fd : Protocol.Failure_detector.t option;
   mutable next_uid : int;
   mutable next_vid : int;
   mutable cur_ring : int list;  (* last installed ring, failover fallback *)
 }
+
+let dbg t name = Protocol.Counters.incr t.ctrs name
+let counters t = Protocol.Counters.snapshot t.ctrs
 
 let n_acceptors cfg = (2 * cfg.f) + 1
 
@@ -170,8 +154,6 @@ let successor ring idx =
   in
   go ring
 
-let first_of_ring ring = List.hd ring
-
 let intersects l1 l2 = List.exists (fun x -> List.mem x l2) l1
 
 (* --- memory accounting ------------------------------------------------ *)
@@ -185,7 +167,7 @@ let acc_update_mem a =
 let lrn_update_mem l =
   let bytes = ref 0 in
   Hashtbl.iter (fun _ v -> bytes := !bytes + v.Paxos.Value.size) l.l_vals;
-  Simnet.set_mem l.l_proc (!bytes + (Hashtbl.length l.l_dec * 16))
+  Simnet.set_mem l.l_proc (!bytes + (Od.size l.l_od * 16))
 
 (* --- coordinator ------------------------------------------------------- *)
 
@@ -208,84 +190,32 @@ let coord_local_vote t c inst rnd (v : Paxos.Value.t) parts =
     | Some (r, v', _) -> r = rnd && v'.Paxos.Value.vid = v.vid
     | None -> false
   in
-  if duplicate then ()
-  else begin
+  if not duplicate then begin
     Hashtbl.replace c.x_votes inst (rnd, v, parts);
-  Hashtbl.replace c.x_durable inst (t.cfg.durability <> Sync_disk);
-  (match (t.cfg.durability, c.x_disk) with
-  | Sync_disk, Some d ->
-      Storage.Disk.write_sync d ~bytes:v.size (fun () -> Hashtbl.replace c.x_durable inst true)
+    Hashtbl.replace c.x_durable inst (t.cfg.durability <> Sync_disk);
+    (match (t.cfg.durability, c.x_disk) with
+    | Sync_disk, Some d ->
+        Storage.Disk.write_sync d ~bytes:v.size (fun () -> Hashtbl.replace c.x_durable inst true)
     | Async_disk, Some d -> Storage.Disk.write_async d ~bytes:v.size
     | _ -> ());
     acc_update_mem c
   end
 
+(* [parts] is canonicalised (sorted, duplicate-free) by [propose_batch], so
+   each destination group is multicast to exactly once. *)
+let mcast_p2a t c inst (v : Paxos.Value.t) parts =
+  let p2a = P2a { inst; rnd = c.c_rnd; value = v; parts } in
+  List.iter
+    (fun p -> Simnet.mcast t.net ~src:c.x_proc t.part_groups.(p) ~size:(v.size + hdr) p2a)
+    parts
+
 let propose_instance t c inst (v : Paxos.Value.t) parts =
-  Hashtbl.replace c.c_insts inst (v, parts);
-  Hashtbl.replace c.c_inst_born inst (Simnet.now t.net);
+  Retry.watch c.c_insts ~now:(Simnet.now t.net) inst (v, parts);
   c.c_rate_bits <-
     c.c_rate_bits +. (float_of_int (v.size + hdr) *. 8.0 *. float_of_int (List.length parts));
   c.c_outstanding <- c.c_outstanding + 1;
   coord_local_vote t c inst c.c_rnd v parts;
-  let p2a = P2a { inst; rnd = c.c_rnd; value = v; parts } in
-  let sent_to = Hashtbl.create 4 in
-  List.iter
-    (fun p ->
-      if not (Hashtbl.mem sent_to p) then begin
-        Hashtbl.add sent_to p ();
-        Simnet.mcast t.net ~src:c.x_proc t.part_groups.(p) ~size:(v.size + hdr) p2a
-      end)
-    parts
-
-(* Pending proposals are queued per destination-partition set so that one
-   partition's traffic never dilutes another's batches (§4.2.2). *)
-let pend_enqueue c (item : Paxos.Value.item) parts =
-  let q =
-    match Hashtbl.find_opt c.c_pend parts with
-    | Some q -> q
-    | None ->
-        let q = Queue.create () in
-        Hashtbl.add c.c_pend parts q;
-        Hashtbl.add c.c_pend_bytes parts (ref 0);
-        q
-  in
-  Queue.push item q;
-  let b = Hashtbl.find c.c_pend_bytes parts in
-  b := !b + item.isize;
-  c.c_pending_bytes <- c.c_pending_bytes + item.isize
-
-(* The partition set with the most pending bytes, if any. *)
-let pend_largest c =
-  Hashtbl.fold
-    (fun parts b acc ->
-      if !b > 0 then
-        match acc with
-        | Some (_, best) when best >= !b -> acc
-        | _ -> Some (parts, !b)
-      else acc)
-    c.c_pend_bytes None
-
-let pend_empty c = c.c_pending_bytes = 0
-
-let seal_batch t c parts =
-  match Hashtbl.find_opt c.c_pend parts with
-  | None -> ([], [])
-  | Some q ->
-      let bytes = Hashtbl.find c.c_pend_bytes parts in
-      let items = ref [] and size = ref 0 in
-      let continue = ref true in
-      while !continue && not (Queue.is_empty q) do
-        let (it : Paxos.Value.item) = Queue.peek q in
-        if !size > 0 && !size + it.isize > t.cfg.batch_bytes then continue := false
-        else begin
-          ignore (Queue.pop q);
-          bytes := !bytes - it.isize;
-          c.c_pending_bytes <- c.c_pending_bytes - it.isize;
-          items := it :: !items;
-          size := !size + it.isize
-        end
-      done;
-      (List.rev !items, List.sort_uniq compare parts)
+  mcast_p2a t c inst v parts
 
 let rec drain t c =
   if c.c_phase1_ok && c.x_is_coord && Simnet.is_alive c.x_proc then begin
@@ -293,22 +223,10 @@ let rec drain t c =
     Hashtbl.reset c.c_claimed;
     List.iter
       (fun (inst, (_, v, parts)) ->
-        if not (Hashtbl.mem c.c_insts inst) && not (Hashtbl.mem c.x_decided inst) then
+        if not (Retry.mem c.c_insts inst) && not (Hashtbl.mem c.x_decided inst) then
           propose_instance t c inst v parts;
         if inst >= c.c_next_inst then c.c_next_inst <- inst + 1)
       (List.sort compare claimed);
-    (* A batch is ready when some partition set has a full packet's worth
-       of traffic (or batching is off and anything is pending). *)
-    let batch_ready () =
-      if pend_empty c then None
-      else if t.cfg.batch_bytes <= 0 then
-        Option.map fst (pend_largest c)
-      else
-        Hashtbl.fold
-          (fun parts b acc ->
-            if acc = None && !b >= t.cfg.batch_bytes then Some parts else acc)
-          c.c_pend_bytes None
-    in
     (* Coordinator-side flow control: Phase 2A traffic is paced below the
        rate the network can multicast without loss (§3.3.6). *)
     let pace_ok () =
@@ -321,57 +239,51 @@ let rec drain t c =
     in
     let continue = ref true in
     while !continue && c.c_outstanding < c.c_window && pace_ok () do
-      match batch_ready () with
+      match Batcher.ready c.c_batch with
       | Some parts -> propose_batch t c parts
       | None -> continue := false
     done;
-    if batch_ready () <> None && c.c_outstanding < c.c_window && (not (pace_ok ()))
-       && not c.c_rate_timer
+    if Batcher.ready c.c_batch <> None && c.c_outstanding < c.c_window
+       && (not (pace_ok ())) && not c.c_rate_timer
     then begin
       c.c_rate_timer <- true;
       ignore
         (Simnet.after t.net 0.002 (fun () ->
-             dbg "rate_timer";
-             c.c_rate_timer <- false;
-             drain t c))
+             dbg t "rate_timer"; c.c_rate_timer <- false; drain t c))
     end;
-    if (not (pend_empty c)) && c.c_batch_timer = None then
-      c.c_batch_timer <-
-        Some
-          (Simnet.after t.net t.cfg.batch_timeout (fun () ->
-               dbg "batch_timer";
-               c.c_batch_timer <- None;
-               if c.x_is_coord && Simnet.is_alive c.x_proc && c.c_phase1_ok
-                  && c.c_outstanding < c.c_window
-               then begin
-                 (* Seal the largest partial batch. *)
-                 match pend_largest c with
-                 | Some (parts, _) -> propose_batch t c parts
-                 | None -> ()
-               end;
-               drain t c))
+    Batcher.arm_timeout c.c_batch t.net ~timeout:t.cfg.batch_timeout (fun () ->
+        dbg t "batch_timer";
+        if c.x_is_coord && Simnet.is_alive c.x_proc && c.c_phase1_ok
+           && c.c_outstanding < c.c_window
+        then begin
+          (* Seal the largest partial batch. *)
+          match Batcher.largest c.c_batch with
+          | Some (parts, _) -> propose_batch t c parts
+          | None -> ()
+        end;
+        drain t c)
   end
 
 and propose_batch t c parts =
-  match seal_batch t c parts with
-  | [], _ -> ()
-  | items, parts ->
+  match Batcher.seal c.c_batch parts with
+  | [] -> ()
+  | items ->
       t.next_vid <- t.next_vid + 1;
       let v = Paxos.Value.make ~vid:t.next_vid items in
+      let parts = List.sort_uniq compare parts in
       let parts = if parts = [] then [ 0 ] else parts in
       let inst = c.c_next_inst in
       c.c_next_inst <- inst + 1;
       propose_instance t c inst v parts
 
 let coord_decide t c inst vid =
-  match Hashtbl.find_opt c.c_insts inst with
-  | Some (v, parts) when v.vid = vid ->
+  match Retry.find c.c_insts inst with
+  | Some (v, parts) when v.Paxos.Value.vid = vid ->
       (* The coordinator is the last acceptor: the arriving Phase 2B closes
          the majority provided its own vote is durable. *)
       let fire () =
         if not (Hashtbl.mem c.x_decided inst) then begin
-          Hashtbl.remove c.c_insts inst;
-          Hashtbl.remove c.c_inst_born inst;
+          ignore (Retry.ack c.c_insts inst);
           Hashtbl.add c.x_decided inst (vid, parts);
           if inst > c.x_max_dec then c.x_max_dec <- inst;
           c.c_outstanding <- c.c_outstanding - 1;
@@ -382,11 +294,9 @@ let coord_decide t c inst vid =
       in
       (* A pruned durability entry means the instance was garbage collected
          after being applied by f+1 learners — treat it as durable. *)
-      let durable () =
-        match Hashtbl.find_opt c.x_durable inst with Some b -> b | None -> true
-      in
+      let durable () = match Hashtbl.find_opt c.x_durable inst with Some b -> b | None -> true in
       let rec wait_durable () =
-        dbg "wait_durable";
+        dbg t "wait_durable";
         if durable () then fire ()
         else if c.x_is_coord && Simnet.is_alive c.x_proc then
           ignore (Simnet.after t.net 1.0e-4 wait_durable)
@@ -415,17 +325,17 @@ let fc_slow_down t c =
   c.c_rate_limit <- Stdlib.max 5.0e7 (c.c_rate_limit /. 2.0);
   drain t c
 
-let fc_recover_loop t =
-  let (_stop : unit -> unit) =
-    Simnet.every t.net ~period:t.cfg.fc_recover_period (fun () ->
-        match coord_opt t with
-        | Some c when c.c_window < t.cfg.window || c.c_rate_limit < t.cfg.send_rate ->
-            c.c_window <- Stdlib.min t.cfg.window (c.c_window + Stdlib.max 1 (c.c_window / 2));
-            c.c_rate_limit <- Stdlib.min t.cfg.send_rate (c.c_rate_limit *. 1.25);
-            drain t c
-        | _ -> ())
-  in
-  ()
+(* Window regrowth: additive increase back toward the configured window and
+   pacing rate (§3.3.6). *)
+let fc_recovery t =
+  ignore
+    (Retry.every t.net ~name:"fc_recover" ~period:t.cfg.fc_recover_period (fun () ->
+         match coord_opt t with
+         | Some c when c.c_window < t.cfg.window || c.c_rate_limit < t.cfg.send_rate ->
+             c.c_window <- Stdlib.min t.cfg.window (c.c_window + Stdlib.max 1 (c.c_window / 2));
+             c.c_rate_limit <- Stdlib.min t.cfg.send_rate (c.c_rate_limit *. 1.25);
+             drain t c
+         | _ -> ()))
 
 (* --- acceptor ---------------------------------------------------------- *)
 
@@ -462,7 +372,7 @@ let acc_on_p2a t a inst rnd (v : Paxos.Value.t) parts =
     let after_durable () =
       Hashtbl.replace a.x_durable inst true;
       (* First in-ring acceptor spontaneously starts the Phase 2B chain. *)
-      if (not a.x_is_coord) && a.x_ring <> [] && first_of_ring a.x_ring = a.x_idx then
+      if (not a.x_is_coord) && a.x_ring <> [] && List.hd a.x_ring = a.x_idx then
         forward_p2b t a inst rnd v.vid
       else acc_try_forward t a inst
     in
@@ -515,27 +425,16 @@ let pref_acceptor t l =
   in
   match pick 0 with Some a -> Some a | None -> coord_opt t
 
-let rec lrn_pump t l =
-  if (not l.l_busy) && not (Queue.is_empty l.l_queue) then begin
-    let inst, v = Queue.pop l.l_queue in
-    if l.l_delay <= 0.0 then begin
-      t.deliver ~learner:l.l_idx ~inst v;
-      lrn_pump t l
-    end
-    else begin
-      l.l_busy <- true;
-      Simnet.exec t.net l.l_proc ~dur:l.l_delay (fun () ->
-          l.l_busy <- false;
-          t.deliver ~learner:l.l_idx ~inst v;
-          lrn_pump t l)
-    end
-  end
+let lrn_pump t l =
+  Od.drain_sink l.l_sink t.net l.l_proc
+    ~cost:(fun () -> l.l_delay)
+    (fun (inst, v) -> t.deliver ~learner:l.l_idx ~inst v)
 
 let lrn_fc_check t l =
   (* The learner's buffer pressure is both unprocessed decisions and the
      backlog of decided-but-not-yet-deliverable instances (losses it is
      still repairing) — §3.3.6. *)
-  let pending = Queue.length l.l_queue + Stdlib.max 0 (l.l_max_dec + 1 - l.l_next) in
+  let pending = Od.sink_length l.l_sink + Od.backlog l.l_od in
   if pending > t.cfg.fc_threshold && not l.l_fc_sent then begin
     match pref_acceptor t l with
     | Some a ->
@@ -546,85 +445,44 @@ let lrn_fc_check t l =
     | None -> ()
   end
 
-(* The instances (at most 16) the learner is actually missing: decided at or
-   beyond [l_next] but lacking either the decision or the value. *)
-let missing_instances l =
-  let upto = Stdlib.min l.l_max_dec (l.l_next + 63) in
-  let rec collect i acc n =
-    if i > upto || n >= 16 then List.rev acc
-    else
-      let miss =
-        match Hashtbl.find_opt l.l_dec i with
-        | None -> i >= l.l_next
-        | Some (vid, _) -> not (Hashtbl.mem l.l_vals vid)
-      in
-      if miss && i >= l.l_next then collect (i + 1) (i :: acc) (n + 1)
-      else collect (i + 1) acc n
-  in
-  collect l.l_next [] 0
+(* Ask the preferential acceptor for the concrete missing instances —
+   decided at or beyond the delivery cursor but lacking either the decision
+   or the value (§3.3.4). *)
+let repair_cycle t l =
+  Od.request_repairs l.l_repair l.l_od t.net ~timeout:t.cfg.retrans_timeout
+    ~cooldown:(4.0 *. t.cfg.retrans_timeout)
+    ~alive:(fun () -> Simnet.is_alive l.l_proc)
+    ~complete:(fun _ (vid, _) -> Hashtbl.mem l.l_vals vid)
+    ~send:(fun insts ->
+      match pref_acceptor t l with
+      | Some a ->
+          Simnet.send t.net ~src:l.l_proc ~dst:a.x_proc ~size:(hdr + List.length insts)
+            (RepairReq { insts; learner = l.l_idx })
+      | None -> ())
 
-(* Single-outstanding repair with a cooldown: ask the preferential acceptor
-   for the concrete missing instances, then wait before asking again. *)
-let rec repair_cycle t l =
-  if l.l_repair = None && l.l_max_dec >= l.l_next then
-    l.l_repair <-
-      Some
-        (Simnet.after t.net t.cfg.retrans_timeout (fun () ->
-             if Simnet.is_alive l.l_proc then begin
-               match missing_instances l with
-               | [] -> l.l_repair <- None
-               | insts ->
-                   (match pref_acceptor t l with
-                   | Some a ->
-                       Simnet.send t.net ~src:l.l_proc ~dst:a.x_proc
-                         ~size:(hdr + List.length insts)
-                         (RepairReq { insts; learner = l.l_idx })
-                   | None -> ());
-                   (* Cool down before the next request. *)
-                   l.l_repair <-
-                     Some
-                       (Simnet.after t.net (4.0 *. t.cfg.retrans_timeout) (fun () ->
-                            l.l_repair <- None;
-                            repair_cycle t l))
-             end
-             else l.l_repair <- None))
-
-let rec lrn_advance t l =
-  match Hashtbl.find_opt l.l_dec l.l_next with
-  | None ->
-      (* A decision at or beyond [l_next] exists but the multicast for
-         [l_next] was lost: fetch it from the preferential acceptor. *)
-      if l.l_max_dec >= l.l_next then repair_cycle t l
-  | Some (vid, parts) ->
-      let mine = intersects parts l.l_parts in
-      if not mine then begin
-        Hashtbl.remove l.l_dec l.l_next;
-        let inst = l.l_next in
-        l.l_next <- inst + 1;
-        Queue.push (inst, None) l.l_queue;
+(* Release everything deliverable in instance order; what remains blocked is
+   either an instance whose decision was lost (repairable once a later
+   decision reveals the gap) or one whose value has not arrived. *)
+let lrn_drain t l =
+  Od.pump l.l_od (fun inst (vid, parts) ->
+      let release v =
+        Od.sink_push l.l_sink (inst, v);
         lrn_fc_check t l;
         lrn_pump t l;
-        lrn_advance t l
-      end
-      else begin
+        true
+      in
+      if not (intersects parts l.l_parts) then release None
+      else
         match Hashtbl.find_opt l.l_vals vid with
         | Some v ->
-            Hashtbl.remove l.l_dec l.l_next;
             Hashtbl.remove l.l_vals vid;
-            Hashtbl.remove l.l_spec_seen l.l_next;
             lrn_update_mem l;
-            let inst = l.l_next in
-            l.l_next <- inst + 1;
-            Queue.push (inst, Some v) l.l_queue;
-            lrn_fc_check t l;
-            lrn_pump t l;
-            lrn_advance t l
+            release (Some v)
         | None ->
             (* Decision known but value lost: fetch it from the
                preferential acceptor. *)
-            ignore vid;
-            repair_cycle t l
-      end
+            false);
+  if Od.backlog l.l_od > 0 then repair_cycle t l
 
 (* Speculative delivery exposes values in ip-multicast arrival order, before
    their order is decided (Chapter 4); the replica layer detects and rolls
@@ -632,33 +490,29 @@ let rec lrn_advance t l =
 let lrn_on_p2a t l inst (v : Paxos.Value.t) =
   Hashtbl.replace l.l_vals v.vid v;
   (match t.speculative with
-  | Some spec when inst >= l.l_next && not (Hashtbl.mem l.l_spec_seen inst) ->
-      Hashtbl.replace l.l_spec_seen inst ();
-      spec ~learner:l.l_idx ~inst v
-  | _ -> ());
+  | Some spec ->
+      Od.speculate l.l_od ~inst (fun () -> spec ~learner:l.l_idx ~inst v)
+  | None -> ());
   lrn_update_mem l;
-  lrn_advance t l
+  lrn_drain t l
 
 let lrn_on_decision t l inst vid parts =
-  if inst > l.l_max_dec then l.l_max_dec <- inst;
-  if inst >= l.l_next && not (Hashtbl.mem l.l_dec inst) then begin
-    Hashtbl.replace l.l_dec inst (vid, parts);
-    lrn_advance t l
-  end;
+  Od.note_max l.l_od inst;
+  if Od.offer l.l_od ~inst (vid, parts) then lrn_drain t l;
   lrn_fc_check t l
 
-let version_loop t l =
-  let (_stop : unit -> unit) =
-    Simnet.every t.net ~period:t.cfg.gc_period (fun () ->
-        if Simnet.is_alive l.l_proc then begin
-          match pref_acceptor t l with
-          | Some a ->
-              Simnet.send t.net ~src:l.l_proc ~dst:a.x_proc ~size:hdr
-                (Version { learner = l.l_idx; version = l.l_next })
-          | None -> ()
-        end)
-  in
-  ()
+(* Learners periodically report their delivery version so acceptors can both
+   garbage collect and tell a learner when it has fallen behind. *)
+let version_reports t l =
+  ignore
+    (Retry.every t.net ~name:"version" ~period:t.cfg.gc_period (fun () ->
+         if Simnet.is_alive l.l_proc then begin
+           match pref_acceptor t l with
+           | Some a ->
+               Simnet.send t.net ~src:l.l_proc ~dst:a.x_proc ~size:hdr
+                 (Version { learner = l.l_idx; version = Od.next l.l_od })
+           | None -> ()
+         end))
 
 (* --- garbage collection ------------------------------------------------- *)
 
@@ -683,27 +537,17 @@ let coord_on_version t c learner version =
 
 (* Resubmit items that have gone unacknowledged for a full timeout (lost to
    coordinator buffer overflow or to a coordinator crash). *)
-let resubmit_loop t p =
-  let (_stop : unit -> unit) =
-    Simnet.every t.net ~period:0.5 (fun () ->
-        if Simnet.is_alive p.p_proc then
-          match coord_opt t with
-          | Some c ->
-              Hashtbl.iter
-                (fun uid (it, parts) ->
-                  let last =
-                    Option.value ~default:0.0 (Hashtbl.find_opt p.p_last_sent uid)
-                  in
-                  if Simnet.now t.net -. last > 0.5 then begin
-                    Hashtbl.replace p.p_last_sent uid (Simnet.now t.net);
-                    Simnet.send t.net ~src:p.p_proc ~dst:c.x_proc
-                      ~size:(it.Paxos.Value.isize + hdr)
-                      (Propose { item = it; parts })
-                  end)
-                p.p_unacked
-          | None -> ())
-  in
-  ()
+let prop_resubmission t p =
+  ignore
+    (Retry.every t.net ~name:"resubmit" ~period:0.5 (fun () ->
+         if Simnet.is_alive p.p_proc then
+           match coord_opt t with
+           | Some c ->
+               Retry.iter_due p.p_pending ~now:(Simnet.now t.net) ~older_than:0.5
+                 (fun _uid (it, parts) ->
+                   Simnet.send t.net ~src:p.p_proc ~dst:c.x_proc
+                     ~size:(it.Paxos.Value.isize + hdr) (Propose { item = it; parts }))
+           | None -> ()))
 
 (* --- failure handling ---------------------------------------------------- *)
 
@@ -717,22 +561,16 @@ let install_ring t new_coord ring =
       a.x_is_coord <- a.x_idx = new_coord.x_idx;
       (* Group membership follows ring membership so promoted spares start
          receiving Phase 2A and decision multicasts. *)
-      if List.mem a.x_idx ring then begin
-        Array.iter (fun g -> Simnet.join g a.x_proc) t.part_groups;
-        Simnet.join t.dec_group a.x_proc
-      end
-      else begin
-        Array.iter (fun g -> Simnet.leave g a.x_proc) t.part_groups;
-        Simnet.leave t.dec_group a.x_proc
-      end)
+      let op = if List.mem a.x_idx ring then Simnet.join else Simnet.leave in
+      Array.iter (fun g -> op g a.x_proc) t.part_groups;
+      op t.dec_group a.x_proc)
     t.accs
 
 let become_coordinator t a =
   (* Lay out a fresh ring of f+1 alive acceptors with [a] as coordinator
      (last), then run Phase 1 with a higher round. *)
   let alive = alive_acceptors t |> List.filter (fun b -> b.x_idx <> a.x_idx) in
-  let needed = t.cfg.f in
-  let chosen = List.filteri (fun i _ -> i < needed) alive in
+  let chosen = List.filteri (fun i _ -> i < t.cfg.f) alive in
   let ring = List.map (fun b -> b.x_idx) chosen @ [ a.x_idx ] in
   install_ring t a ring;
   a.c_rnd <- Stdlib.max a.c_rnd a.x_rnd;
@@ -740,104 +578,79 @@ let become_coordinator t a =
   a.c_next_inst <-
     Hashtbl.fold (fun i _ acc -> Stdlib.max (i + 1) acc) a.x_votes
       (Stdlib.max a.c_next_inst a.x_gc_floor);
-  Array.iter
-    (fun p -> Simnet.send t.net ~src:a.x_proc ~dst:p.p_proc ~size:hdr (NewCoord { acc = a.x_idx }))
-    t.props;
-  Array.iter
-    (fun l -> Simnet.send t.net ~src:a.x_proc ~dst:l.l_proc ~size:hdr (NewCoord { acc = a.x_idx }))
-    t.lrns;
+  let announce dst = Simnet.send t.net ~src:a.x_proc ~dst ~size:hdr (NewCoord { acc = a.x_idx }) in
+  Array.iter (fun p -> announce p.p_proc) t.props;
+  Array.iter (fun l -> announce l.l_proc) t.lrns;
   start_phase1 t a
 
 (* Undecided instances whose Phase 2A multicast may have been lost are
    re-multicast so the ring's Phase 2B chain can restart (§3.3.4). *)
-let p2a_retransmit_loop t =
-  let (_stop : unit -> unit) =
-    Simnet.every t.net ~period:t.cfg.retrans_timeout (fun () ->
-        dbg "p2a_retrans_tick";
-        match coord_opt t with
-        | Some c ->
-            let now = Simnet.now t.net in
-            Hashtbl.iter
-              (fun inst (v, parts) ->
-                match Hashtbl.find_opt c.c_inst_born inst with
-                | Some born when now -. born > 2.0 *. t.cfg.retrans_timeout ->
-                    Hashtbl.replace c.c_inst_born inst now;
-                    let p2a = P2a { inst; rnd = c.c_rnd; value = v; parts } in
-                    let sent_to = Hashtbl.create 4 in
-                    List.iter
-                      (fun p ->
-                        if not (Hashtbl.mem sent_to p) then begin
-                          Hashtbl.add sent_to p ();
-                          Simnet.mcast t.net ~src:c.x_proc t.part_groups.(p)
-                            ~size:(v.Paxos.Value.size + hdr) p2a
-                        end)
-                      parts
-                | _ -> ())
-              c.c_insts
-        | None -> ())
-  in
-  ()
+let p2a_retransmission t =
+  ignore
+    (Retry.every ~counters:t.ctrs t.net ~name:"p2a_retrans" ~period:t.cfg.retrans_timeout
+       (fun () ->
+         match coord_opt t with
+         | Some c ->
+             Retry.iter_due c.c_insts ~now:(Simnet.now t.net)
+               ~older_than:(2.0 *. t.cfg.retrans_timeout)
+               (fun inst (v, parts) -> mcast_p2a t c inst v parts)
+         | None -> ()))
 
-let monitor_loop t =
-  let (_stop : unit -> unit) =
-    Simnet.every t.net ~period:t.cfg.hb_period (fun () ->
-        match coord_opt t with
-        | Some c -> begin
-          (* Coordinator heartbeats every acceptor (spares included, so a
-             spare's promotion timeout measures real silence) and checks
-             ring members for death. *)
-          Array.iter
-            (fun a ->
-              if a.x_idx <> c.x_idx && Simnet.is_alive a.x_proc
-                 && not (List.mem a.x_idx c.x_ring)
-              then
-                Simnet.send t.net ~src:c.x_proc ~dst:a.x_proc ~size:hdr (Hb { acc = c.x_idx }))
-            t.accs;
-          List.iter
-            (fun idx ->
-              if idx <> c.x_idx then begin
-                let a = t.accs.(idx) in
-                if Simnet.is_alive a.x_proc then
-                  Simnet.send t.net ~src:c.x_proc ~dst:a.x_proc ~size:hdr (Hb { acc = c.x_idx })
-                else begin
-                  (* Reconfigure: swap the dead member for a spare. *)
-                  let ring = c.x_ring in
-                  let spares =
-                    alive_acceptors t
-                    |> List.filter (fun b -> not (List.mem b.x_idx ring))
-                    |> List.map (fun b -> b.x_idx)
-                  in
-                  match spares with
-                  | spare :: _ ->
-                      let ring' = List.map (fun i -> if i = idx then spare else i) ring in
-                      install_ring t c ring';
-                      start_phase1 t c
-                  | [] -> ()
-                end
-              end)
-            c.x_ring
-          end
-        | None -> begin
-            (* Coordinator dead: the first alive in-ring acceptor (then any
-               spare) takes over once the heartbeat timeout expires. *)
-            let stale a = Simnet.now t.net -. a.x_last_hb > t.cfg.hb_timeout in
-            let in_ring =
-              List.filter_map
-                (fun idx ->
-                  let a = t.accs.(idx) in
-                  if Simnet.is_alive a.x_proc && stale a then Some a else None)
-                t.cur_ring
-            in
-            let candidates =
-              if in_ring <> [] then in_ring
-              else List.filter stale (alive_acceptors t)
-            in
-            match candidates with
-            | a :: _ -> become_coordinator t a
-            | [] -> ()
-          end)
+(* The shared failure detector drives both directions of §3.3.4's failure
+   handling: while a coordinator leads it heartbeats the other acceptors and
+   swaps dead ring members for spares; once none leads, the first alive
+   acceptor whose heartbeats went stale takes over. *)
+let failure_detection t =
+  let emit () =
+    match coord_opt t with
+    | None -> ()
+    | Some c ->
+        (* Coordinator heartbeats every alive acceptor (spares included, so
+           a spare's promotion timeout measures real silence)... *)
+        Array.iter
+          (fun a ->
+            if a.x_idx <> c.x_idx && Simnet.is_alive a.x_proc then
+              Simnet.send t.net ~src:c.x_proc ~dst:a.x_proc ~size:hdr (Hb { acc = c.x_idx }))
+          t.accs;
+        (* ...and reconfigures, swapping dead ring members for spares. *)
+        List.iter
+          (fun idx ->
+            if idx <> c.x_idx && not (Simnet.is_alive t.accs.(idx).x_proc) then
+              let spares =
+                alive_acceptors t |> List.filter (fun b -> not (List.mem b.x_idx c.x_ring))
+              in
+              match spares with
+              | spare :: _ ->
+                  install_ring t c
+                    (List.map (fun i -> if i = idx then spare.x_idx else i) c.x_ring);
+                  start_phase1 t c
+              | [] -> ())
+          c.x_ring
   in
-  ()
+  let on_suspect ~stale =
+    (* Coordinator dead: the first alive in-ring acceptor (then any spare)
+       takes over once the heartbeat timeout expires. *)
+    let in_ring =
+      List.filter_map
+        (fun idx ->
+          let a = t.accs.(idx) in
+          if Simnet.is_alive a.x_proc && stale idx then Some a else None)
+        t.cur_ring
+    in
+    let candidates =
+      if in_ring <> [] then in_ring
+      else List.filter (fun a -> stale a.x_idx) (alive_acceptors t)
+    in
+    match candidates with
+    | a :: _ -> become_coordinator t a
+    | [] -> ()
+  in
+  t.fd <-
+    Some
+      (Protocol.Failure_detector.create t.net ~hb_period:t.cfg.hb_period
+         ~hb_timeout:t.cfg.hb_timeout
+         ~leader:(fun () -> coord_opt t <> None)
+         ~emit ~on_suspect)
 
 (* --- handlers ------------------------------------------------------------ *)
 
@@ -845,11 +658,9 @@ let acc_handler t a (m : Simnet.msg) =
   match m.payload with
   | Propose { item; parts } ->
       if a.x_is_coord && not (Hashtbl.mem a.c_seen_uids item.Paxos.Value.uid) then begin
-        if a.c_pending_bytes + item.Paxos.Value.isize > t.cfg.buffer_bytes then
-          a.c_drops <- a.c_drops + 1
-        else begin
+        if Batcher.enqueue a.c_batch ~key:(List.sort_uniq compare parts) item
+        then begin
           Hashtbl.add a.c_seen_uids item.uid ();
-          pend_enqueue a item (List.sort_uniq compare parts);
           drain t a
         end
       end
@@ -950,7 +761,10 @@ let acc_handler t a (m : Simnet.msg) =
       (* An acceptor recovering a lost Phase 2A. *)
       acc_on_p2a t a inst a.x_rnd value parts;
       acc_try_forward t a inst
-  | Hb { acc = _ } -> a.x_last_hb <- Simnet.now t.net
+  | Hb { acc = _ } -> (
+      match t.fd with
+      | Some fd -> Protocol.Failure_detector.heartbeat fd a.x_idx
+      | None -> ())
   | _ -> ()
 
 let lrn_handler t l (m : Simnet.msg) =
@@ -960,19 +774,15 @@ let lrn_handler t l (m : Simnet.msg) =
   | Retrans { inst; value; parts } ->
       (* A repair response supplies both the decision and the value. *)
       Hashtbl.replace l.l_vals value.Paxos.Value.vid value;
-      if inst > l.l_max_dec then l.l_max_dec <- inst;
-      if inst >= l.l_next && not (Hashtbl.mem l.l_dec inst) then
-        Hashtbl.replace l.l_dec inst (value.vid, parts);
-      lrn_advance t l
+      Od.note_max l.l_od inst;
+      ignore (Od.offer l.l_od ~inst (value.vid, parts));
+      lrn_drain t l
   | Gc { floor } ->
-      Hashtbl.iter
-        (fun i _ -> if i < floor && i < l.l_next then Hashtbl.remove l.l_dec i)
-        (Hashtbl.copy l.l_dec);
-      ignore floor
+      Od.drop_below l.l_od (Stdlib.min floor (Od.next l.l_od))
   | MaxDec { upto } ->
-      if upto > l.l_max_dec then begin
-        l.l_max_dec <- upto;
-        lrn_advance t l;
+      if upto > Od.max_seen l.l_od then begin
+        Od.note_max l.l_od upto;
+        lrn_drain t l;
         repair_cycle t l
       end
   | NewCoord _ -> ()
@@ -983,22 +793,17 @@ let prop_handler t p (m : Simnet.msg) =
   | Decision { uids; _ } ->
       List.iter
         (fun uid ->
-          (match Hashtbl.find_opt p.p_unacked uid with
-          | Some (it, _) ->
-              p.p_unacked_bytes <- p.p_unacked_bytes - it.Paxos.Value.isize;
-              Hashtbl.remove p.p_unacked uid;
-              Hashtbl.remove p.p_last_sent uid
-          | None -> ()))
+          match Retry.ack p.p_pending uid with
+          | Some (it, _) -> p.p_unacked_bytes <- p.p_unacked_bytes - it.Paxos.Value.isize
+          | None -> ())
         uids
   | NewCoord { acc } ->
       (* Resubmit everything not yet acknowledged to the new coordinator. *)
-      Hashtbl.iter
-        (fun uid (it, parts) ->
-          Hashtbl.replace p.p_last_sent uid (Simnet.now t.net);
+      Retry.iter p.p_pending (fun uid (it, parts) ->
+          Retry.touch p.p_pending ~now:(Simnet.now t.net) uid;
           Simnet.send t.net ~src:p.p_proc ~dst:t.accs.(acc).x_proc
             ~size:(it.Paxos.Value.isize + hdr)
             (Propose { item = it; parts }))
-        p.p_unacked
   | _ -> ()
 
 (* --- construction --------------------------------------------------------- *)
@@ -1035,7 +840,6 @@ let create ?speculative ?learner_nodes net cfg ~n_proposers ~n_learners ~learner
           x_durable = Hashtbl.create 4096;
           x_held = Hashtbl.create 64;
           x_disk = disk;
-          x_last_hb = 0.0;
           x_mem = 0;
           x_gc_floor = 0;
           x_max_dec = -1;
@@ -1045,18 +849,13 @@ let create ?speculative ?learner_nodes net cfg ~n_proposers ~n_learners ~learner
           c_claimed = Hashtbl.create 64;
           c_next_inst = 0;
           c_outstanding = 0;
-          c_pend = Hashtbl.create 8;
-          c_pend_bytes = Hashtbl.create 8;
-          c_pending_bytes = 0;
-          c_batch_timer = None;
-          c_insts = Hashtbl.create 256;
+          c_batch = Batcher.create ~buffer_bytes:cfg.buffer_bytes ~batch_bytes:cfg.batch_bytes ();
+          c_insts = Retry.tracker ();
           c_window = cfg.window;
           c_decided = 0;
-          c_drops = 0;
           c_versions = Hashtbl.create 16;
           c_gc_floor = 0;
           c_seen_uids = Hashtbl.create 4096;
-          c_inst_born = Hashtbl.create 256;
           c_rate_window = 0.0;
           c_rate_bits = 0.0;
           c_rate_timer = false;
@@ -1067,24 +866,19 @@ let create ?speculative ?learner_nodes net cfg ~n_proposers ~n_learners ~learner
         { l_proc = mk_lrn_proc i;
           l_idx = i;
           l_parts = learner_parts i;
-          l_next = 0;
+          l_od = Od.create ();
           l_vals = Hashtbl.create 4096;
-          l_dec = Hashtbl.create 4096;
-          l_spec_seen = Hashtbl.create 256;
-          l_max_dec = -1;
           l_delay = 0.0;
-          l_queue = Queue.create ();
-          l_busy = false;
+          l_sink = Od.sink ();
           l_fc_sent = false;
-          l_repair = None })
+          l_repair = Od.repairer () })
   in
   let props =
     Array.init n_proposers (fun i ->
         { p_proc = mk_proc "prop" i;
           p_idx = i;
-          p_unacked = Hashtbl.create 256;
+          p_pending = Retry.tracker ();
           p_unacked_bytes = 0;
-          p_last_sent = Hashtbl.create 256;
           p_buffer = 16 * 1024 * 1024 })
   in
   (* Initial ring: acceptors 0..f-1 then f as coordinator. *)
@@ -1112,8 +906,9 @@ let create ?speculative ?learner_nodes net cfg ~n_proposers ~n_learners ~learner
     lrns;
   Array.iter (fun p -> Simnet.join dec_group p.p_proc) props;
   let t =
-    { net; cfg; accs; lrns; props; part_groups; dec_group; deliver; speculative;
-      next_uid = 0; next_vid = 0; cur_ring = ring }
+    { net; cfg; ctrs = Protocol.Counters.create (); accs; lrns; props; part_groups;
+      dec_group; deliver; speculative; fd = None; next_uid = 0; next_vid = 0;
+      cur_ring = ring }
   in
   Array.iter
     (fun a ->
@@ -1124,16 +919,16 @@ let create ?speculative ?learner_nodes net cfg ~n_proposers ~n_learners ~learner
   Array.iter
     (fun l ->
       Simnet.set_handler l.l_proc (lrn_handler t l);
-      version_loop t l)
+      version_reports t l)
     lrns;
   Array.iter
     (fun p ->
       Simnet.set_handler p.p_proc (prop_handler t p);
-      resubmit_loop t p)
+      prop_resubmission t p)
     props;
-  monitor_loop t;
-  fc_recover_loop t;
-  p2a_retransmit_loop t;
+  failure_detection t;
+  fc_recovery t;
+  p2a_retransmission t;
   start_phase1 t accs.(coord_idx);
   t
 
@@ -1144,9 +939,8 @@ let submit t ~proposer ?(parts = [ 0 ]) ~size app =
     t.next_uid <- t.next_uid + 1;
     let uid = (t.next_uid * 256) lor (proposer land 0xff) in
     let item = { Paxos.Value.uid; isize = size; app; born = Simnet.now t.net } in
-    Hashtbl.replace p.p_unacked uid (item, parts);
+    Retry.watch p.p_pending ~now:(Simnet.now t.net) uid (item, parts);
     p.p_unacked_bytes <- p.p_unacked_bytes + size;
-    Hashtbl.replace p.p_last_sent uid (Simnet.now t.net);
     (match coord_opt t with
     | Some c ->
         Simnet.send t.net ~src:p.p_proc ~dst:c.x_proc ~size:(size + hdr) (Propose { item; parts })
@@ -1175,10 +969,8 @@ let crash_acceptor t idx =
   Simnet.kill t.net a.x_proc;
   Hashtbl.reset a.x_held;
   Hashtbl.reset a.c_claimed;
-  Hashtbl.reset a.c_insts;
-  Hashtbl.reset a.c_pend;
-  Hashtbl.reset a.c_pend_bytes;
-  a.c_pending_bytes <- 0;
+  Retry.clear a.c_insts;
+  Batcher.clear a.c_batch;
   a.c_phase1_ok <- false;
   a.c_outstanding <- 0;
   if t.cfg.durability = Memory then begin
@@ -1206,21 +998,24 @@ let kill_ring_acceptor t pos =
 
 let set_learner_delay t i d = t.lrns.(i).l_delay <- d
 
-let learner_pending t i = Queue.length t.lrns.(i).l_queue
+let learner_pending t i = Od.sink_length t.lrns.(i).l_sink
 
 let decided t = Array.fold_left (fun acc a -> acc + a.c_decided) 0 t.accs
 
 let current_window t =
   match coord_opt t with Some c -> c.c_window | None -> 0
 
-let coord_drops t = Array.fold_left (fun acc a -> acc + a.c_drops) 0 t.accs
+let coord_drops t =
+  Array.fold_left (fun acc a -> acc + Batcher.drops a.c_batch) 0 t.accs
 
 let debug_dump t =
   (match coord_opt t with
   | Some c ->
       Printf.printf "  coord=acc%d outst=%d insts=%d pend=%dB decided=%d rate_bits=%.0f\n"
-        c.x_idx c.c_outstanding (Hashtbl.length c.c_insts) c.c_pending_bytes c.c_decided
-        c.c_rate_bits
+        c.x_idx c.c_outstanding
+        (Retry.length c.c_insts)
+        (Batcher.pending_bytes c.c_batch)
+        c.c_decided c.c_rate_bits
   | None -> Printf.printf "  no coord\n");
   Array.iter
     (fun a ->
@@ -1230,10 +1025,13 @@ let debug_dump t =
     t.accs;
   Array.iter
     (fun l ->
-      Printf.printf "  lrn%d next=%d dec=%d vals=%d queue=%d maxdec=%d repair=%b has_dec_next=%b busy=%b\n"
-        l.l_idx l.l_next (Hashtbl.length l.l_dec) (Hashtbl.length l.l_vals)
-        (Queue.length l.l_queue) l.l_max_dec (l.l_repair <> None)
-        (Hashtbl.mem l.l_dec l.l_next) l.l_busy)
+      let od = l.l_od in
+      Printf.printf "  lrn%d next=%d dec=%d vals=%d queue=%d maxdec=%d repair=%b has_dec_next=%b\n"
+        l.l_idx (Od.next od) (Od.size od)
+        (Hashtbl.length l.l_vals)
+        (Od.sink_length l.l_sink)
+        (Od.max_seen od) (Od.repairing l.l_repair)
+        (Od.has od (Od.next od)))
     t.lrns
 
 let disk t pos =

@@ -108,9 +108,9 @@ val coord_drops : t -> int
 (** Dump internal state to stdout (debugging aid). *)
 val debug_dump : t -> unit
 
-(** Print internal event counters accumulated since startup (debugging
-    aid; see also {!debug_dump}). *)
-val dbg_dump : unit -> unit
+(** Protocol event counters accumulated since startup, per instance
+    (sorted name/count pairs; see {!Protocol.Counters}). *)
+val counters : t -> (string * int) list
 
 (** Disk attached to acceptor position [i] of the ring (durable modes). *)
 val disk : t -> int -> Storage.Disk.t option

@@ -45,17 +45,14 @@ type member = {
   (* acceptor state *)
   mutable a_rnd : int;
   a_votes : (int, int * Paxos.Value.t) Hashtbl.t;
-  (* learner state *)
-  mutable l_next : int;
-  l_ready : (int, Paxos.Value.t) Hashtbl.t;
+  (* learner state: decisions pending in-order release *)
+  l_od : Paxos.Value.t Protocol.Ordered_delivery.t;
   (* value-dissemination bookkeeping: instances seen via Phase 2A/2B *)
   m_seen : (int, unit) Hashtbl.t;
   (* proposer state *)
-  p_unacked : (int, Paxos.Value.item) Hashtbl.t;
+  p_pending : (int, Paxos.Value.item) Protocol.Retry.tracker;
   mutable p_unacked_bytes : int;
-  p_last_sent : (int, float) Hashtbl.t;
   mutable p_buffer : int;
-  mutable m_last_hb : float;
   (* coordinator state (used by whichever member currently leads) *)
   mutable c_rnd : int;
   mutable c_phase1_ok : bool;
@@ -63,9 +60,7 @@ type member = {
   c_claimed : (int, int * Paxos.Value.t) Hashtbl.t;
   mutable c_next_inst : int;
   mutable c_outstanding : int;
-  c_pending : Paxos.Value.item Queue.t;
-  mutable c_pending_bytes : int;
-  mutable c_batch_timer : Sim.Engine.handle option;
+  c_batch : unit Protocol.Batcher.t;
   c_seen_uids : (int, unit) Hashtbl.t;
 }
 
@@ -77,6 +72,7 @@ type t = {
   mutable coord_pos : int;
   acc_positions : int array;  (* position of acceptor i *)
   deliver : learner:int -> inst:int -> Paxos.Value.t -> unit;
+  mutable fd : Protocol.Failure_detector.t option;
   mutable next_uid : int;
   mutable next_vid : int;
   mutable decided : int;
@@ -106,47 +102,22 @@ let send_succ t m ~size payload =
 
 (* --- delivery ----------------------------------------------------------- *)
 
-let rec lrn_advance t m =
-  match Hashtbl.find_opt m.l_ready m.l_next with
-  | Some v ->
-      Hashtbl.remove m.l_ready m.l_next;
-      let inst = m.l_next in
-      m.l_next <- inst + 1;
+let advance_deliveries t m =
+  Protocol.Ordered_delivery.pump m.l_od (fun inst v ->
       if is_learner m then t.deliver ~learner:m.m_lrn_idx ~inst v;
       (* A proposer acknowledges its own items when it sees them decided. *)
       List.iter
         (fun (it : Paxos.Value.item) ->
-          if Hashtbl.mem m.p_unacked it.uid then begin
-            m.p_unacked_bytes <- m.p_unacked_bytes - it.isize;
-            Hashtbl.remove m.p_unacked it.uid;
-            Hashtbl.remove m.p_last_sent it.uid
-          end)
-        v.items;
-      lrn_advance t m
-  | None -> ()
+          match Protocol.Retry.ack m.p_pending it.uid with
+          | Some _ -> m.p_unacked_bytes <- m.p_unacked_bytes - it.isize
+          | None -> ())
+        v.Paxos.Value.items;
+      true)
 
 let record_decision t m inst v =
-  if inst >= m.l_next && not (Hashtbl.mem m.l_ready inst) then begin
-    Hashtbl.replace m.l_ready inst v;
-    lrn_advance t m
-  end
+  if Protocol.Ordered_delivery.offer m.l_od ~inst v then advance_deliveries t m
 
 (* --- coordinator --------------------------------------------------------- *)
-
-let seal_batch t c =
-  let items = ref [] and size = ref 0 in
-  let continue = ref true in
-  while !continue && not (Queue.is_empty c.c_pending) do
-    let (it : Paxos.Value.item) = Queue.peek c.c_pending in
-    if !size > 0 && !size + it.isize > t.cfg.batch_bytes then continue := false
-    else begin
-      ignore (Queue.pop c.c_pending);
-      c.c_pending_bytes <- c.c_pending_bytes - it.isize;
-      items := it :: !items;
-      size := !size + it.isize
-    end
-  done;
-  List.rev !items
 
 let propose_instance t c inst (v : Paxos.Value.t) =
   c.c_outstanding <- c.c_outstanding + 1;
@@ -168,29 +139,23 @@ let rec drain t c =
     Hashtbl.reset c.c_claimed;
     List.iter
       (fun (inst, (_, v)) ->
-        if not (Hashtbl.mem c.l_ready inst) && inst >= c.l_next then propose_instance t c inst v;
+        if (not (Protocol.Ordered_delivery.has c.l_od inst))
+           && inst >= Protocol.Ordered_delivery.next c.l_od
+        then propose_instance t c inst v;
         if inst >= c.c_next_inst then c.c_next_inst <- inst + 1)
       (List.sort compare claimed);
-    let batch_ready () =
-      (not (Queue.is_empty c.c_pending))
-      && (t.cfg.batch_bytes <= 0 || c.c_pending_bytes >= t.cfg.batch_bytes)
-    in
-    while c.c_outstanding < t.cfg.window && batch_ready () do
+    while c.c_outstanding < t.cfg.window && Protocol.Batcher.ready c.c_batch <> None do
       propose_batch t c
     done;
-    if (not (Queue.is_empty c.c_pending)) && c.c_batch_timer = None then
-      c.c_batch_timer <-
-        Some
-          (Simnet.after t.net t.cfg.batch_timeout (fun () ->
-               c.c_batch_timer <- None;
-               if c.m_pos = t.coord_pos && Simnet.is_alive c.m_proc && c.c_phase1_ok
-                  && c.c_outstanding < t.cfg.window
-               then propose_batch t c;
-               drain t c))
+    Protocol.Batcher.arm_timeout c.c_batch t.net ~timeout:t.cfg.batch_timeout (fun () ->
+        if c.m_pos = t.coord_pos && Simnet.is_alive c.m_proc && c.c_phase1_ok
+           && c.c_outstanding < t.cfg.window
+        then propose_batch t c;
+        drain t c)
   end
 
 and propose_batch t c =
-  match seal_batch t c with
+  match Protocol.Batcher.seal c.c_batch () with
   | [] -> ()
   | items ->
       t.next_vid <- t.next_vid + 1;
@@ -299,7 +264,7 @@ let rebuild_ring t new_coord_pos =
   (* A fresh coordinator must not reuse instances already delivered. *)
   c.c_next_inst <-
     Hashtbl.fold (fun i _ acc -> Stdlib.max (i + 1) acc) c.a_votes
-      (Stdlib.max c.c_next_inst c.l_next);
+      (Stdlib.max c.c_next_inst (Protocol.Ordered_delivery.next c.l_od));
   List.iter
     (fun pos ->
       let m = t.members.(pos) in
@@ -309,54 +274,52 @@ let rebuild_ring t new_coord_pos =
     t.ring;
   start_phase1 t c
 
-let monitor_loop t =
-  let (_stop : unit -> unit) =
-    Simnet.every t.net ~period:t.cfg.hb_period (fun () ->
-        let c = coord t in
-        if Simnet.is_alive c.m_proc then begin
-          (* The coordinator pings ring members; dead ones trigger a
-             reconfiguration that bypasses them. *)
-          let dead = List.filter (fun p -> not (Simnet.is_alive t.members.(p).m_proc)) t.ring in
-          if dead <> [] then rebuild_ring t t.coord_pos
-          else
-            List.iter
-              (fun p ->
-                if p <> t.coord_pos then
-                  Simnet.send t.net ~src:c.m_proc ~dst:t.members.(p).m_proc ~size:hdr
-                    (UHb { coord = t.coord_pos }))
-              t.ring
-        end
-        else begin
-          (* Coordinator dead: the first alive acceptor (ring order) takes
-             over after the timeout. *)
-          let candidate =
-            Array.to_list t.acc_positions
-            |> List.filter (fun p ->
-                   Simnet.is_alive t.members.(p).m_proc
-                   && Simnet.now t.net -. t.members.(p).m_last_hb > t.cfg.hb_timeout)
-            |> function
-            | [] -> None
-            | p :: _ -> Some p
-          in
-          match candidate with Some p -> rebuild_ring t p | None -> ()
-        end)
+(* While the coordinator lives it pings ring members (dead ones trigger a
+   reconfiguration that bypasses them); once it dies, the first alive
+   acceptor in ring order whose heartbeats went stale takes over. *)
+let failure_detection t =
+  let emit () =
+    let c = coord t in
+    let dead = List.filter (fun p -> not (Simnet.is_alive t.members.(p).m_proc)) t.ring in
+    if dead <> [] then rebuild_ring t t.coord_pos
+    else
+      List.iter
+        (fun p ->
+          if p <> t.coord_pos then
+            Simnet.send t.net ~src:c.m_proc ~dst:t.members.(p).m_proc ~size:hdr
+              (UHb { coord = t.coord_pos }))
+        t.ring
   in
-  ()
+  let on_suspect ~stale =
+    let candidate =
+      Array.to_list t.acc_positions
+      |> List.filter (fun p -> Simnet.is_alive t.members.(p).m_proc && stale p)
+      |> function
+      | [] -> None
+      | p :: _ -> Some p
+    in
+    match candidate with Some p -> rebuild_ring t p | None -> ()
+  in
+  t.fd <-
+    Some
+      (Protocol.Failure_detector.create t.net ~hb_period:t.cfg.hb_period
+         ~hb_timeout:t.cfg.hb_timeout
+         ~leader:(fun () -> Simnet.is_alive (coord t).m_proc)
+         ~emit ~on_suspect)
 
-let resubmit_loop t m =
-  let (_stop : unit -> unit) =
-    Simnet.every t.net ~period:t.cfg.resubmit_timeout (fun () ->
-        if Simnet.is_alive m.m_proc && m.m_prop_idx >= 0 then
-          Hashtbl.iter
-            (fun uid (it : Paxos.Value.item) ->
-              let last = Option.value ~default:0.0 (Hashtbl.find_opt m.p_last_sent uid) in
-              if Simnet.now t.net -. last > t.cfg.resubmit_timeout then begin
-                Hashtbl.replace m.p_last_sent uid (Simnet.now t.net);
-                send_succ t m ~size:(it.isize + hdr) (UForward it)
-              end)
-            m.p_unacked)
-  in
-  ()
+let heard_from_coord t m =
+  match t.fd with
+  | Some fd -> Protocol.Failure_detector.heartbeat fd m.m_pos
+  | None -> ()
+
+let prop_resubmission t m =
+  ignore
+    (Protocol.Retry.every t.net ~name:"resubmit" ~period:t.cfg.resubmit_timeout (fun () ->
+         if Simnet.is_alive m.m_proc && m.m_prop_idx >= 0 then
+           Protocol.Retry.iter_due m.p_pending ~now:(Simnet.now t.net)
+             ~older_than:t.cfg.resubmit_timeout
+             (fun _uid (it : Paxos.Value.item) ->
+               send_succ t m ~size:(it.isize + hdr) (UForward it))))
 
 (* --- handler ----------------------------------------------------------------- *)
 
@@ -364,16 +327,11 @@ let handler t m (msg : Simnet.msg) =
   match msg.payload with
   | UForward item ->
       if m.m_pos = t.coord_pos then begin
-        if
-          m.c_pending_bytes + item.Paxos.Value.isize > t.cfg.buffer_bytes
-          || Hashtbl.mem m.c_seen_uids item.uid
-        then ()
-        else begin
-          Hashtbl.add m.c_seen_uids item.uid ();
-          Queue.push item m.c_pending;
-          m.c_pending_bytes <- m.c_pending_bytes + item.isize;
-          drain t m
-        end
+        if not (Hashtbl.mem m.c_seen_uids item.Paxos.Value.uid) then
+          if Protocol.Batcher.enqueue m.c_batch ~key:() item then begin
+            Hashtbl.add m.c_seen_uids item.uid ();
+            drain t m
+          end
       end
       else send_succ t m ~size:(item.isize + hdr) (UForward item)
   | UP1a { rnd; coord } ->
@@ -400,11 +358,11 @@ let handler t m (msg : Simnet.msg) =
       end
   | UP2ab { inst; rnd; value; votes } -> on_p2ab t m inst rnd value votes
   | UDecision { inst; value; origin; with_value = _ } -> on_decision t m inst value origin
-  | UHb { coord = _ } -> m.m_last_hb <- Simnet.now t.net
+  | UHb { coord = _ } -> heard_from_coord t m
   | UNewRing { ring; coord } ->
       t.ring <- ring;
       t.coord_pos <- coord;
-      m.m_last_hb <- Simnet.now t.net
+      heard_from_coord t m
   | _ -> ()
 
 (* --- construction --------------------------------------------------------------- *)
@@ -458,23 +416,20 @@ let create net cfg ~positions ~deliver =
           m_disk;
           a_rnd = 0;
           a_votes = Hashtbl.create 4096;
-          l_next = 0;
-          l_ready = Hashtbl.create 256;
+          l_od = Protocol.Ordered_delivery.create ();
           m_seen = Hashtbl.create 4096;
-          p_unacked = Hashtbl.create 256;
+          p_pending = Protocol.Retry.tracker ();
           p_unacked_bytes = 0;
-          p_last_sent = Hashtbl.create 256;
           p_buffer = 2 * 1024 * 1024;
-          m_last_hb = 0.0;
           c_rnd = 0;
           c_phase1_ok = false;
           c_p1b = 0;
           c_claimed = Hashtbl.create 64;
           c_next_inst = 0;
           c_outstanding = 0;
-          c_pending = Queue.create ();
-          c_pending_bytes = 0;
-          c_batch_timer = None;
+          c_batch =
+            Protocol.Batcher.create ~buffer_bytes:cfg.buffer_bytes
+              ~batch_bytes:cfg.batch_bytes ();
           c_seen_uids = Hashtbl.create 4096 })
   in
   (* The coordinator is the first acceptor in ring order. *)
@@ -488,14 +443,14 @@ let create net cfg ~positions ~deliver =
   let ring = List.init n (fun i -> (coord_pos + i) mod n) in
   let t =
     { net; cfg; members; ring; coord_pos; acc_positions; deliver;
-      next_uid = 0; next_vid = 0; decided = 0 }
+      fd = None; next_uid = 0; next_vid = 0; decided = 0 }
   in
   Array.iter
     (fun m ->
       Simnet.set_handler m.m_proc (handler t m);
-      if m.m_prop_idx >= 0 then resubmit_loop t m)
+      if m.m_prop_idx >= 0 then prop_resubmission t m)
     members;
-  monitor_loop t;
+  failure_detection t;
   start_phase1 t members.(coord_pos);
   t
 
@@ -509,14 +464,11 @@ let submit t ~proposer ~size app =
        coordinator (the value crosses each link exactly once, §3.3.3). *)
     let uid = (t.next_uid * 256) lor (m.m_pos land 0xff) in
     let item = { Paxos.Value.uid; isize = size; app; born = Simnet.now t.net } in
-    Hashtbl.replace m.p_unacked uid item;
+    Protocol.Retry.watch m.p_pending ~now:(Simnet.now t.net) uid item;
     m.p_unacked_bytes <- m.p_unacked_bytes + size;
-    Hashtbl.replace m.p_last_sent uid (Simnet.now t.net);
     if m.m_pos = t.coord_pos then begin
-      if m.c_pending_bytes + size <= t.cfg.buffer_bytes then begin
+      if Protocol.Batcher.enqueue m.c_batch ~key:() item then begin
         Hashtbl.add m.c_seen_uids uid ();
-        Queue.push item m.c_pending;
-        m.c_pending_bytes <- m.c_pending_bytes + size;
         drain t m
       end
     end

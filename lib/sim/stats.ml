@@ -341,9 +341,10 @@ module Snapshot = struct
     lat_p99 : float;
     lat_max : float;
     cpu_pct : float;
+    counters : (string * int) list;
   }
 
-  let make ?rate ?latency ?busy ~label ~from ~till () =
+  let make ?rate ?latency ?busy ?(counters = []) ~label ~from ~till () =
     let events, bytes, mbps, eps =
       match rate with
       | None -> (0, 0, 0.0, 0.0)
@@ -368,7 +369,15 @@ module Snapshot = struct
       match busy with None -> 0.0 | Some b -> Busy.utilization b ~from ~till
     in
     { label; from_ = from; till; events; bytes; mbps; events_per_sec = eps;
-      lat_count; lat_mean; lat_p50; lat_p95; lat_p99; lat_max; cpu_pct }
+      lat_count; lat_mean; lat_p50; lat_p95; lat_p99; lat_max; cpu_pct; counters }
+
+  (* Most figures print already-reduced numbers (a throughput, a latency
+     average); [scalar] records such a row without the raw accumulators. *)
+  let scalar ?(mbps = 0.0) ?(events_per_sec = 0.0) ?(lat_mean = 0.0) ?(cpu_pct = 0.0)
+      ?(counters = []) ~label () =
+    { label; from_ = 0.0; till = 0.0; events = 0; bytes = 0; mbps; events_per_sec;
+      lat_count = 0; lat_mean; lat_p50 = 0.0; lat_p95 = 0.0; lat_p99 = 0.0; lat_max = 0.0;
+      cpu_pct; counters }
 
   let json_number f =
     if Float.is_nan f || Float.abs f = infinity then "null"
@@ -405,6 +414,14 @@ module Snapshot = struct
     field "lat_max" (json_number t.lat_max);
     Buffer.add_char b ',';
     field "cpu_pct" (json_number t.cpu_pct);
+    Buffer.add_char b ',';
+    Buffer.add_string b "\"counters\":{";
+    List.iteri
+      (fun i (name, n) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "%S:%d" name n))
+      t.counters;
+    Buffer.add_char b '}';
     Buffer.add_char b '}';
     Buffer.contents b
 end

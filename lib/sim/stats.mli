@@ -139,18 +139,35 @@ module Snapshot : sig
     lat_p99 : float;
     lat_max : float;
     cpu_pct : float;
+    counters : (string * int) list;
+        (** protocol event counters (sorted name/count pairs), e.g. from
+            {!Protocol.Counters.snapshot}; empty when a run kept none *)
   }
 
-  (** [make ?rate ?latency ?busy ~label ~from ~till ()] evaluates the
-      supplied accumulators over [\[from, till)]; omitted ones report
+  (** [make ?rate ?latency ?busy ?counters ~label ~from ~till ()] evaluates
+      the supplied accumulators over [\[from, till)]; omitted ones report
       zeros. *)
   val make :
     ?rate:Rate.t ->
     ?latency:Latency.t ->
     ?busy:Busy.t ->
+    ?counters:(string * int) list ->
     label:string ->
     from:float ->
     till:float ->
+    unit ->
+    t
+
+  (** [scalar ~label ()] records a row of already-reduced metrics — most
+      experiments print derived throughput/latency scalars rather than
+      keeping raw accumulators per row. *)
+  val scalar :
+    ?mbps:float ->
+    ?events_per_sec:float ->
+    ?lat_mean:float ->
+    ?cpu_pct:float ->
+    ?counters:(string * int) list ->
+    label:string ->
     unit ->
     t
 

@@ -13,4 +13,5 @@ let () =
       ("core", Test_core.suite);
       ("extra", Test_extra.suite);
       ("storage", Test_storage.suite);
+      ("protocol", Test_protocol.suite);
       ("properties", Test_properties.suite) ]

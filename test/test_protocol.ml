@@ -1,0 +1,178 @@
+(* Tests for the shared protocol runtime components (lib/protocol):
+   batching edge cases and failure-detector suspicion timing. *)
+
+type Simnet.payload += Blob
+
+let fresh () =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create 3) in
+  (engine, net)
+
+let item ?(uid = 0) isize = { Paxos.Value.uid; isize; app = Blob; born = 0.0 }
+
+let sizes items = List.map (fun (it : Paxos.Value.item) -> it.isize) items
+
+(* --- Batcher -------------------------------------------------------------- *)
+
+let test_oversized_item_seals_alone () =
+  let b = Protocol.Batcher.create ~batch_bytes:1000 () in
+  ignore (Protocol.Batcher.enqueue b ~key:() (item ~uid:1 300));
+  ignore (Protocol.Batcher.enqueue b ~key:() (item ~uid:2 5000));
+  (* 5300 pending bytes exceed the threshold, so the key is ready... *)
+  Alcotest.(check bool) "ready" true (Protocol.Batcher.ready b <> None);
+  (* ...but the first seal stops before the oversized item. *)
+  Alcotest.(check (list int)) "first batch" [ 300 ] (sizes (Protocol.Batcher.seal b ()));
+  (* The oversized item does not stall: it seals alone. *)
+  Alcotest.(check (list int)) "oversized alone" [ 5000 ] (sizes (Protocol.Batcher.seal b ()));
+  Alcotest.(check bool) "drained" true (Protocol.Batcher.is_empty b)
+
+let test_timeout_flushes_partial_batch () =
+  let engine, net = fresh () in
+  let b = Protocol.Batcher.create ~batch_bytes:100_000 () in
+  ignore (Protocol.Batcher.enqueue b ~key:() (item 128));
+  let flushed = ref [] in
+  let fired_at = ref 0.0 in
+  Protocol.Batcher.arm_timeout b net ~timeout:0.01 (fun () ->
+      fired_at := Sim.Engine.now engine;
+      flushed := Protocol.Batcher.seal b ());
+  Alcotest.(check bool) "timer armed" true (Protocol.Batcher.timer_armed b);
+  (* Arming again while a timer is pending is a no-op. *)
+  Protocol.Batcher.arm_timeout b net ~timeout:0.01 (fun () -> Alcotest.fail "double arm");
+  Sim.Engine.run engine ~until:1.0;
+  Alcotest.(check (list int)) "sub-threshold batch flushed" [ 128 ] (sizes !flushed);
+  Alcotest.(check bool) "fired at the timeout, not later" true
+    (!fired_at >= 0.01 && !fired_at < 0.02);
+  Alcotest.(check bool) "timer disarmed after firing" false (Protocol.Batcher.timer_armed b)
+
+let test_timeout_noop_when_empty () =
+  let engine, net = fresh () in
+  let b = Protocol.Batcher.create ~batch_bytes:100_000 () in
+  Protocol.Batcher.arm_timeout b net ~timeout:0.01 (fun () ->
+      Alcotest.fail "timer armed with nothing pending");
+  Alcotest.(check bool) "not armed" false (Protocol.Batcher.timer_armed b);
+  Sim.Engine.run engine ~until:1.0
+
+let test_zero_batch_bytes_disables_batching () =
+  let b = Protocol.Batcher.create ~batch_bytes:0 () in
+  ignore (Protocol.Batcher.enqueue b ~key:() (item ~uid:1 100));
+  ignore (Protocol.Batcher.enqueue b ~key:() (item ~uid:2 100));
+  ignore (Protocol.Batcher.enqueue b ~key:() (item ~uid:3 100));
+  (* Every enqueue leaves the key ready, and every seal is a single item. *)
+  for i = 1 to 3 do
+    Alcotest.(check bool) (Printf.sprintf "ready %d" i) true (Protocol.Batcher.ready b <> None);
+    Alcotest.(check int) (Printf.sprintf "singleton %d" i) 1
+      (List.length (Protocol.Batcher.seal b ()))
+  done;
+  Alcotest.(check bool) "drained" true (Protocol.Batcher.is_empty b)
+
+let test_buffer_bound_drops () =
+  let b = Protocol.Batcher.create ~buffer_bytes:1000 ~batch_bytes:100_000 () in
+  Alcotest.(check bool) "fits" true (Protocol.Batcher.enqueue b ~key:() (item 900));
+  Alcotest.(check bool) "overflow rejected" false (Protocol.Batcher.enqueue b ~key:() (item 200));
+  Alcotest.(check int) "drop counted" 1 (Protocol.Batcher.drops b);
+  Alcotest.(check int) "accepted bytes kept" 900 (Protocol.Batcher.pending_bytes b)
+
+(* --- Failure detector ------------------------------------------------------ *)
+
+let hb_period = 0.02
+let hb_timeout = 0.25
+
+(* A follower-side detector: [leader ()] is false, so every tick consults
+   [on_suspect] with the staleness predicate for peer 0. *)
+let follower_fd net ~leader ~on_suspect =
+  Protocol.Failure_detector.create net ~hb_period ~hb_timeout ~leader
+    ~emit:(fun () -> ())
+    ~on_suspect
+
+let test_no_false_suspicion_under_heartbeats () =
+  let engine, net = fresh () in
+  let suspected = ref false in
+  let fd =
+    follower_fd net
+      ~leader:(fun () -> false)
+      ~on_suspect:(fun ~stale -> if stale 0 then suspected := true)
+  in
+  (* The leader's heartbeats arrive on schedule for the whole run. *)
+  let stop =
+    Simnet.every net ~period:hb_period (fun () -> Protocol.Failure_detector.heartbeat fd 0)
+  in
+  Sim.Engine.run engine ~until:2.0;
+  stop ();
+  Alcotest.(check bool) "never suspected" false !suspected
+
+let test_suspicion_within_timeout_of_crash () =
+  let engine, net = fresh () in
+  let crash_at = 0.5 in
+  let first_suspect = ref nan in
+  let fd =
+    follower_fd net
+      ~leader:(fun () -> false)
+      ~on_suspect:(fun ~stale ->
+        if stale 0 && Float.is_nan !first_suspect then
+          first_suspect := Sim.Engine.now engine)
+  in
+  (* Heartbeats flow until the "leader" crashes at [crash_at]. *)
+  let stop =
+    Simnet.every net ~period:hb_period (fun () ->
+        if Sim.Engine.now engine < crash_at then Protocol.Failure_detector.heartbeat fd 0)
+  in
+  Sim.Engine.run engine ~until:2.0;
+  stop ();
+  Alcotest.(check bool) "suspected" false (Float.is_nan !first_suspect);
+  Alcotest.(check bool) "not before the timeout" true (!first_suspect >= crash_at +. hb_timeout -. hb_period);
+  Alcotest.(check bool) "within timeout plus two periods" true
+    (!first_suspect <= crash_at +. hb_timeout +. (2.0 *. hb_period))
+
+let test_suspicion_does_not_refire_after_reconfiguration () =
+  let engine, net = fresh () in
+  let am_leader = ref false in
+  let suspicions = ref 0 in
+  let emissions = ref 0 in
+  ignore
+    (Protocol.Failure_detector.create net ~hb_period ~hb_timeout
+       ~leader:(fun () -> !am_leader)
+       ~emit:(fun () -> incr emissions)
+       ~on_suspect:(fun ~stale ->
+         if stale 0 then begin
+           (* Reconfigure: this process takes over the leadership, exactly
+              as Mring's become_coordinator / Uring's rebuild_ring do. *)
+           incr suspicions;
+           am_leader := true
+         end));
+  (* No heartbeats at all: peer 0 goes stale once hb_timeout elapses. *)
+  Sim.Engine.run engine ~until:2.0;
+  Alcotest.(check int) "exactly one suspicion" 1 !suspicions;
+  Alcotest.(check bool) "leader duties running after takeover" true (!emissions > 0)
+
+let test_stop_silences_detector () =
+  let engine, net = fresh () in
+  let calls = ref 0 in
+  let fd =
+    follower_fd net
+      ~leader:(fun () -> false)
+      ~on_suspect:(fun ~stale:_ -> incr calls)
+  in
+  ignore (Simnet.after net 0.1 (fun () -> Protocol.Failure_detector.stop fd));
+  Sim.Engine.run engine ~until:2.0;
+  let after_stop = !calls in
+  Alcotest.(check bool) "ticked before stop" true (after_stop > 0);
+  Alcotest.(check bool) "bounded by stop time" true
+    (after_stop <= int_of_float (0.1 /. hb_period) + 2)
+
+let suite =
+  [ Alcotest.test_case "batcher: oversized item seals alone" `Quick
+      test_oversized_item_seals_alone;
+    Alcotest.test_case "batcher: timeout flushes sub-threshold batch" `Quick
+      test_timeout_flushes_partial_batch;
+    Alcotest.test_case "batcher: timer is a no-op when empty" `Quick test_timeout_noop_when_empty;
+    Alcotest.test_case "batcher: batch_bytes <= 0 disables batching" `Quick
+      test_zero_batch_bytes_disables_batching;
+    Alcotest.test_case "batcher: buffer bound rejects and counts drops" `Quick
+      test_buffer_bound_drops;
+    Alcotest.test_case "fd: no false suspicion while heartbeats flow" `Quick
+      test_no_false_suspicion_under_heartbeats;
+    Alcotest.test_case "fd: suspicion within hb_timeout of a crash" `Quick
+      test_suspicion_within_timeout_of_crash;
+    Alcotest.test_case "fd: reconfiguring suspicion does not re-fire" `Quick
+      test_suspicion_does_not_refire_after_reconfiguration;
+    Alcotest.test_case "fd: stop silences the monitor" `Quick test_stop_silences_detector ]
