@@ -83,6 +83,9 @@ let rec extract_json_flag = function
 
 let () =
   (match extract_json_flag (List.tl (Array.to_list Sys.argv)) with
+  (* `chaos` owns the rest of the argument list (seeded fault schedules
+     with per-run verdicts; see lib/fault). *)
+  | "chaos" :: rest -> Chaos_cmd.run rest
   | [] | [ "all" ] ->
       List.iter
         (fun (id, _, f) ->

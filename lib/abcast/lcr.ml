@@ -26,6 +26,7 @@ type member = {
   m_disk : Storage.Disk.t option;
   mutable m_clock : int;
   m_known : int array;  (* last announced clock per member *)
+  m_seen : int array;  (* highest body timestamp stored per sender *)
   mutable m_pending : Paxos.Value.t Pending.t;
   mutable m_unacked_bytes : int;  (* own bodies not yet delivered locally *)
   mutable m_buffer : int;
@@ -87,6 +88,15 @@ let forward_body t m sender ts v =
 let handler t m (msg : Simnet.msg) =
   match msg.payload with
   | Body { sender; ts; value } ->
+      (* Per-sender timestamps are strictly increasing and links are FIFO,
+         so anything at or below the watermark is a duplicate.  Without
+         this check a body whose sender has been removed from the ring
+         circulates forever: the forwarding stop condition ("next hop is
+         the sender") can no longer trigger, and every revolution would
+         re-store and re-deliver it. *)
+      if ts <= m.m_seen.(sender) then ()
+      else begin
+      m.m_seen.(sender) <- ts;
       let continue () =
         store_body t m sender ts value;
         forward_body t m sender ts value
@@ -98,6 +108,7 @@ let handler t m (msg : Simnet.msg) =
           Storage.Disk.write_async d ~bytes:value.size;
           continue ()
       | _ -> continue ())
+      end
   | Clock { origin; clock } ->
       m.m_known.(origin) <- Stdlib.max m.m_known.(origin) clock;
       (match successor t m.m_idx with
@@ -136,6 +147,7 @@ let create net cfg ~deliver =
           m_disk = disk;
           m_clock = 0;
           m_known = Array.make cfg.n 0;
+          m_seen = Array.make cfg.n 0;
           m_pending = Pending.empty;
           m_unacked_bytes = 0;
           m_buffer = 2 * 1024 * 1024 })
@@ -166,6 +178,7 @@ let broadcast t ~from ~size app =
     in
     m.m_clock <- m.m_clock + 1;
     let ts = m.m_clock in
+    m.m_seen.(m.m_idx) <- ts;
     m.m_unacked_bytes <- m.m_unacked_bytes + size;
     store_body t m m.m_idx ts v;
     forward_body t m m.m_idx ts v;

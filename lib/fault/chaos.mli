@@ -1,0 +1,38 @@
+(** Seeded chaos scenarios: one deterministic fault schedule per
+    (protocol, seed) pair, audited by {!Safety} (atomic-broadcast
+    invariants) or {!Smr.Linearizability} (the [smr] scenario).
+
+    Each scenario matches the faults it injects to the protocol's fault
+    model (see CORRECTNESS.md, "Fault matrix"): M-Ring sees acceptor
+    crashes (with restart under durable modes), learner partitions,
+    multicast drop/duplicate/jitter and slow CPUs; U-Ring, whose model
+    excludes message loss, sees fail-stop position kills, link lag and
+    slow CPUs; and so on.  Load always stops at 60 % of the run and all
+    faults heal by 80 %, leaving a quiescence window in which uniform
+    agreement must be restored.
+
+    Re-running a (protocol, seed) pair replays the identical fault
+    timeline — the seed is the repro. *)
+
+type outcome = {
+  protocol : string;
+  seed : int;
+  ok : bool;
+  summary : string;  (** counts fragment for the verdict line *)
+  violations : string list;
+  events : (float * string) list;  (** the fault timeline *)
+}
+
+(** Scenario names accepted by {!run_one}: ["mring"; "uring";
+    ["multiring"]; "spaxos"; "lcr"; "smr"]. *)
+val protocols : string list
+
+(** [run_one ~protocol ~seed ~duration ()] builds a fresh simulation,
+    runs the scenario and returns its verdict.
+    @raise Invalid_argument on an unknown protocol name. *)
+val run_one : protocol:string -> seed:int -> duration:float -> unit -> outcome
+
+(** [run_all ~protocols ~seeds ~duration ()] runs seeds [0..seeds-1] for
+    each protocol, prints one verdict line per run and a final summary;
+    returns the number of failed runs. *)
+val run_all : protocols:string list -> seeds:int -> duration:float -> unit -> int

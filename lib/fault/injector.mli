@@ -1,0 +1,95 @@
+(** Deterministic, seeded fault injection over {!Simnet}.
+
+    An injector owns the network's fault tap and two private random
+    streams split from its seed: one rolls the per-message dice, the
+    other is handed to scenario code to draw the fault schedule
+    ({!sched_rng}).  Equal seeds therefore replay the exact same fault
+    timeline, message for message, which is what makes a chaos failure
+    reproducible from its seed alone.
+
+    Faults compose in a fixed precedence: a severed link ({!cut},
+    {!partition}) always drops; otherwise the first active matching rule
+    rolls drop, then duplicate, then jitter.  Crash/recover of protocol
+    processes stays protocol-specific — schedule it with {!at} and
+    record it with {!note} so it appears in the event log. *)
+
+type t
+
+(** [create net ~seed] installs the tap on [net]. *)
+val create : Simnet.t -> seed:int -> t
+
+(** Detach the tap; scheduled rule activations become inert. *)
+val remove : t -> unit
+
+(** The schedule stream: scenario code draws fault times, victims and
+    probabilities from it (never from the network's own rng). *)
+val sched_rng : t -> Sim.Rng.t
+
+(** [at t time f] runs [f] at absolute simulation time [time]. *)
+val at : t -> float -> (unit -> unit) -> unit
+
+(** Append a labelled entry to the event log at the current time. *)
+val note : t -> string -> unit
+
+(** Timestamped fault events in chronological order. *)
+val events : t -> (float * string) list
+
+(** Messages dropped because of a cut link or a drop rule. *)
+val drops : t -> int
+
+(** {1 Link cuts and partitions} *)
+
+(** [cut t ~src ~dst] severs the directed link (pids); reference
+    counted, so overlapping partitions compose. *)
+val cut : t -> src:int -> dst:int -> unit
+
+val heal : t -> src:int -> dst:int -> unit
+
+(** [partition t ~at ~dur ~sym ~group_a ~group_b label] cuts every
+    [group_a]→[group_b] link at [at] (both directions when [sym],
+    default) and heals them [dur] later. *)
+val partition :
+  t ->
+  at:float ->
+  dur:float ->
+  ?sym:bool ->
+  group_a:int list ->
+  group_b:int list ->
+  string ->
+  unit
+
+(** {1 Probabilistic link chaos} *)
+
+(** [rule t ~at ~dur ?drop ?dup ?jitter ~applies label] activates, for
+    [dur] seconds starting at [at], a rule that for each matching
+    (message, destination): drops with probability [drop], else
+    duplicates with probability [dup] (the copy lags by a uniform draw
+    in [0, jitter]), else delays by a uniform draw in [0, jitter].
+    Multicast deliveries are matched with [msg.dst = -1]. *)
+val rule :
+  t ->
+  at:float ->
+  dur:float ->
+  ?drop:float ->
+  ?dup:float ->
+  ?jitter:float ->
+  applies:(Simnet.msg -> dst:Simnet.proc -> bool) ->
+  string ->
+  unit
+
+(** [custom t ~at ~dur ~decide label] activates an arbitrary verdict
+    function for the window — e.g. a per-link constant delay, which
+    (unlike [rule]'s per-message jitter) preserves TCP FIFO order. *)
+val custom :
+  t ->
+  at:float ->
+  dur:float ->
+  decide:(Simnet.msg -> dst:Simnet.proc -> Simnet.fault) ->
+  string ->
+  unit
+
+(** {1 Slow-CPU episodes} *)
+
+(** [slow_cpu t ~at ~dur ~factor node] multiplies the node's CPU cost
+    factor by [factor] for [dur] seconds, then restores it. *)
+val slow_cpu : t -> at:float -> dur:float -> factor:float -> Simnet.node -> unit

@@ -23,7 +23,7 @@ type node = {
   cpu : Resource.t;
   nic_out : Resource.t;
   nic_in : Resource.t;
-  cpu_factor : float;
+  mutable cpu_factor : float;
   lat_factor : float;
 }
 
@@ -94,6 +94,9 @@ let default_config =
     default_rcvbuf = 16 * 1024 * 1024;
     default_costs }
 
+(* Verdict of the fault tap for one (message, destination) pair. *)
+type fault = Deliver | Drop | Delay of float | Duplicate of float
+
 type t = {
   engine : Sim.Engine.t;
   rng : Sim.Rng.t;
@@ -105,6 +108,8 @@ type t = {
   conns : (int * int, conn) Hashtbl.t;
   mutable mc_drops : int;
   mutable mc_packets : int;
+  mutable fault_tap : (msg -> dst:proc -> fault) option;
+  mutable fault_drops : int;
 }
 
 let create ?(config = default_config) engine rng =
@@ -117,7 +122,9 @@ let create ?(config = default_config) engine rng =
     ngroups = 0;
     conns = Hashtbl.create 64;
     mc_drops = 0;
-    mc_packets = 0 }
+    mc_packets = 0;
+    fault_tap = None;
+    fault_drops = 0 }
 
 let engine t = t.engine
 let config t = t.cfg
@@ -210,7 +217,7 @@ let sender_side t src size =
    then invoke the handler.  [on_consumed] fires when the handler returns
    (used to open the TCP window).  UDP messages are dropped when the socket
    buffer cannot hold them. *)
-let receiver_side t ~udp ~arrival dst (m : msg) ~on_consumed =
+let receiver_side_raw t ~udp ~arrival dst (m : msg) ~on_consumed =
   let eng = t.engine in
   ignore
     (Sim.Engine.at eng ~time:arrival (fun () ->
@@ -253,6 +260,36 @@ let receiver_side t ~udp ~arrival dst (m : msg) ~on_consumed =
                            on_consumed ()))
                   end))
          end))
+
+(* Every unicast, UDP and multicast delivery funnels through here; the fault
+   tap (when installed) rules on each (message, destination) pair.  A [Drop]
+   must still fire [on_consumed] at the would-be arrival time, otherwise the
+   sender's TCP window accounting leaks [in_flight] bytes and the connection
+   wedges; a [Duplicate] copy uses a no-op [on_consumed] so the window is
+   credited exactly once. *)
+let receiver_side t ~udp ~arrival dst (m : msg) ~on_consumed =
+  match t.fault_tap with
+  | None -> receiver_side_raw t ~udp ~arrival dst m ~on_consumed
+  | Some tap -> (
+      match tap m ~dst with
+      | Deliver -> receiver_side_raw t ~udp ~arrival dst m ~on_consumed
+      | Drop ->
+          t.fault_drops <- t.fault_drops + 1;
+          dst.p_drops <- dst.p_drops + 1;
+          ignore (Sim.Engine.at t.engine ~time:arrival (fun () -> on_consumed ()))
+      | Delay d ->
+          receiver_side_raw t ~udp ~arrival:(arrival +. Float.max 0.0 d) dst m ~on_consumed
+      | Duplicate d ->
+          receiver_side_raw t ~udp ~arrival dst m ~on_consumed;
+          receiver_side_raw t ~udp
+            ~arrival:(arrival +. Float.max 0.0 d)
+            dst m
+            ~on_consumed:(fun () -> ()))
+
+let set_fault_tap t tap = t.fault_tap <- tap
+let fault_drops t = t.fault_drops
+let set_cpu_factor n f = n.cpu_factor <- f
+let node_cpu_factor n = n.cpu_factor
 
 let conn_of t src dst =
   let key = (src.p_id, dst.p_id) in

@@ -129,6 +129,33 @@ val kill : t -> proc -> unit
 val recover : t -> proc -> unit
 val is_alive : proc -> bool
 
+(** {1 Fault injection}
+
+    A fault tap rules on every (message, destination) pair before the
+    receiver side of the link model runs — unicast, UDP and multicast
+    alike (multicast deliveries carry [dst = -1] in the message but the
+    tap still receives the concrete destination process).  Sender-side
+    costs have already been charged when the tap runs, so a dropped
+    message consumed NIC and CPU at the sender exactly like a real one. *)
+
+type fault =
+  | Deliver  (** let the message through untouched *)
+  | Drop  (** lose it (TCP window accounting stays correct) *)
+  | Delay of float  (** add this many seconds to the arrival time *)
+  | Duplicate of float  (** deliver now and once more after this delay *)
+
+(** [set_fault_tap t (Some f)] installs the tap; [None] removes it. *)
+val set_fault_tap : t -> (msg -> dst:proc -> fault) option -> unit
+
+(** Messages discarded by the fault tap (distinct from {!drops}). *)
+val fault_drops : t -> int
+
+(** [set_cpu_factor n f] rescales every CPU cost on the machine from now
+    on (slow-CPU fault episodes); in-progress work is unaffected. *)
+val set_cpu_factor : node -> float -> unit
+
+val node_cpu_factor : node -> float
+
 (** {1 Tuning} *)
 
 val set_rcvbuf : proc -> int -> unit

@@ -6,6 +6,7 @@ type 'k t = {
   buffer_bytes : int;
   mutable dropped : int;
   mutable armed : bool;
+  mutable epoch : int;
 }
 
 let create ?(buffer_bytes = max_int) ~batch_bytes () =
@@ -15,7 +16,8 @@ let create ?(buffer_bytes = max_int) ~batch_bytes () =
     batch_bytes;
     buffer_bytes;
     dropped = 0;
-    armed = false }
+    armed = false;
+    epoch = 0 }
 
 let pending_bytes t = t.pending
 let is_empty t = t.pending = 0
@@ -91,16 +93,25 @@ let seal t key =
 
 let timer_armed t = t.armed
 
+(* The seal timer cannot be cancelled (Simnet.after returns no handle), so
+   each timer captures the epoch at arming time and fires only if no
+   [clear] intervened; otherwise a timeout armed before a coordinator
+   re-election would seal from the reset batcher. *)
 let arm_timeout t net ~timeout f =
   if t.pending > 0 && not t.armed then begin
     t.armed <- true;
+    let epoch = t.epoch in
     ignore
       (Simnet.after net timeout (fun () ->
-           t.armed <- false;
-           f ()))
+           if t.epoch = epoch then begin
+             t.armed <- false;
+             f ()
+           end))
   end
 
 let clear t =
   Hashtbl.reset t.queues;
   Hashtbl.reset t.bytes;
-  t.pending <- 0
+  t.pending <- 0;
+  t.armed <- false;
+  t.epoch <- t.epoch + 1

@@ -56,9 +56,15 @@ let speculate t ~inst f =
   end
 
 let drop_below t floor =
-  Hashtbl.iter
-    (fun i _ -> if i < floor then Hashtbl.remove t.tbl i)
-    (Hashtbl.copy t.tbl)
+  let prune tbl =
+    let doomed = Hashtbl.fold (fun i _ acc -> if i < floor then i :: acc else acc) tbl [] in
+    List.iter (Hashtbl.remove tbl) doomed
+  in
+  prune t.tbl;
+  (* Speculation marks are keyed by instance too: a GC floor that outruns
+     [next] (decisions delivered by other learners in the partition) would
+     otherwise strand their marks forever. *)
+  prune t.spec
 
 (* --- gap repair ---------------------------------------------------------- *)
 
@@ -92,25 +98,32 @@ let request_repairs r t net ~timeout ~cooldown ~alive ~complete ~send =
 
 (* --- delivery processing queue ------------------------------------------- *)
 
-type 'a sink = { q : 'a Queue.t; mutable busy : bool }
+type 'a sink = { q : 'a Queue.t; mutable busy : bool; mutable draining : bool }
 
-let sink () = { q = Queue.create (); busy = false }
+let sink () = { q = Queue.create (); busy = false; draining = false }
 let sink_length s = Queue.length s.q
 let sink_push s x = Queue.push x s.q
 
+(* Zero-cost entries drain in a loop, not by recursion: [deliver] commonly
+   re-enters [drain_sink] (pump -> push -> drain), so the recursive form
+   grew one stack frame per queued item.  The [draining] flag makes the
+   re-entrant call a no-op; the outer loop picks the new items up. *)
 let rec drain_sink s net proc ~cost deliver =
-  if (not s.busy) && not (Queue.is_empty s.q) then begin
-    let x = Queue.pop s.q in
-    let c = cost () in
-    if c <= 0.0 then begin
-      deliver x;
-      drain_sink s net proc ~cost deliver
-    end
-    else begin
-      s.busy <- true;
-      Simnet.exec net proc ~dur:c (fun () ->
-          s.busy <- false;
-          deliver x;
-          drain_sink s net proc ~cost deliver)
-    end
+  if (not s.busy) && not s.draining then begin
+    s.draining <- true;
+    let continue = ref true in
+    while !continue && not (Queue.is_empty s.q) do
+      let x = Queue.pop s.q in
+      let c = cost () in
+      if c <= 0.0 then deliver x
+      else begin
+        s.busy <- true;
+        continue := false;
+        Simnet.exec net proc ~dur:c (fun () ->
+            s.busy <- false;
+            deliver x;
+            drain_sink s net proc ~cost deliver)
+      end
+    done;
+    s.draining <- false
   end

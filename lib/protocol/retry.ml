@@ -45,12 +45,22 @@ let clear tr =
   Hashtbl.reset tr.tbl;
   Hashtbl.reset tr.last
 
+(* Collect the due set before firing callbacks: [f] routinely acks or
+   re-watches entries, and mutating [tr.tbl] while iterating over it is
+   unspecified behaviour per the Hashtbl contract.  An entry acked by an
+   earlier callback in the same sweep must not fire. *)
 let iter_due tr ~now ~older_than f =
-  Hashtbl.iter
-    (fun key v ->
-      let last = match Hashtbl.find_opt tr.last key with Some x -> x | None -> 0.0 in
-      if now -. last > older_than then begin
+  let due =
+    Hashtbl.fold
+      (fun key v acc ->
+        let last = match Hashtbl.find_opt tr.last key with Some x -> x | None -> 0.0 in
+        if now -. last > older_than then (key, v) :: acc else acc)
+      tr.tbl []
+  in
+  List.iter
+    (fun (key, v) ->
+      if Hashtbl.mem tr.tbl key then begin
         Hashtbl.replace tr.last key now;
         f key v
       end)
-    tr.tbl
+    due

@@ -68,6 +68,8 @@ type acc = {
   x_durable : (int, bool) Hashtbl.t;  (* inst -> write completed *)
   x_held : (int, int * int) Hashtbl.t;  (* inst -> (rnd, vid): P2B awaiting P2A/durability *)
   x_disk : Storage.Disk.t option;
+  x_done_uids : (int, unit) Hashtbl.t;
+      (* item uids of votes pruned by GC — all decided; see [acc_gc] *)
   mutable x_mem : int;
   mutable x_gc_floor : int;
   mutable x_max_dec : int;  (* highest instance known decided *)
@@ -87,6 +89,9 @@ type acc = {
   c_versions : (int, int) Hashtbl.t;  (* learner -> version *)
   mutable c_gc_floor : int;
   c_seen_uids : (int, unit) Hashtbl.t;  (* duplicate-proposal suppression *)
+  c_preq : (Paxos.Value.item * int list) Queue.t;
+      (* proposals received before Phase 1 completed, replayed in arrival
+         order once the claimed votes have seeded [c_seen_uids] *)
   mutable c_rate_window : float;  (* start of the pacing window *)
   mutable c_rate_bits : float;  (* Phase 2A bits sent in the window *)
   mutable c_rate_timer : bool;  (* a deferred drain is scheduled *)
@@ -518,6 +523,16 @@ let version_reports t l =
 
 let acc_gc a floor =
   a.x_gc_floor <- Stdlib.max a.x_gc_floor floor;
+  (* The GC floor only advances past applied instances, so every pruned
+     vote is for a decided value.  Remember its item uids: if this
+     acceptor later takes over as coordinator, they seed [c_seen_uids] so
+     a proposer that missed the decision (lossy multicast) cannot get the
+     same item decided under a second instance. *)
+  Hashtbl.iter
+    (fun i ((_, v, _) : int * Paxos.Value.t * int list) ->
+      if i < floor then
+        List.iter (fun it -> Hashtbl.replace a.x_done_uids it.Paxos.Value.uid ()) v.items)
+    a.x_votes;
   let prune tbl = Hashtbl.iter (fun i _ -> if i < floor then Hashtbl.remove tbl i) (Hashtbl.copy tbl) in
   prune a.x_votes;
   prune a.x_decided;
@@ -578,6 +593,29 @@ let become_coordinator t a =
   a.c_next_inst <-
     Hashtbl.fold (fun i _ acc -> Stdlib.max (i + 1) acc) a.x_votes
       (Stdlib.max a.c_next_inst a.x_gc_floor);
+  (* Every value this acceptor voted for may already be decided, so its
+     items must never be proposed again under a fresh instance.  The
+     resubmissions triggered by the NewCoord announcement are buffered
+     until Phase 1 completes (see the Propose handler), by which point the
+     claimed votes have extended this seeding to every decided value. *)
+  Hashtbl.iter
+    (fun _ ((_, v, _) : int * Paxos.Value.t * int list) ->
+      List.iter (fun it -> Hashtbl.replace a.c_seen_uids it.Paxos.Value.uid ()) v.items)
+    a.x_votes;
+  (* ...including votes GC already pruned.  An in-ring acceptor voted on
+     every decided instance (decisions need all f+1 ring votes), so its
+     own vote history is a complete record of the decided uids. *)
+  Hashtbl.iter (fun uid () -> Hashtbl.replace a.c_seen_uids uid ()) a.x_done_uids;
+  (* The coordinator's own votes count toward Phase 1 too.  Without them,
+     a decided instance whose only voter in the Phase 1 quorum is the
+     coordinator itself would be replayed from a stale lower-round claim
+     — deciding a different value for the same instance. *)
+  Hashtbl.iter
+    (fun inst ((vrnd, vval, parts) : int * Paxos.Value.t * int list) ->
+      match Hashtbl.find_opt a.c_claimed inst with
+      | Some (r, _, _) when r >= vrnd -> ()
+      | _ -> Hashtbl.replace a.c_claimed inst (vrnd, vval, parts))
+    a.x_votes;
   let announce dst = Simnet.send t.net ~src:a.x_proc ~dst ~size:hdr (NewCoord { acc = a.x_idx }) in
   Array.iter (fun p -> announce p.p_proc) t.props;
   Array.iter (fun l -> announce l.l_proc) t.lrns;
@@ -654,16 +692,28 @@ let failure_detection t =
 
 (* --- handlers ------------------------------------------------------------ *)
 
+(* Admit a proposal into the coordinator's batch.  Must only run once
+   Phase 1 has completed: before that the coordinator cannot know which
+   items are already decided, and a resubmitted item could be re-proposed
+   under a second instance and delivered twice. *)
+let coord_admit a (item : Paxos.Value.item) parts =
+  if not (Hashtbl.mem a.c_seen_uids item.uid) then
+    if Batcher.enqueue a.c_batch ~key:(List.sort_uniq compare parts) item then begin
+      Hashtbl.add a.c_seen_uids item.uid ();
+      true
+    end
+    else false
+  else false
+
 let acc_handler t a (m : Simnet.msg) =
   match m.payload with
   | Propose { item; parts } ->
-      if a.x_is_coord && not (Hashtbl.mem a.c_seen_uids item.Paxos.Value.uid) then begin
-        if Batcher.enqueue a.c_batch ~key:(List.sort_uniq compare parts) item
-        then begin
-          Hashtbl.add a.c_seen_uids item.uid ();
-          drain t a
-        end
-      end
+      if a.x_is_coord then
+        if not a.c_phase1_ok then
+          (* Buffer, in arrival order, until the claimed votes of Phase 1
+             have seeded [c_seen_uids] with every decided item. *)
+          Queue.push (item, parts) a.c_preq
+        else if coord_admit a item parts then drain t a
   | P1a { rnd; ring; coord = cidx } ->
       if rnd > a.x_rnd then begin
         a.x_rnd <- rnd;
@@ -690,6 +740,22 @@ let acc_handler t a (m : Simnet.msg) =
            majority of the 2f+1 acceptors. *)
         if a.c_p1b >= t.cfg.f then begin
           a.c_phase1_ok <- true;
+          (* The claimed votes of a majority cover every decided value
+             (quorum intersection), so marking their uids seen stops a
+             proposer resubmission from re-deciding an item under a second
+             instance.  Undecided claimed values are replayed by [drain]
+             below, so suppressing their resubmission loses nothing. *)
+          Hashtbl.iter
+            (fun _ ((_, v, _) : int * Paxos.Value.t * int list) ->
+              List.iter
+                (fun it -> Hashtbl.replace a.c_seen_uids it.Paxos.Value.uid ())
+                v.items)
+            a.c_claimed;
+          (* Replay proposals buffered during Phase 1, in arrival order. *)
+          while not (Queue.is_empty a.c_preq) do
+            let item, parts = Queue.pop a.c_preq in
+            ignore (coord_admit a item parts)
+          done;
           drain t a
         end
       end
@@ -840,6 +906,7 @@ let create ?speculative ?learner_nodes net cfg ~n_proposers ~n_learners ~learner
           x_durable = Hashtbl.create 4096;
           x_held = Hashtbl.create 64;
           x_disk = disk;
+          x_done_uids = Hashtbl.create 4096;
           x_mem = 0;
           x_gc_floor = 0;
           x_max_dec = -1;
@@ -856,6 +923,7 @@ let create ?speculative ?learner_nodes net cfg ~n_proposers ~n_learners ~learner
           c_versions = Hashtbl.create 16;
           c_gc_floor = 0;
           c_seen_uids = Hashtbl.create 4096;
+          c_preq = Queue.create ();
           c_rate_window = 0.0;
           c_rate_bits = 0.0;
           c_rate_timer = false;
@@ -971,12 +1039,18 @@ let crash_acceptor t idx =
   Hashtbl.reset a.c_claimed;
   Retry.clear a.c_insts;
   Batcher.clear a.c_batch;
+  (* [c_seen_uids] is volatile: keeping it across a restart would suppress
+     resubmissions of items that died with the cleared batch.  A later
+     Phase 1 re-seeds it from claimed votes before proposals are admitted. *)
+  Hashtbl.reset a.c_seen_uids;
+  Queue.clear a.c_preq;
   a.c_phase1_ok <- false;
   a.c_outstanding <- 0;
   if t.cfg.durability = Memory then begin
     Hashtbl.reset a.x_votes;
     Hashtbl.reset a.x_decided;
     Hashtbl.reset a.x_durable;
+    Hashtbl.reset a.x_done_uids;
     a.x_rnd <- 0;
     acc_update_mem a
   end

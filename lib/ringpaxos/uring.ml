@@ -28,7 +28,12 @@ let hdr = 64
 type Simnet.payload +=
   | UForward of Paxos.Value.item
   | UP1a of { rnd : int; coord : int }
-  | UP1b of { rnd : int; acc : int; votes : (int * int * Paxos.Value.t) list }
+  | UP1b of {
+      rnd : int;
+      acc : int;
+      next : int;  (* the acceptor's contiguous delivery floor *)
+      votes : (int * int * Paxos.Value.t) list;
+    }
   | UP2ab of { inst : int; rnd : int; value : Paxos.Value.t; votes : int }
   | UDecision of { inst : int; value : Paxos.Value.t; origin : int; with_value : bool }
   | UHb of { coord : int }
@@ -47,6 +52,11 @@ type member = {
   a_votes : (int, int * Paxos.Value.t) Hashtbl.t;
   (* learner state: decisions pending in-order release *)
   l_od : Paxos.Value.t Protocol.Ordered_delivery.t;
+  (* every decision this member has learned, by instance.  Because the
+     pump releases instances contiguously, the log is complete below
+     [Ordered_delivery.next l_od] — which is what lets a coordinator
+     serve catch-up for members cut off behind a dead ring segment. *)
+  m_log : (int, Paxos.Value.t) Hashtbl.t;
   (* value-dissemination bookkeeping: instances seen via Phase 2A/2B *)
   m_seen : (int, unit) Hashtbl.t;
   (* proposer state *)
@@ -62,6 +72,12 @@ type member = {
   mutable c_outstanding : int;
   c_batch : unit Protocol.Batcher.t;
   c_seen_uids : (int, unit) Hashtbl.t;
+  c_preq : Paxos.Value.item Queue.t;
+      (* proposals received before Phase 1 completed, replayed in arrival
+         order once [c_seen_uids] has been seeded *)
+  mutable c_reports : (int * int) list;
+      (* (position, delivery floor) reported by Phase 1 replies; served
+         with catch-up decisions once Phase 1 completes *)
 }
 
 type t = {
@@ -115,6 +131,7 @@ let advance_deliveries t m =
       true)
 
 let record_decision t m inst v =
+  Hashtbl.replace m.m_log inst v;
   if Protocol.Ordered_delivery.offer m.l_od ~inst v then advance_deliveries t m
 
 (* --- coordinator --------------------------------------------------------- *)
@@ -169,6 +186,17 @@ let start_phase1 t c =
   c.a_rnd <- Stdlib.max c.a_rnd c.c_rnd;
   c.c_phase1_ok <- false;
   c.c_p1b <- 0;
+  c.c_reports <- [];
+  (* The coordinator's own votes count toward Phase 1 too.  Without them,
+     a decided instance whose only voter in the Phase 1 quorum is the
+     coordinator itself would be replayed from a stale lower-round claim
+     — deciding a different value for the same instance. *)
+  Hashtbl.iter
+    (fun inst ((vrnd, vval) : int * Paxos.Value.t) ->
+      match Hashtbl.find_opt c.c_claimed inst with
+      | Some (r, _) when r >= vrnd -> ()
+      | _ -> Hashtbl.replace c.c_claimed inst (vrnd, vval))
+    c.a_votes;
   Array.iter
     (fun pos ->
       let a = t.members.(pos) in
@@ -210,6 +238,30 @@ let forward_decision t m inst v origin =
       Simnet.send t.net ~src:m.m_proc ~dst:next.m_proc ~size:(payload_bytes + hdr)
         (UDecision { inst; value = v; origin; with_value = payload_bytes > 0 })
   | _ -> ()
+
+(* Re-send the decisions a Phase 1 reply revealed the sender is missing:
+   a member downstream of a dead ring position loses the decisions that
+   were in flight through it and, with the ring since rebuilt around the
+   gap, would otherwise never learn them.  The coordinator's [m_log] is
+   complete below its own delivery floor, so it can serve any instance in
+   [from, floor). *)
+let catchup t c ~pos ~from =
+  let upto = Protocol.Ordered_delivery.next c.l_od in
+  if pos <> c.m_pos && from < upto then begin
+    let dst = t.members.(pos) in
+    (* A catch-up decision is point-to-point: claim the receiver's
+       successor as origin so [forward_decision] stops immediately. *)
+    let origin =
+      match successor t dst.m_pos with Some s -> s.m_pos | None -> dst.m_pos
+    in
+    for inst = from to upto - 1 do
+      match Hashtbl.find_opt c.m_log inst with
+      | Some v ->
+          Simnet.send t.net ~src:c.m_proc ~dst:dst.m_proc ~size:(v.size + hdr)
+            (UDecision { inst; value = v; origin; with_value = true })
+      | None -> ()
+    done
+  end
 
 let on_p2ab t m inst rnd (v : Paxos.Value.t) votes =
   Hashtbl.replace m.m_seen inst ();
@@ -265,6 +317,11 @@ let rebuild_ring t new_coord_pos =
   c.c_next_inst <-
     Hashtbl.fold (fun i _ acc -> Stdlib.max (i + 1) acc) c.a_votes
       (Stdlib.max c.c_next_inst (Protocol.Ordered_delivery.next c.l_od));
+  (* Instances that were in flight when the ring broke will be re-proposed
+     from the Phase 1 claims and counted afresh; carrying their old count
+     over would wedge the window shut (each replay decides only once but
+     would have been counted twice). *)
+  c.c_outstanding <- 0;
   List.iter
     (fun pos ->
       let m = t.members.(pos) in
@@ -323,15 +380,26 @@ let prop_resubmission t m =
 
 (* --- handler ----------------------------------------------------------------- *)
 
+(* Admit a proposal into the coordinator's batch.  Must only run once
+   Phase 1 has completed: before that the coordinator cannot know which
+   items are already decided, and a proposer resubmission (a member whose
+   delivery is lagging keeps retrying items that were in fact decided)
+   would get the same item decided under a second instance. *)
+let coord_admit c (item : Paxos.Value.item) =
+  if not (Hashtbl.mem c.c_seen_uids item.uid) then
+    if Protocol.Batcher.enqueue c.c_batch ~key:() item then begin
+      Hashtbl.add c.c_seen_uids item.uid ();
+      true
+    end
+    else false
+  else false
+
 let handler t m (msg : Simnet.msg) =
   match msg.payload with
   | UForward item ->
       if m.m_pos = t.coord_pos then begin
-        if not (Hashtbl.mem m.c_seen_uids item.Paxos.Value.uid) then
-          if Protocol.Batcher.enqueue m.c_batch ~key:() item then begin
-            Hashtbl.add m.c_seen_uids item.uid ();
-            drain t m
-          end
+        if not m.c_phase1_ok then Queue.push item m.c_preq
+        else if coord_admit m item then drain t m
       end
       else send_succ t m ~size:(item.isize + hdr) (UForward item)
   | UP1a { rnd; coord } ->
@@ -340,20 +408,51 @@ let handler t m (msg : Simnet.msg) =
         let votes = Hashtbl.fold (fun i (vr, vv) l -> (i, vr, vv) :: l) m.a_votes [] in
         Simnet.send t.net ~src:m.m_proc ~dst:t.members.(coord).m_proc
           ~size:(hdr + (List.length votes * 24))
-          (UP1b { rnd; acc = m.m_acc_idx; votes })
+          (UP1b
+             { rnd;
+               acc = m.m_acc_idx;
+               next = Protocol.Ordered_delivery.next m.l_od;
+               votes })
       end
-  | UP1b { rnd; acc = _; votes } ->
-      if m.m_pos = t.coord_pos && rnd = m.c_rnd && not m.c_phase1_ok then begin
-        List.iter
-          (fun (inst, vrnd, vval) ->
-            match Hashtbl.find_opt m.c_claimed inst with
-            | Some (r, _) when r >= vrnd -> ()
-            | _ -> Hashtbl.replace m.c_claimed inst (vrnd, vval))
-          votes;
-        m.c_p1b <- m.c_p1b + 1;
-        if m.c_p1b + 1 >= (Array.length t.acc_positions / 2) + 1 then begin
-          m.c_phase1_ok <- true;
-          drain t m
+  | UP1b { rnd; acc; next; votes } ->
+      if m.m_pos = t.coord_pos && rnd = m.c_rnd then begin
+        let pos = t.acc_positions.(acc) in
+        if m.c_phase1_ok then
+          (* A straggler reply past quorum: no claims to merge (the round
+             is settled), but its delivery floor may still reveal a gap
+             worth serving. *)
+          catchup t m ~pos ~from:next
+        else begin
+          List.iter
+            (fun (inst, vrnd, vval) ->
+              match Hashtbl.find_opt m.c_claimed inst with
+              | Some (r, _) when r >= vrnd -> ()
+              | _ -> Hashtbl.replace m.c_claimed inst (vrnd, vval))
+            votes;
+          m.c_reports <- (pos, next) :: m.c_reports;
+          m.c_p1b <- m.c_p1b + 1;
+          if m.c_p1b + 1 >= (Array.length t.acc_positions / 2) + 1 then begin
+            m.c_phase1_ok <- true;
+            (* Mark every item known decided or voted as seen, so proposer
+               resubmissions of them are not re-decided under fresh
+               instances: the log covers everything this member delivered,
+               the claims (own votes included) everything the quorum
+               voted.  Undecided claims are replayed by [drain], so
+               suppressing their resubmission loses nothing. *)
+            let see (v : Paxos.Value.t) =
+              List.iter (fun it -> Hashtbl.replace m.c_seen_uids it.Paxos.Value.uid ()) v.items
+            in
+            Hashtbl.iter (fun _ v -> see v) m.m_log;
+            Hashtbl.iter (fun _ ((_, v) : int * Paxos.Value.t) -> see v) m.c_claimed;
+            (* Serve the delivery gaps the Phase 1 replies revealed. *)
+            List.iter (fun (pos, from) -> catchup t m ~pos ~from) m.c_reports;
+            m.c_reports <- [];
+            (* Replay proposals buffered during Phase 1, in arrival order. *)
+            while not (Queue.is_empty m.c_preq) do
+              ignore (coord_admit m (Queue.pop m.c_preq))
+            done;
+            drain t m
+          end
         end
       end
   | UP2ab { inst; rnd; value; votes } -> on_p2ab t m inst rnd value votes
@@ -417,6 +516,7 @@ let create net cfg ~positions ~deliver =
           a_rnd = 0;
           a_votes = Hashtbl.create 4096;
           l_od = Protocol.Ordered_delivery.create ();
+          m_log = Hashtbl.create 4096;
           m_seen = Hashtbl.create 4096;
           p_pending = Protocol.Retry.tracker ();
           p_unacked_bytes = 0;
@@ -430,7 +530,9 @@ let create net cfg ~positions ~deliver =
           c_batch =
             Protocol.Batcher.create ~buffer_bytes:cfg.buffer_bytes
               ~batch_bytes:cfg.batch_bytes ();
-          c_seen_uids = Hashtbl.create 4096 })
+          c_seen_uids = Hashtbl.create 4096;
+          c_preq = Queue.create ();
+          c_reports = [] })
   in
   (* The coordinator is the first acceptor in ring order. *)
   let coord_pos =
@@ -467,10 +569,8 @@ let submit t ~proposer ~size app =
     Protocol.Retry.watch m.p_pending ~now:(Simnet.now t.net) uid item;
     m.p_unacked_bytes <- m.p_unacked_bytes + size;
     if m.m_pos = t.coord_pos then begin
-      if Protocol.Batcher.enqueue m.c_batch ~key:() item then begin
-        Hashtbl.add m.c_seen_uids uid ();
-        drain t m
-      end
+      if not m.c_phase1_ok then Queue.push item m.c_preq
+      else if coord_admit m item then drain t m
     end
     else send_succ t m ~size:(size + hdr) (UForward item);
     uid

@@ -1,0 +1,159 @@
+(* Tests for the fault-injection harness (lib/fault): the safety auditor's
+   incremental checks, determinism of seeded chaos runs, and regression
+   pins on the exact (protocol, seed) pairs that exposed latent protocol
+   bugs — each pinned seed failed before its fix and must stay green. *)
+
+(* --- Safety auditor -------------------------------------------------------- *)
+
+let test_auditor_accepts_clean_history () =
+  let s = Fault.Safety.create ~name:"clean" ~n_learners:3 in
+  for uid = 1 to 50 do
+    Fault.Safety.broadcast s uid
+  done;
+  for uid = 1 to 50 do
+    for l = 0 to 2 do
+      Fault.Safety.delivered s ~learner:l uid
+    done
+  done;
+  let v = Fault.Safety.verdict s in
+  Alcotest.(check bool) "ok" true v.ok;
+  Alcotest.(check (list string)) "no violations" [] v.violations;
+  Alcotest.(check int) "broadcasts" 50 v.broadcast
+
+let test_auditor_flags_duplicate () =
+  let s = Fault.Safety.create ~name:"dup" ~n_learners:2 in
+  Fault.Safety.broadcast s 7;
+  Fault.Safety.delivered s ~learner:0 7;
+  Fault.Safety.delivered s ~learner:1 7;
+  Fault.Safety.delivered s ~learner:0 7;
+  let v = Fault.Safety.verdict s in
+  Alcotest.(check bool) "not ok" false v.ok;
+  Alcotest.(check bool) "names the duplicate" true
+    (List.exists
+       (fun msg ->
+         let has needle =
+           let nl = String.length needle and ml = String.length msg in
+           let rec at i = i + nl <= ml && (String.sub msg i nl = needle || at (i + 1)) in
+           at 0
+         in
+         has "no-duplication")
+       v.violations)
+
+let test_auditor_flags_order_divergence () =
+  let s = Fault.Safety.create ~name:"order" ~n_learners:2 in
+  Fault.Safety.broadcast s 1;
+  Fault.Safety.broadcast s 2;
+  (* Learner 0 fixes the canonical order 1;2 — learner 1 swaps it. *)
+  Fault.Safety.delivered s ~learner:0 1;
+  Fault.Safety.delivered s ~learner:0 2;
+  Fault.Safety.delivered s ~learner:1 2;
+  Fault.Safety.delivered s ~learner:1 1;
+  let v = Fault.Safety.verdict s in
+  Alcotest.(check bool) "not ok" false v.ok
+
+let test_auditor_flags_creation () =
+  let s = Fault.Safety.create ~name:"creation" ~n_learners:1 in
+  Fault.Safety.delivered s ~learner:0 99 (* never broadcast *);
+  let v = Fault.Safety.verdict s in
+  Alcotest.(check bool) "not ok" false v.ok
+
+let test_auditor_agreement_at_quiescence () =
+  (* Learner 2 stops one delivery short of the others.  Violations
+     accumulate in the auditor, so the two verdicts use separate
+     instances fed the same history. *)
+  let feed () =
+    let s = Fault.Safety.create ~name:"agree" ~n_learners:3 in
+    Fault.Safety.broadcast s 1;
+    Fault.Safety.broadcast s 2;
+    List.iter (fun l -> Fault.Safety.delivered s ~learner:l 1) [ 0; 1; 2 ];
+    Fault.Safety.delivered s ~learner:0 2;
+    Fault.Safety.delivered s ~learner:1 2;
+    s
+  in
+  (* Uniform agreement must flag the laggard... *)
+  let v = Fault.Safety.verdict (feed ()) in
+  Alcotest.(check bool) "lagging learner breaks agreement" false v.ok;
+  (* ...unless it is dead, in which case only alive learners count. *)
+  let v' = Fault.Safety.verdict ~alive:[ 0; 1 ] (feed ()) in
+  Alcotest.(check bool) "dead learner excused" true v'.ok
+
+(* --- Chaos determinism ----------------------------------------------------- *)
+
+let test_same_seed_same_outcome () =
+  (* The seed is the repro: two runs of the same (protocol, seed) must
+     produce identical verdicts, fault timelines and delivery counts. *)
+  List.iter
+    (fun protocol ->
+      let a = Fault.Chaos.run_one ~protocol ~seed:3 ~duration:2.0 () in
+      let b = Fault.Chaos.run_one ~protocol ~seed:3 ~duration:2.0 () in
+      Alcotest.(check bool) (protocol ^ ": same verdict") a.Fault.Chaos.ok b.Fault.Chaos.ok;
+      Alcotest.(check string) (protocol ^ ": same summary") a.summary b.summary;
+      Alcotest.(check (list string))
+        (protocol ^ ": same violations")
+        a.violations b.violations;
+      Alcotest.(check (list (pair (float 1e-9) string)))
+        (protocol ^ ": same fault timeline")
+        a.events b.events)
+    [ "mring"; "uring"; "lcr" ]
+
+let test_different_seeds_different_timelines () =
+  let a = Fault.Chaos.run_one ~protocol:"mring" ~seed:1 ~duration:2.0 () in
+  let b = Fault.Chaos.run_one ~protocol:"mring" ~seed:2 ~duration:2.0 () in
+  Alcotest.(check bool) "timelines differ" false (a.Fault.Chaos.events = b.Fault.Chaos.events)
+
+(* --- Regression pins ------------------------------------------------------- *)
+
+(* Each of these (protocol, seed, duration) triples produced a safety
+   violation before a protocol fix landed; the seed replays the exact
+   fault schedule that exposed the bug.
+
+   - mring seed 16:     coordinator crash after GC had pruned votes for
+                        decided values; the new coordinator re-proposed
+                        them (duplicate delivery).  Fixed by remembering
+                        pruned vote uids ([x_done_uids]).
+   - uring seed 18:     two position kills; decisions in flight through
+                        the dead member were lost for everyone downstream
+                        (uniform-agreement violation at quiescence).
+                        Fixed by the Phase-1 catch-up protocol
+                        ([m_log] + [UP1b.next]) and the outstanding-window
+                        reset in [rebuild_ring].
+   - multiring 12/13:   the mring failover-duplicate bug surfacing through
+                        Multi-Ring's merge layer after [kill_coord].
+   - lcr seed 1:        a body whose sender left the ring circulated
+                        forever (the forwarding stop condition never
+                        triggered), re-delivering on every revolution.
+                        Fixed by the per-sender timestamp watermark. *)
+let pinned =
+  [ ("mring", 16); ("uring", 18); ("multiring", 12); ("multiring", 13); ("lcr", 1) ]
+
+let test_pinned_seeds_stay_green () =
+  List.iter
+    (fun (protocol, seed) ->
+      let o = Fault.Chaos.run_one ~protocol ~seed ~duration:4.0 () in
+      if not o.Fault.Chaos.ok then
+        Alcotest.failf "%s seed %d regressed: %s" protocol seed
+          (String.concat "; " o.violations))
+    pinned
+
+let test_smoke_every_protocol () =
+  List.iter
+    (fun protocol ->
+      let o = Fault.Chaos.run_one ~protocol ~seed:0 ~duration:2.0 () in
+      if not o.Fault.Chaos.ok then
+        Alcotest.failf "%s seed 0 failed: %s" protocol (String.concat "; " o.violations))
+    Fault.Chaos.protocols
+
+let suite =
+  [ Alcotest.test_case "safety: accepts a clean history" `Quick test_auditor_accepts_clean_history;
+    Alcotest.test_case "safety: flags duplicate delivery" `Quick test_auditor_flags_duplicate;
+    Alcotest.test_case "safety: flags order divergence" `Quick test_auditor_flags_order_divergence;
+    Alcotest.test_case "safety: flags delivery without broadcast" `Quick
+      test_auditor_flags_creation;
+    Alcotest.test_case "safety: uniform agreement at quiescence" `Quick
+      test_auditor_agreement_at_quiescence;
+    Alcotest.test_case "chaos: same seed replays the same run" `Quick test_same_seed_same_outcome;
+    Alcotest.test_case "chaos: different seeds diverge" `Quick
+      test_different_seeds_different_timelines;
+    Alcotest.test_case "chaos: pinned regression seeds stay green" `Slow
+      test_pinned_seeds_stay_green;
+    Alcotest.test_case "chaos: every protocol survives seed 0" `Slow test_smoke_every_protocol ]

@@ -14,4 +14,5 @@ let () =
       ("extra", Test_extra.suite);
       ("storage", Test_storage.suite);
       ("protocol", Test_protocol.suite);
-      ("properties", Test_properties.suite) ]
+      ("properties", Test_properties.suite);
+      ("fault", Test_fault.suite) ]

@@ -72,6 +72,110 @@ let test_buffer_bound_drops () =
   Alcotest.(check int) "drop counted" 1 (Protocol.Batcher.drops b);
   Alcotest.(check int) "accepted bytes kept" 900 (Protocol.Batcher.pending_bytes b)
 
+let test_clear_disarms_pending_timeout () =
+  let engine, net = fresh () in
+  let b = Protocol.Batcher.create ~batch_bytes:100_000 () in
+  ignore (Protocol.Batcher.enqueue b ~key:() (item 128));
+  Protocol.Batcher.arm_timeout b net ~timeout:0.01 (fun () ->
+      Alcotest.fail "timer armed before the clear fired");
+  Protocol.Batcher.clear b;
+  (* The pending timer must neither fire its stale callback nor block a
+     fresh timer from arming (a crashed-and-cleared coordinator would
+     otherwise never flush partial batches again). *)
+  Alcotest.(check bool) "disarmed by clear" false (Protocol.Batcher.timer_armed b);
+  ignore (Protocol.Batcher.enqueue b ~key:() (item 64));
+  let flushed = ref [] in
+  Protocol.Batcher.arm_timeout b net ~timeout:0.05 (fun () ->
+      flushed := Protocol.Batcher.seal b ());
+  Sim.Engine.run engine ~until:1.0;
+  Alcotest.(check (list int)) "fresh timer flushes the new item" [ 64 ] (sizes !flushed)
+
+(* --- Retry ----------------------------------------------------------------- *)
+
+let test_iter_due_ack_during_iteration () =
+  (* An item acknowledged from inside an [iter_due] callback must not
+     fire later in the same pass — retransmitting acknowledged work
+     re-proposes values that were already decided.  This is exactly what
+     a Decision processed during a retransmission does: it acks many
+     uids while the tracker is still being walked.  The hazard only
+     bites when the acked key shares a bucket chain with the firing key,
+     so exercise every adjacent pair of the iteration order. *)
+  let n = 512 in
+  let build () =
+    let tr : (int, unit) Protocol.Retry.tracker = Protocol.Retry.tracker () in
+    for k = 0 to n - 1 do
+      Protocol.Retry.watch tr ~now:0.0 k ()
+    done;
+    tr
+  in
+  let order = ref [] in
+  Protocol.Retry.iter (build ()) (fun k () -> order := k :: !order);
+  let order = Array.of_list (List.rev !order) in
+  Alcotest.(check int) "snapshot sees every key" n (Array.length order);
+  for i = 0 to n - 2 do
+    let a = order.(i) and b = order.(i + 1) in
+    let tr = build () in
+    let acked = ref false in
+    Protocol.Retry.iter_due tr ~now:10.0 ~older_than:1.0 (fun k () ->
+        if k = b && !acked then
+          Alcotest.failf "key %d fired after being acked (while visiting %d)" b a;
+        if k = a then begin
+          ignore (Protocol.Retry.ack tr b);
+          acked := true
+        end)
+  done;
+  (* Items that do fire are restamped, so they back off a full period. *)
+  let tr : (int, unit) Protocol.Retry.tracker = Protocol.Retry.tracker () in
+  Protocol.Retry.watch tr ~now:0.0 0 ();
+  Protocol.Retry.iter_due tr ~now:10.0 ~older_than:1.0 (fun _ () -> ());
+  Protocol.Retry.iter_due tr ~now:10.5 ~older_than:1.0 (fun _ () ->
+      Alcotest.fail "restamped item fired again within the back-off")
+
+(* --- Ordered delivery ------------------------------------------------------ *)
+
+let test_drop_below_frees_speculation_marks () =
+  let od : int Protocol.Ordered_delivery.t = Protocol.Ordered_delivery.create () in
+  (* A learner partitioned away from the decision stream speculates on
+     instances it never delivers; the GC floor (driven by the other
+     learners) outruns [next].  Marks below the floor must be freed. *)
+  for round = 0 to 63 do
+    let base = round * 1024 in
+    for i = 0 to 1023 do
+      Protocol.Ordered_delivery.speculate od ~inst:(base + i) (fun () -> ())
+    done;
+    Protocol.Ordered_delivery.drop_below od (base + 1024)
+  done;
+  let words = Obj.reachable_words (Obj.repr od) in
+  Alcotest.(check bool)
+    (Printf.sprintf "speculation marks freed (reachable = %d words)" words)
+    true (words < 20_000)
+
+let test_drain_sink_does_not_recurse_per_item () =
+  let _engine, net = fresh () in
+  let node = Simnet.add_node net "sink-node" in
+  let proc = Simnet.add_proc net node "sink-proc" in
+  let s : int Protocol.Ordered_delivery.sink = Protocol.Ordered_delivery.sink () in
+  let n = 100_000 in
+  for i = 0 to n - 1 do
+    Protocol.Ordered_delivery.sink_push s i
+  done;
+  let depth = ref 0 and max_depth = ref 0 and delivered = ref 0 in
+  let rec deliver _ =
+    incr depth;
+    if !depth > !max_depth then max_depth := !depth;
+    incr delivered;
+    (* Delivery re-enters the drain, as learner pumps do; with one stack
+       frame per queued item this overflows long before 100k. *)
+    Protocol.Ordered_delivery.drain_sink s net proc ~cost:(fun () -> 0.0) deliver;
+    decr depth
+  in
+  Protocol.Ordered_delivery.drain_sink s net proc ~cost:(fun () -> 0.0) deliver;
+  Alcotest.(check int) "all items delivered" n !delivered;
+  Alcotest.(check int) "sink drained" 0 (Protocol.Ordered_delivery.sink_length s);
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded nesting (max depth = %d)" !max_depth)
+    true (!max_depth <= 2)
+
 (* --- Failure detector ------------------------------------------------------ *)
 
 let hb_period = 0.02
@@ -169,6 +273,14 @@ let suite =
       test_zero_batch_bytes_disables_batching;
     Alcotest.test_case "batcher: buffer bound rejects and counts drops" `Quick
       test_buffer_bound_drops;
+    Alcotest.test_case "batcher: clear disarms a pending timeout" `Quick
+      test_clear_disarms_pending_timeout;
+    Alcotest.test_case "retry: ack during iter_due does not fire stale entries" `Quick
+      test_iter_due_ack_during_iteration;
+    Alcotest.test_case "od: drop_below frees speculation marks" `Quick
+      test_drop_below_frees_speculation_marks;
+    Alcotest.test_case "od: drain_sink is iterative, not per-item recursive" `Quick
+      test_drain_sink_does_not_recurse_per_item;
     Alcotest.test_case "fd: no false suspicion while heartbeats flow" `Quick
       test_no_false_suspicion_under_heartbeats;
     Alcotest.test_case "fd: suspicion within hb_timeout of a crash" `Quick
