@@ -287,14 +287,28 @@ let run_proto_at ?(durability = Ringpaxos.Mring.Memory) ?(duration = 1.5) ?msg_s
    at 60 % of the measured peak, as queueing at saturated client buffers
    would otherwise dominate the latency (the paper's latency points are
    taken below the saturation knee). *)
-let run_proto ?durability ?duration ?msg_size ?mring_f proto n =
+let run_proto ?durability ?duration ?msg_size ?mring_f ?decomp proto n =
   let thr, msgs, _ =
     run_proto_at ?durability ?duration ?msg_size ?mring_f ~offered_mbps:1500.0 proto n
   in
-  let _, _, lat =
-    run_proto_at ?durability ?duration ?msg_size ?mring_f
-      ~offered_mbps:(Stdlib.max 2.0 (0.6 *. thr))
-      proto n
+  let lat_run () =
+    let _, _, lat =
+      run_proto_at ?durability ?duration ?msg_size ?mring_f
+        ~offered_mbps:(Stdlib.max 2.0 (0.6 *. thr))
+        proto n
+    in
+    lat
+  in
+  (* With [decomp] the latency run records into a tracer and the caller
+     receives the per-stage breakdown of exactly that run. *)
+  let lat =
+    match decomp with
+    | None -> lat_run ()
+    | Some k ->
+        Util.traced (fun tr ->
+            let lat = lat_run () in
+            k tr;
+            lat)
   in
   (thr, msgs, lat)
 
@@ -337,11 +351,23 @@ let fig3_8 () =
         (fun n ->
           (* For M-Ring Paxos the x-axis is the ring itself: f+1 = n. *)
           let mring_f = if proto = MRing then Some (n - 1) else None in
-          let thr, _, lat = run_proto ?mring_f proto n in
+          let ctrs = ref [] and lat_tr = ref None in
+          let thr, _, lat =
+            run_proto ?mring_f
+              ~decomp:(fun tr ->
+                ctrs := Trace.decomp_counters tr;
+                lat_tr := Some tr)
+              proto n
+          in
           Printf.printf "%-14s %10d %12.1f %12.2f\n" (proto_name proto) n thr lat;
+          (* Per-stage breakdown of the latency run (M-Ring only, to keep
+             the figure's output readable). *)
+          (match !lat_tr with
+          | Some tr when proto = MRing -> Trace.print_decomposition tr
+          | _ -> ());
           Util.snap
             (Printf.sprintf "fig3.8/%s/%d" (proto_name proto) n)
-            ~mbps:thr ~lat_mean:lat)
+            ~mbps:thr ~lat_mean:lat ~counters:!ctrs)
         sizes)
     [ (MRing, [ 3; 5; 9; 15 ]);
       (URing, [ 5; 9; 15 ]);

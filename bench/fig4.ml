@@ -110,13 +110,26 @@ let spec_sweep label kind clients_list =
     (fun r ->
       List.iter
         (fun c ->
-          let sk, sl, _ = run_smr ~replicas:r kind c in
-          let pk, pl, _ = run_smr ~replicas:r ~speculative:true kind c in
+          (* Each variant runs under its own tracer so the --json rows
+             carry the per-stage latency decomposition of that run. *)
+          let sctrs = ref [] and pctrs = ref [] in
+          let sk, sl, _ =
+            Util.traced (fun tr ->
+                let res = run_smr ~replicas:r kind c in
+                sctrs := Trace.decomp_counters tr;
+                res)
+          in
+          let pk, pl, _ =
+            Util.traced (fun tr ->
+                let res = run_smr ~replicas:r ~speculative:true kind c in
+                pctrs := Trace.decomp_counters tr;
+                res)
+          in
           Printf.printf "%-9d %8d %12.1f %12.2f %12.1f %12.2f\n" r c sk sl pk pl;
           Util.snap (Printf.sprintf "%s/smr/%dr/%dc" label r c)
-            ~events_per_sec:(sk *. 1000.0) ~lat_mean:sl;
+            ~events_per_sec:(sk *. 1000.0) ~lat_mean:sl ~counters:!sctrs;
           Util.snap (Printf.sprintf "%s/spec/%dr/%dc" label r c)
-            ~events_per_sec:(pk *. 1000.0) ~lat_mean:pl)
+            ~events_per_sec:(pk *. 1000.0) ~lat_mean:pl ~counters:!pctrs)
         clients_list)
     [ 1; 2; 4; 8 ]
 

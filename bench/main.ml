@@ -69,20 +69,27 @@ let chapters =
   [ ("ch3", Fig3.all); ("ch4", Fig4.all); ("ch5", Fig5.all); ("ch6", Fig6.all);
     ("ch7", Fig7.all) ]
 
-(* Strip `--json <path>` (request a machine-readable metrics dump) from
-   the argument list before experiment dispatch. *)
-let rec extract_json_flag = function
+(* Strip `--json <path>` (machine-readable metrics dump) and
+   `--trace <path>` (Chrome trace_event capture) from the argument list
+   before experiment dispatch. *)
+let rec extract_output_flags = function
   | [] -> []
   | [ "--json" ] ->
       prerr_endline "--json requires a file path";
       exit 1
   | "--json" :: path :: rest ->
       Util.set_json_output path;
-      extract_json_flag rest
-  | a :: rest -> a :: extract_json_flag rest
+      extract_output_flags rest
+  | [ "--trace" ] ->
+      prerr_endline "--trace requires a file path";
+      exit 1
+  | "--trace" :: path :: rest ->
+      Util.set_trace_output path;
+      extract_output_flags rest
+  | a :: rest -> a :: extract_output_flags rest
 
 let () =
-  (match extract_json_flag (List.tl (Array.to_list Sys.argv)) with
+  (match extract_output_flags (List.tl (Array.to_list Sys.argv)) with
   (* `chaos` owns the rest of the argument list (seeded fault schedules
      with per-run verdicts; see lib/fault). *)
   | "chaos" :: rest -> Chaos_cmd.run rest
@@ -103,4 +110,5 @@ let () =
               flush stdout
           | None -> run_one a)
         args);
-  Util.write_json ()
+  Util.write_json ();
+  Util.write_trace ()

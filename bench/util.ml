@@ -3,9 +3,42 @@
 
 type Simnet.payload += Payload of int
 
+(* --trace plumbing: when `--trace <path>` was given, every network the
+   harness builds records into one shared tracer (each [fresh] opens a new
+   pid namespace in it) and main.ml writes the Chrome JSON once the
+   requested runs finish.  Experiments that want a latency-decomposition
+   table for one specific run install a [local_tracer] around it. *)
+let trace_path : string option ref = ref None
+let tracer : Trace.t option ref = ref None
+let local_tracer : Trace.t option ref = ref None
+
+(* Fail fast on an unwritable path, before hours of experiments run. *)
+let set_trace_output path =
+  (try close_out (open_out path)
+   with Sys_error e ->
+     Printf.eprintf "cannot write --trace output: %s\n" e;
+     exit 1);
+  trace_path := Some path;
+  tracer := Some (Trace.create ())
+
+(* [traced f] runs [f tr] with [tr] installed as the tracer of every
+   network built inside.  When a global --trace capture is active it is
+   reused (so the export still covers the whole invocation); otherwise a
+   fresh tracer scopes the decomposition to exactly this run. *)
+let traced f =
+  match !tracer with
+  | Some tr -> f tr
+  | None ->
+      let tr = Trace.create () in
+      local_tracer := Some tr;
+      Fun.protect ~finally:(fun () -> local_tracer := None) (fun () -> f tr)
+
 let fresh ?(seed = 7) ?config () =
   let engine = Sim.Engine.create () in
   let net = Simnet.create ?config engine (Sim.Rng.create seed) in
+  (match (!tracer, !local_tracer) with
+  | (Some _ as tr), _ | None, (Some _ as tr) -> Simnet.set_tracer net tr
+  | None, None -> ());
   (engine, net)
 
 let header title =
@@ -51,3 +84,12 @@ let write_json () =
       output_string oc "\n]\n";
       close_out oc;
       Printf.printf "wrote %d metric snapshots to %s\n%!" (List.length !snapshots) path
+
+let write_trace () =
+  match (!trace_path, !tracer) with
+  | Some path, Some tr ->
+      Trace.write_chrome_json tr path;
+      let dropped = Trace.dropped tr in
+      Printf.printf "wrote %d trace events to %s%s\n%!" (Trace.events tr) path
+        (if dropped > 0 then Printf.sprintf " (%d oldest dropped)" dropped else "")
+  | _ -> ()

@@ -18,7 +18,7 @@ type outcome = {
   events : (float * string) list;
 }
 
-let protocols = [ "mring"; "uring"; "multiring"; "spaxos"; "lcr"; "smr" ]
+let protocols = [ "mring"; "mring-pressure"; "uring"; "multiring"; "spaxos"; "lcr"; "smr" ]
 
 let mk_env seed =
   let engine = Sim.Engine.create () in
@@ -147,6 +147,82 @@ let run_mring ~seed ~duration () =
   let verdict = Safety.verdict aud in
   finish ~protocol:"mring" ~seed ~verdict ~events:(Injector.events inj)
     ~extra:(Printf.sprintf " drops=%d" (Injector.drops inj))
+
+(* --- M-Ring under receive-buffer pressure --------------------------------- *)
+
+(* Crash-recovery accounting scenario.  Small acceptor receive buffers and
+   a real per-message service cost keep [rcvbuf_used] high, so an acceptor
+   dies with bytes still in service and with P2b/heartbeat traffic queued
+   on its outgoing connections.  Before the epoch guards landed in
+   [Simnet], the stale decrements landing after [recover] drove the buffer
+   gauge negative (masking overload drops from then on) and the crashed
+   sender's connection backlog replayed into the ring.  The run checks the
+   gauge invariant explicitly: at quiescence no acceptor's [rcvbuf_used]
+   may be negative.  Durability is Async_disk unconditionally so every
+   seed replays a crash + restart. *)
+let run_mring_pressure ~seed ~duration () =
+  let _engine, net = mk_env seed in
+  let cfg =
+    { Ringpaxos.Mring.default_config with
+      f = 2;
+      durability = Ringpaxos.Mring.Async_disk }
+  in
+  let aud = Safety.create ~name:"mring-pressure" ~n_learners:2 in
+  let deliver ~learner ~inst:_ = function
+    | Some v -> List.iter (fun i -> Safety.delivered aud ~learner i) (cmd_ids v)
+    | None -> ()
+  in
+  let mr =
+    Ringpaxos.Mring.create net cfg ~n_proposers:2 ~n_learners:2
+      ~learner_parts:(fun _ -> [ 0 ])
+      ~deliver
+  in
+  let accs = Ringpaxos.Mring.acceptor_procs mr in
+  Array.iter
+    (fun p ->
+      Simnet.set_rcvbuf p (64 * 1024);
+      (Simnet.costs_of p).recv_per_msg <- 8.0e-5)
+    accs;
+  let inj = Injector.create net ~seed:((seed * 7919) + 263) in
+  let rng = Injector.sched_rng inj in
+  let next = ref 0 in
+  drive net ~until:(0.6 *. duration) ~period:2.5e-4 (fun () ->
+      incr next;
+      let id = !next in
+      if Ringpaxos.Mring.submit mr ~proposer:(id mod 2) ~size:2048 (Cmd id) >= 0 then
+        Safety.broadcast aud id);
+  let victim = Sim.Rng.int rng (Array.length accs) in
+  let tc = pick rng (0.15 *. duration) (0.45 *. duration) in
+  (* Slow the victim's machine ahead of the crash so a service queue (and
+     so a non-zero buffer gauge) is standing when the kill lands. *)
+  Injector.slow_cpu inj
+    ~at:(tc -. (0.1 *. duration))
+    ~dur:(0.12 *. duration)
+    ~factor:(pick rng 20.0 40.0)
+    (Simnet.proc_node accs.(victim));
+  Injector.at inj tc (fun () ->
+      Injector.note inj (Printf.sprintf "crash(acc%d)" victim);
+      Ringpaxos.Mring.crash_acceptor mr victim);
+  let trs = tc +. pick rng (0.05 *. duration) (0.2 *. duration) in
+  Injector.at inj trs (fun () ->
+      Injector.note inj (Printf.sprintf "restart(acc%d)" victim);
+      Ringpaxos.Mring.restart_acceptor mr victim);
+  Sim.Engine.run (Simnet.engine net) ~until:duration;
+  let verdict = Safety.verdict aud in
+  let gauge_violations =
+    Array.to_list accs
+    |> List.mapi (fun i p -> (i, Simnet.rcvbuf_used p))
+    |> List.filter (fun (_, used) -> used < 0)
+    |> List.map (fun (i, used) ->
+           Printf.sprintf "mring-pressure: rcvbuf gauge negative on acc%d (%d)" i used)
+  in
+  let o =
+    finish ~protocol:"mring-pressure" ~seed ~verdict ~events:(Injector.events inj)
+      ~extra:(Printf.sprintf " drops=%d" (Injector.drops inj))
+  in
+  { o with
+    ok = o.ok && gauge_violations = [];
+    violations = o.violations @ gauge_violations }
 
 (* --- U-Ring Paxos --------------------------------------------------------- *)
 
@@ -443,6 +519,7 @@ let run_smr ~seed ~duration () =
 let run_one ~protocol ~seed ~duration () =
   match protocol with
   | "mring" -> run_mring ~seed ~duration ()
+  | "mring-pressure" -> run_mring_pressure ~seed ~duration ()
   | "uring" -> run_uring ~seed ~duration ()
   | "multiring" -> run_multiring ~seed ~duration ()
   | "spaxos" -> run_spaxos ~seed ~duration ()

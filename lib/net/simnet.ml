@@ -8,6 +8,7 @@ type msg = {
   size : int;
   payload : payload;
   sent_at : float;
+  tid : int;
 }
 
 type costs = {
@@ -35,6 +36,11 @@ type proc = {
   mutable alive : bool;
   mutable rcvbuf_cap : int;
   mutable rcvbuf_used : int;
+  (* Bumped by [recover]: deliveries that charged the buffer in an earlier
+     incarnation must not credit it back after the reset (their epoch no
+     longer matches), or the counter goes negative and overflow drops stop
+     firing. *)
+  mutable rcvbuf_epoch : int;
   p_costs : costs;
   p_recv : Sim.Stats.Rate.t;
   p_sent : Sim.Stats.Rate.t;
@@ -60,7 +66,12 @@ type group = {
    would exceed the receiver window wait in [backlog]. *)
 type conn = {
   mutable in_flight : int;
-  backlog : (int * payload * float) Queue.t;
+  backlog : (int * payload * float * int) Queue.t;  (* size, payload, sent_at, tid *)
+  (* Bumped when [kill] resets the connection: window credits from
+     deliveries accepted under the old incarnation must not decrement the
+     fresh [in_flight] (which would drive it negative and let later sends
+     overrun the receiver window). *)
+  mutable c_epoch : int;
 }
 
 type config = {
@@ -110,6 +121,8 @@ type t = {
   mutable mc_packets : int;
   mutable fault_tap : (msg -> dst:proc -> fault) option;
   mutable fault_drops : int;
+  mutable tracer : Trace.t option;
+  mutable next_tid : int;
 }
 
 let create ?(config = default_config) engine rng =
@@ -124,7 +137,9 @@ let create ?(config = default_config) engine rng =
     mc_drops = 0;
     mc_packets = 0;
     fault_tap = None;
-    fault_drops = 0 }
+    fault_drops = 0;
+    tracer = None;
+    next_tid = 0 }
 
 let engine t = t.engine
 let config t = t.cfg
@@ -153,6 +168,7 @@ let add_proc t node name =
       alive = true;
       rcvbuf_cap = t.cfg.default_rcvbuf;
       rcvbuf_used = 0;
+      rcvbuf_epoch = 0;
       p_costs = t.cfg.default_costs ();
       p_recv = Sim.Stats.Rate.create ();
       p_sent = Sim.Stats.Rate.create ();
@@ -161,7 +177,31 @@ let add_proc t node name =
   in
   Hashtbl.add t.procs t.nprocs p;
   t.nprocs <- t.nprocs + 1;
+  (match t.tracer with
+  | Some tr -> Trace.register tr ~pid:p.p_id ~name
+  | None -> ());
   p
+
+(* [set_tracer] opens a fresh pid namespace in the tracer (several nets may
+   share one trace file) and registers every existing process; processes
+   added later register themselves.  Recording never schedules events or
+   consumes randomness, so installing a tracer cannot change a run. *)
+let set_tracer t tr =
+  t.tracer <- tr;
+  match tr with
+  | Some tr ->
+      Trace.new_run tr;
+      Hashtbl.iter (fun pid p -> Trace.register tr ~pid ~name:p.p_name) t.procs
+  | None -> ()
+
+let tracer t = t.tracer
+
+(* Fresh per-message causal id.  A plain counter, deterministic and
+   allocated whether or not a tracer is installed, so trace-on and
+   trace-off runs execute identically. *)
+let alloc_tid t =
+  t.next_tid <- t.next_tid + 1;
+  t.next_tid
 
 let pid p = p.p_id
 let proc_name p = p.p_name
@@ -178,6 +218,7 @@ let set_handler p f = p.handler <- f
 let handler_of p = p.handler
 let set_rcvbuf p n = p.rcvbuf_cap <- n
 let rcvbuf p = p.rcvbuf_cap
+let rcvbuf_used p = p.rcvbuf_used
 let costs_of p = p.p_costs
 let set_mem p n = p.p_mem <- n
 let mem p = p.p_mem
@@ -202,15 +243,30 @@ let prop_delay t src dst =
   base *. (1.0 +. Sim.Rng.float t.rng t.cfg.latency_jitter)
 
 (* Charge the sender CPU and the outgoing link; returns when the last bit
-   leaves the sender NIC. *)
-let sender_side t src size =
+   leaves the sender NIC.  Each resource acquisition splits into queueing
+   (start - request) and service time; the tracer records both. *)
+let sender_side t ~tid src size =
   let c = src.p_costs in
+  let at = now t in
   let cpu_dur =
     (c.send_per_msg +. (c.send_per_byte *. float_of_int size)) *. src.p_node.cpu_factor
   in
-  let _, cpu_done = Resource.acquire src.p_node.cpu ~at:(now t) ~dur:cpu_dur in
-  let _, tx_done = Resource.acquire src.p_node.nic_out ~at:cpu_done ~dur:(trans_time t size) in
-  Sim.Stats.Rate.add src.p_sent ~now:(now t) ~bytes:size;
+  let cpu_start, cpu_done = Resource.acquire src.p_node.cpu ~at ~dur:cpu_dur in
+  let tx_dur = trans_time t size in
+  let tx_start, tx_done = Resource.acquire src.p_node.nic_out ~at:cpu_done ~dur:tx_dur in
+  Sim.Stats.Rate.add src.p_sent ~now:at ~bytes:size;
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+      let pid = src.p_id in
+      if cpu_start > at then
+        Trace.span tr ~id:tid ~pid ~cat:"queue" ~name:"send-cpu-wait" ~ts:at
+          ~dur:(cpu_start -. at);
+      Trace.span tr ~id:tid ~pid ~cat:"cpu" ~name:"send-cpu" ~ts:cpu_start ~dur:cpu_dur;
+      if tx_start > cpu_done then
+        Trace.span tr ~id:tid ~pid ~cat:"queue" ~name:"nic-out-wait" ~ts:cpu_done
+          ~dur:(tx_start -. cpu_done);
+      Trace.span tr ~id:tid ~pid ~cat:"wire" ~name:"nic-out" ~ts:tx_start ~dur:tx_dur);
   tx_done
 
 (* Deliver [m] to [dst]: occupy the incoming link, then the receiver CPU,
@@ -226,9 +282,16 @@ let receiver_side_raw t ~udp ~arrival dst (m : msg) ~on_consumed =
            on_consumed ()
          end
          else begin
-           let _, rx_done =
-             Resource.acquire dst.p_node.nic_in ~at:arrival ~dur:(trans_time t m.size)
-           in
+           let rx_dur = trans_time t m.size in
+           let rx_start, rx_done = Resource.acquire dst.p_node.nic_in ~at:arrival ~dur:rx_dur in
+           (match t.tracer with
+           | None -> ()
+           | Some tr ->
+               let pid = dst.p_id in
+               if rx_start > arrival then
+                 Trace.span tr ~id:m.tid ~pid ~cat:"queue" ~name:"nic-in-wait" ~ts:arrival
+                   ~dur:(rx_start -. arrival);
+               Trace.span tr ~id:m.tid ~pid ~cat:"wire" ~name:"nic-in" ~ts:rx_start ~dur:rx_dur);
            ignore
              (Sim.Engine.at eng ~time:rx_done (fun () ->
                   if not dst.alive then begin
@@ -237,21 +300,46 @@ let receiver_side_raw t ~udp ~arrival dst (m : msg) ~on_consumed =
                   end
                   else if udp && dst.rcvbuf_used + m.size > dst.rcvbuf_cap then begin
                     dst.p_drops <- dst.p_drops + 1;
+                    (match t.tracer with
+                    | Some tr ->
+                        Trace.instant tr ~id:m.tid ~pid:dst.p_id ~cat:"proto"
+                          ~name:"rcvbuf-drop" ~ts:rx_done
+                    | None -> ());
                     on_consumed ()
                   end
                   else begin
                     dst.rcvbuf_used <- dst.rcvbuf_used + m.size;
+                    (* [recover] zeroes the buffer and bumps the epoch; a
+                       delivery accepted before the crash must not credit
+                       the fresh buffer back at its (post-recovery) service
+                       time. *)
+                    let epoch = dst.rcvbuf_epoch in
+                    (match t.tracer with
+                    | Some tr ->
+                        Trace.counter tr ~pid:dst.p_id ~name:"rcvbuf" ~ts:rx_done
+                          dst.rcvbuf_used
+                    | None -> ());
                     let c = dst.p_costs in
                     let cpu_dur =
                       (c.recv_per_msg +. (c.recv_per_byte *. float_of_int m.size))
                       *. dst.p_node.cpu_factor
                     in
-                    let _, served =
+                    let cpu_start, served =
                       Resource.acquire dst.p_node.cpu ~at:rx_done ~dur:cpu_dur
                     in
+                    (match t.tracer with
+                    | None -> ()
+                    | Some tr ->
+                        let pid = dst.p_id in
+                        if cpu_start > rx_done then
+                          Trace.span tr ~id:m.tid ~pid ~cat:"queue" ~name:"recv-cpu-wait"
+                            ~ts:rx_done ~dur:(cpu_start -. rx_done);
+                        Trace.span tr ~id:m.tid ~pid ~cat:"cpu" ~name:"recv-cpu" ~ts:cpu_start
+                          ~dur:cpu_dur);
                     ignore
                       (Sim.Engine.at eng ~time:served (fun () ->
-                           dst.rcvbuf_used <- dst.rcvbuf_used - m.size;
+                           if dst.rcvbuf_epoch = epoch then
+                             dst.rcvbuf_used <- dst.rcvbuf_used - m.size;
                            if dst.alive then begin
                              Sim.Stats.Rate.add dst.p_recv ~now:served ~bytes:m.size;
                              dst.handler m
@@ -296,47 +384,61 @@ let conn_of t src dst =
   match Hashtbl.find_opt t.conns key with
   | Some c -> c
   | None ->
-      let c = { in_flight = 0; backlog = Queue.create () } in
+      let c = { in_flight = 0; backlog = Queue.create (); c_epoch = 0 } in
       Hashtbl.add t.conns key c;
       c
 
-let rec tcp_transmit t src dst size payload sent_at =
-  let tx_done = sender_side t src size in
+let trace_wire t ~tid src ~tx_done ~arrival =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.span tr ~id:tid ~pid:src.p_id ~cat:"wire" ~name:"prop" ~ts:tx_done
+        ~dur:(arrival -. tx_done)
+
+let rec tcp_transmit t src dst size payload sent_at tid =
+  let tx_done = sender_side t ~tid src size in
   let arrival = tx_done +. prop_delay t src dst in
-  let m = { src = src.p_id; dst = dst.p_id; size; payload; sent_at } in
+  trace_wire t ~tid src ~tx_done ~arrival;
+  let m = { src = src.p_id; dst = dst.p_id; size; payload; sent_at; tid } in
   let conn = conn_of t src dst in
+  let epoch = conn.c_epoch in
   receiver_side t ~udp:false ~arrival dst m ~on_consumed:(fun () ->
-      conn.in_flight <- conn.in_flight - size;
-      tcp_drain t src dst conn)
+      if conn.c_epoch = epoch then begin
+        conn.in_flight <- conn.in_flight - size;
+        tcp_drain t src dst conn
+      end)
 
 and tcp_drain t src dst conn =
   let window = dst.rcvbuf_cap in
   let continue = ref true in
   while !continue do
     match Queue.peek_opt conn.backlog with
-    | Some (size, _, _) when conn.in_flight + size <= window || conn.in_flight = 0 ->
-        let size, payload, sent_at = Queue.pop conn.backlog in
+    | Some (size, _, _, _) when conn.in_flight + size <= window || conn.in_flight = 0 ->
+        let size, payload, sent_at, tid = Queue.pop conn.backlog in
         conn.in_flight <- conn.in_flight + size;
-        tcp_transmit t src dst size payload sent_at
+        tcp_transmit t src dst size payload sent_at tid
     | _ -> continue := false
   done
 
-let send t ~src ~dst ~size payload =
+let send ?tid t ~src ~dst ~size payload =
+  let tid = match tid with Some x -> x | None -> alloc_tid t in
   let conn = conn_of t src dst in
   let window = dst.rcvbuf_cap in
   if Queue.is_empty conn.backlog && (conn.in_flight + size <= window || conn.in_flight = 0)
   then begin
     conn.in_flight <- conn.in_flight + size;
-    tcp_transmit t src dst size payload (now t)
+    tcp_transmit t src dst size payload (now t) tid
   end
-  else Queue.push (size, payload, now t) conn.backlog
+  else Queue.push (size, payload, now t, tid) conn.backlog
 
-let udp t ~src ~dst ~size payload =
+let udp ?tid t ~src ~dst ~size payload =
+  let tid = match tid with Some x -> x | None -> alloc_tid t in
   if Sim.Rng.bool t.rng t.cfg.udp_base_loss then dst.p_drops <- dst.p_drops + 1
   else begin
-    let tx_done = sender_side t src size in
+    let tx_done = sender_side t ~tid src size in
     let arrival = tx_done +. prop_delay t src dst in
-    let m = { src = src.p_id; dst = dst.p_id; size; payload; sent_at = now t } in
+    trace_wire t ~tid src ~tx_done ~arrival;
+    let m = { src = src.p_id; dst = dst.p_id; size; payload; sent_at = now t; tid } in
     receiver_side t ~udp:true ~arrival dst m ~on_consumed:(fun () -> ())
   end
 
@@ -391,11 +493,12 @@ let mc_loss_prob t g =
     let p = (g.g_rate -. thr) /. (0.25 *. cap) in
     Float.min 0.30 (Float.max t.cfg.udp_base_loss p)
 
-let mcast ?(loopback = false) t ~src g ~size payload =
+let mcast ?(loopback = false) ?tid t ~src g ~size payload =
   if not t.cfg.multicast_available then
     failwith "Simnet.mcast: ip-multicast unavailable in this deployment";
+  let tid = match tid with Some x -> x | None -> alloc_tid t in
   let sent_at = now t in
-  let tx_done = sender_side t src size in
+  let tx_done = sender_side t ~tid src size in
   (* The switch sees the packet when the NIC has finished serialising it, so
      back-to-back bursts are paced at line rate before the loss model runs. *)
   ignore
@@ -411,11 +514,17 @@ let mcast ?(loopback = false) t ~src g ~size payload =
                let port_overrun = Resource.backlog dst.p_node.nic_in ~now:tx_done > 0.02 in
                if port_overrun || Sim.Rng.bool t.rng p_loss then begin
                  dst.p_drops <- dst.p_drops + 1;
-                 t.mc_drops <- t.mc_drops + 1
+                 t.mc_drops <- t.mc_drops + 1;
+                 match t.tracer with
+                 | Some tr ->
+                     Trace.instant tr ~id:tid ~pid:dst.p_id ~cat:"proto" ~name:"switch-drop"
+                       ~ts:tx_done
+                 | None -> ()
                end
                else begin
                  let arrival = tx_done +. prop_delay t src dst in
-                 let m = { src = src.p_id; dst = -1; size; payload; sent_at } in
+                 trace_wire t ~tid src ~tx_done ~arrival;
+                 let m = { src = src.p_id; dst = -1; size; payload; sent_at; tid } in
                  receiver_side t ~udp:true ~arrival dst m ~on_consumed:(fun () -> ())
                end
              end)
@@ -439,22 +548,39 @@ let charge_cpu t p dur =
     ignore (Resource.acquire p.p_node.cpu ~at:(now t) ~dur:(dur *. p.p_node.cpu_factor))
 
 let exec t p ~dur k =
+  let at = now t in
   let dur = dur *. p.p_node.cpu_factor in
-  let _, finish = Resource.acquire p.p_node.cpu ~at:(now t) ~dur in
+  let start, finish = Resource.acquire p.p_node.cpu ~at ~dur in
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+      if start > at then
+        Trace.span tr ~pid:p.p_id ~cat:"queue" ~name:"exec-wait" ~ts:at ~dur:(start -. at);
+      Trace.span tr ~pid:p.p_id ~cat:"exec" ~name:"exec" ~ts:start ~dur);
   ignore (Sim.Engine.at t.engine ~time:finish (fun () -> if p.alive then k ()))
 
 let kill t p =
   p.alive <- false;
-  (* Connection state to a crashed process is reset so a later recovery
-     starts from a clean window. *)
   Hashtbl.iter
-    (fun (_, dst) conn ->
+    (fun (src, dst) conn ->
+      (* Connection state to a crashed process is reset so a later recovery
+         starts from a clean window; the epoch bump stops in-flight window
+         credits from the old incarnation reaching the fresh counter. *)
       if dst = p.p_id then begin
         conn.in_flight <- 0;
-        Queue.clear conn.backlog
-      end)
+        Queue.clear conn.backlog;
+        conn.c_epoch <- conn.c_epoch + 1
+      end
+      (* The crashed process's own un-transmitted sends are volatile state:
+         they must not resurrect and transmit after recovery (bytes already
+         accepted in flight stay accounted — they are on the wire, and
+         their deliveries drain [in_flight] normally). *)
+      else if src = p.p_id then Queue.clear conn.backlog)
     t.conns
 
 let recover _t p =
   p.alive <- true;
-  p.rcvbuf_used <- 0
+  p.rcvbuf_used <- 0;
+  (* Deliveries accepted before the crash still hold credits against the
+     old buffer; the epoch bump voids them (see [receiver_side_raw]). *)
+  p.rcvbuf_epoch <- p.rcvbuf_epoch + 1

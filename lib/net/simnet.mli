@@ -23,6 +23,10 @@ type msg = {
   size : int;  (** application payload bytes *)
   payload : payload;
   sent_at : float;  (** simulation time of the send call *)
+  tid : int;
+      (** causal trace id: allocated per send (deterministic counter)
+          unless the sender threads one through, so a command can be
+          followed across protocol hops in a {!Trace.t} export *)
 }
 
 type node
@@ -87,12 +91,14 @@ val handler_of : proc -> msg -> unit
 
 (** Reliable, ordered unicast (TCP-like).  Never drops; when the receiver's
     window ([rcvbuf]) is full of un-consumed bytes the sender queues and the
-    transfer resumes as the receiver's handler drains messages. *)
-val send : t -> src:proc -> dst:proc -> size:int -> payload -> unit
+    transfer resumes as the receiver's handler drains messages.  [tid]
+    threads an existing causal id through (a fresh one is allocated
+    otherwise). *)
+val send : ?tid:int -> t -> src:proc -> dst:proc -> size:int -> payload -> unit
 
 (** Unreliable unicast (UDP): dropped on receive-buffer overflow or base
     loss. *)
-val udp : t -> src:proc -> dst:proc -> size:int -> payload -> unit
+val udp : ?tid:int -> t -> src:proc -> dst:proc -> size:int -> payload -> unit
 
 val new_group : t -> string -> group
 val join : group -> proc -> unit
@@ -102,7 +108,8 @@ val members : group -> proc list
 (** [mcast t ~src g ~size p] ip-multicasts to every member of [g] except
     [src] (set [loopback:true] to include the sender).  Unavailable
     multicast ([multicast_available = false]) raises [Failure]. *)
-val mcast : ?loopback:bool -> t -> src:proc -> group -> size:int -> payload -> unit
+val mcast :
+  ?loopback:bool -> ?tid:int -> t -> src:proc -> group -> size:int -> payload -> unit
 
 (** {1 Timers} *)
 
@@ -160,6 +167,11 @@ val node_cpu_factor : node -> float
 
 val set_rcvbuf : proc -> int -> unit
 val rcvbuf : proc -> int
+
+(** Bytes currently held in the UDP receive buffer (accepted, not yet
+    served); invariant [0 <= rcvbuf_used p] across kill/recover. *)
+val rcvbuf_used : proc -> int
+
 val costs_of : proc -> costs
 
 (** [set_mem p bytes] lets a protocol report its resident buffer footprint
@@ -189,3 +201,17 @@ val cpu_busy : node -> Sim.Stats.Busy.t
 
 (** [wire_size t size] is the on-the-wire size including framing. *)
 val wire_size : t -> int -> int
+
+(** {1 Tracing}
+
+    With a tracer installed the network records spans for every resource
+    acquisition (queueing and service split), wire propagation, socket
+    buffer levels and drop instants.  Recording never schedules events or
+    consumes randomness: a run is bit-identical with tracing on or off. *)
+
+(** [set_tracer t (Some tr)] installs a tracer (opening a fresh pid
+    namespace in it and registering existing processes); [None] removes
+    it. *)
+val set_tracer : t -> Trace.t option -> unit
+
+val tracer : t -> Trace.t option

@@ -105,6 +105,11 @@ let arm_timeout t net ~timeout f =
       (Simnet.after net timeout (fun () ->
            if t.epoch = epoch then begin
              t.armed <- false;
+             (match Simnet.tracer net with
+             | Some tr ->
+                 Trace.instant tr ~pid:(-1) ~cat:"proto" ~name:"batch-timeout"
+                   ~ts:(Simnet.now net)
+             | None -> ());
              f ()
            end))
   end

@@ -80,17 +80,23 @@ let request_repairs r t net ~timeout ~cooldown ~alive ~complete ~send =
       ignore
         (Simnet.after net delay (fun () ->
              r.active <- false;
-             if alive () then begin
-               match missing t ~complete () with
-               | [] -> ()
-               | insts ->
-                   send insts;
-                   (* Cool down before the next request. *)
-                   r.active <- true;
-                   ignore
-                     (Simnet.after net cooldown (fun () ->
-                          r.active <- false;
-                          cycle delay))
+             (* The cycle may only end when the gap has closed.  Firing
+                with a transiently dead process or an empty missing window
+                (e.g. every instance present but incomplete checks racing
+                a retransmission) must re-arm, or a gap that opens after a
+                quiescent period is never repaired. *)
+             if backlog t > 0 then begin
+               if alive () then begin
+                 match missing t ~complete () with
+                 | [] -> ()
+                 | insts -> send insts
+               end;
+               (* Cool down before the next request. *)
+               r.active <- true;
+               ignore
+                 (Simnet.after net cooldown (fun () ->
+                      r.active <- false;
+                      cycle delay))
              end))
     end
   in

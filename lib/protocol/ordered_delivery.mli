@@ -67,8 +67,12 @@ val repairer : unit -> repair
 val repairing : repair -> bool
 
 (** [request_repairs r t net ~timeout ~cooldown ~alive ~complete ~send]
-    starts (or no-ops into) the repair cycle; it stops by itself once
-    nothing is missing or [alive ()] turns false. *)
+    starts (or no-ops into) the repair cycle.  The cycle re-arms while a
+    backlog persists — a transiently-false [alive ()] or an empty missing
+    window does not end it — and stops only once the backlog has drained.
+    Caller contract: invoke again whenever a new gap opens after the
+    backlog reached zero (e.g. from the decision handler); re-invoking
+    while a cycle is active is a no-op. *)
 val request_repairs :
   repair ->
   'v t ->

@@ -10,6 +10,12 @@ let every ?counters net ~name ~period f =
           Counters.incr c key;
           f ()
   in
+  let tick () =
+    (match Simnet.tracer net with
+    | Some tr -> Trace.instant tr ~pid:(-1) ~cat:"timer" ~name ~ts:(Simnet.now net)
+    | None -> ());
+    tick ()
+  in
   { r_name = name; r_stop = Simnet.every net ~period tick }
 
 let name t = t.r_name

@@ -139,6 +139,8 @@ type t = {
 let dbg t name = Protocol.Counters.incr t.ctrs name
 let counters t = Protocol.Counters.snapshot t.ctrs
 
+let trace t f = match Simnet.tracer t.net with Some tr -> f tr | None -> ()
+
 let n_acceptors cfg = (2 * cfg.f) + 1
 
 let coord_opt t =
@@ -209,12 +211,18 @@ let coord_local_vote t c inst rnd (v : Paxos.Value.t) parts =
 (* [parts] is canonicalised (sorted, duplicate-free) by [propose_batch], so
    each destination group is multicast to exactly once. *)
 let mcast_p2a t c inst (v : Paxos.Value.t) parts =
+  trace t (fun tr ->
+      Trace.instant tr ~id:inst ~pid:(Simnet.pid c.x_proc) ~cat:"proto" ~name:"p2a"
+        ~ts:(Simnet.now t.net));
   let p2a = P2a { inst; rnd = c.c_rnd; value = v; parts } in
   List.iter
     (fun p -> Simnet.mcast t.net ~src:c.x_proc t.part_groups.(p) ~size:(v.size + hdr) p2a)
     parts
 
 let propose_instance t c inst (v : Paxos.Value.t) parts =
+  trace t (fun tr ->
+      Trace.abegin tr ~pid:(Simnet.pid c.x_proc) ~cat:"ordering" ~name:"consensus" ~id:inst
+        ~ts:(Simnet.now t.net));
   Retry.watch c.c_insts ~now:(Simnet.now t.net) inst (v, parts);
   c.c_rate_bits <-
     c.c_rate_bits +. (float_of_int (v.size + hdr) *. 8.0 *. float_of_int (List.length parts));
@@ -288,6 +296,10 @@ let coord_decide t c inst vid =
          the majority provided its own vote is durable. *)
       let fire () =
         if not (Hashtbl.mem c.x_decided inst) then begin
+          trace t (fun tr ->
+              let now = Simnet.now t.net and pid = Simnet.pid c.x_proc in
+              Trace.aend tr ~pid ~cat:"ordering" ~name:"consensus" ~id:inst ~ts:now;
+              Trace.instant tr ~id:inst ~pid ~cat:"proto" ~name:"decision" ~ts:now);
           ignore (Retry.ack c.c_insts inst);
           Hashtbl.add c.x_decided inst (vid, parts);
           if inst > c.x_max_dec then c.x_max_dec <- inst;
@@ -459,6 +471,9 @@ let repair_cycle t l =
     ~alive:(fun () -> Simnet.is_alive l.l_proc)
     ~complete:(fun _ (vid, _) -> Hashtbl.mem l.l_vals vid)
     ~send:(fun insts ->
+      trace t (fun tr ->
+          Trace.instant tr ~pid:(Simnet.pid l.l_proc) ~cat:"proto" ~name:"repair-req"
+            ~ts:(Simnet.now t.net));
       match pref_acceptor t l with
       | Some a ->
           Simnet.send t.net ~src:l.l_proc ~dst:a.x_proc ~size:(hdr + List.length insts)
@@ -471,6 +486,9 @@ let repair_cycle t l =
 let lrn_drain t l =
   Od.pump l.l_od (fun inst (vid, parts) ->
       let release v =
+        trace t (fun tr ->
+            Trace.aend tr ~pid:(Simnet.pid l.l_proc) ~cat:"ordering" ~name:"deliver-wait"
+              ~id:((inst * 256) + l.l_idx) ~ts:(Simnet.now t.net));
         Od.sink_push l.l_sink (inst, v);
         lrn_fc_check t l;
         lrn_pump t l;
@@ -496,14 +514,29 @@ let lrn_on_p2a t l inst (v : Paxos.Value.t) =
   Hashtbl.replace l.l_vals v.vid v;
   (match t.speculative with
   | Some spec ->
-      Od.speculate l.l_od ~inst (fun () -> spec ~learner:l.l_idx ~inst v)
+      Od.speculate l.l_od ~inst (fun () ->
+          trace t (fun tr ->
+              Trace.instant tr ~id:inst ~pid:(Simnet.pid l.l_proc) ~cat:"proto"
+                ~name:"speculate" ~ts:(Simnet.now t.net));
+          spec ~learner:l.l_idx ~inst v)
   | None -> ());
   lrn_update_mem l;
   lrn_drain t l
 
 let lrn_on_decision t l inst vid parts =
   Od.note_max l.l_od inst;
-  if Od.offer l.l_od ~inst (vid, parts) then lrn_drain t l;
+  if Od.offer l.l_od ~inst (vid, parts) then begin
+    trace t (fun tr ->
+        Trace.abegin tr ~pid:(Simnet.pid l.l_proc) ~cat:"ordering" ~name:"deliver-wait"
+          ~id:((inst * 256) + l.l_idx) ~ts:(Simnet.now t.net));
+    lrn_drain t l
+  end
+  else if Od.backlog l.l_od > 0 then
+    (* A duplicate decision can still widen the gap through [note_max]
+       (e.g. a decision addressed to another partition re-delivered after
+       the repair cycle went quiescent): restart repairs here, because the
+       drain path above did not run. *)
+    repair_cycle t l;
   lrn_fc_check t l
 
 (* Learners periodically report their delivery version so acceptors can both
@@ -521,7 +554,10 @@ let version_reports t l =
 
 (* --- garbage collection ------------------------------------------------- *)
 
-let acc_gc a floor =
+let acc_gc t a floor =
+  trace t (fun tr ->
+      Trace.instant tr ~pid:(Simnet.pid a.x_proc) ~cat:"proto" ~name:"gc"
+        ~ts:(Simnet.now t.net));
   a.x_gc_floor <- Stdlib.max a.x_gc_floor floor;
   (* The GC floor only advances past applied instances, so every pruned
      vote is for a decided value.  Remember its item uids: if this
@@ -546,7 +582,7 @@ let coord_on_version t c learner version =
     if floor > c.c_gc_floor then begin
       c.c_gc_floor <- floor;
       Simnet.mcast t.net ~src:c.x_proc t.dec_group ~size:hdr (Gc { floor });
-      acc_gc c floor
+      acc_gc t c floor
     end
   end
 
@@ -787,7 +823,7 @@ let acc_handler t a (m : Simnet.msg) =
               (Version { learner; version })
         | None -> ()
       end
-  | Gc { floor } -> acc_gc a floor
+  | Gc { floor } -> acc_gc t a floor
   | RetransReq { inst; count; learner } -> begin
       (* learner >= 0: a learner asks for decided values in a range;
          learner < 0 encodes an acceptor asking for a lost Phase 2A. *)
@@ -841,7 +877,10 @@ let lrn_handler t l (m : Simnet.msg) =
       (* A repair response supplies both the decision and the value. *)
       Hashtbl.replace l.l_vals value.Paxos.Value.vid value;
       Od.note_max l.l_od inst;
-      ignore (Od.offer l.l_od ~inst (value.vid, parts));
+      if Od.offer l.l_od ~inst (value.vid, parts) then
+        trace t (fun tr ->
+            Trace.abegin tr ~pid:(Simnet.pid l.l_proc) ~cat:"ordering" ~name:"deliver-wait"
+              ~id:((inst * 256) + l.l_idx) ~ts:(Simnet.now t.net));
       lrn_drain t l
   | Gc { floor } ->
       Od.drop_below l.l_od (Stdlib.min floor (Od.next l.l_od))

@@ -98,6 +98,8 @@ let standard_positions ~n = Array.make n [ Proposer; Acceptor; Learner ]
 
 let coord t = t.members.(t.coord_pos)
 
+let trace t f = match Simnet.tracer t.net with Some tr -> f tr | None -> ()
+
 let successor t pos =
   let rec after = function
     | a :: b :: rest -> if a = pos then Some b else after (b :: rest)
@@ -137,6 +139,9 @@ let record_decision t m inst v =
 (* --- coordinator --------------------------------------------------------- *)
 
 let propose_instance t c inst (v : Paxos.Value.t) =
+  trace t (fun tr ->
+      Trace.abegin tr ~pid:(Simnet.pid c.m_proc) ~cat:"ordering" ~name:"consensus" ~id:inst
+        ~ts:(Simnet.now t.net));
   c.c_outstanding <- c.c_outstanding + 1;
   (* The coordinator is the first acceptor: it votes locally, durably if
      configured, then starts the combined Phase 2A/2B down the ring. *)
@@ -268,6 +273,13 @@ let on_p2ab t m inst rnd (v : Paxos.Value.t) votes =
   let continue votes =
     if votes >= t.cfg.f + 1 then begin
       (* This member closes the quorum: it is the "last acceptor". *)
+      trace t (fun tr ->
+          let now = Simnet.now t.net in
+          (* The interval was opened on the proposing coordinator. *)
+          Trace.aend tr ~pid:(Simnet.pid (coord t).m_proc) ~cat:"ordering" ~name:"consensus"
+            ~id:inst ~ts:now;
+          Trace.instant tr ~id:inst ~pid:(Simnet.pid m.m_proc) ~cat:"proto" ~name:"decision"
+            ~ts:now);
       t.decided <- t.decided + 1;
       record_decision t m inst v;
       forward_decision t m inst v m.m_pos

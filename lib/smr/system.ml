@@ -60,6 +60,8 @@ type t = {
 
 let the_mr t = match t.mr with Some m -> m | None -> assert false
 
+let trace t f = match Simnet.tracer t.net with Some tr -> f tr | None -> ()
+
 (* --- execution -------------------------------------------------------------- *)
 
 (* Execute the items of a value this replica is responsible for; returns the
@@ -87,6 +89,10 @@ let book t r cost =
   let fin = start +. cost in
   r.rp_exec_free <- fin;
   Sim.Stats.Busy.add ~at:start r.rp_exec_busy cost;
+  trace t (fun tr ->
+      if cost > 0.0 then
+        Trace.span tr ~pid:(Simnet.pid (Ringpaxos.Mring.learner_proc (the_mr t) r.rp_lrn))
+          ~cat:"exec" ~name:"execute" ~ts:start ~dur:cost);
   fin
 
 let send_resps t r ~at resps =
@@ -175,6 +181,10 @@ let client_on_resp t c (m : Simnet.msg) uid =
     c.cl_waiting <- c.cl_waiting - 1;
     c.cl_bytes <- c.cl_bytes + m.size;
     if c.cl_waiting = 0 then begin
+      trace t (fun tr ->
+          Trace.instant tr ~id:uid
+            ~pid:(Simnet.pid (Ringpaxos.Mring.proposer_proc (the_mr t) c.cl_idx))
+            ~cat:"proto" ~name:"response" ~ts:(Simnet.now t.net));
       Metrics.command t.metrics ~born:c.cl_born ~bytes:c.cl_bytes;
       submit_next t c
     end

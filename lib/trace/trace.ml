@@ -1,0 +1,283 @@
+type kind = Span | Instant | Count | Async_b | Async_e
+
+type event = {
+  e_ts : float;
+  e_dur : float;
+  e_kind : kind;
+  e_pid : int;
+  e_cat : string;
+  e_name : string;
+  e_id : int;
+  e_v : int;
+}
+
+type t = {
+  mutable on : bool;
+  limit : int;
+  (* Circular event ring, grown geometrically up to [limit] so a disabled
+     or lightly used tracer stays small. *)
+  mutable ring : event array;
+  mutable len : int;  (* events held *)
+  mutable head : int;  (* next write position once the ring is full *)
+  mutable total : int;  (* events ever recorded *)
+  names : (int, string) Hashtbl.t;  (* effective pid -> display name *)
+  mutable pid_base : int;
+  mutable max_pid : int;
+  (* open async intervals: (cat, name, effective pid, id) -> begin ts *)
+  pending : (string * string * int * int, float) Hashtbl.t;
+  (* (role, stage) -> duration accumulator, seconds *)
+  decomp : (string * string, Sim.Stats.Latency.t) Hashtbl.t;
+}
+
+let dummy =
+  { e_ts = 0.0; e_dur = 0.0; e_kind = Instant; e_pid = 0; e_cat = ""; e_name = "";
+    e_id = -1; e_v = 0 }
+
+let create ?(limit = 1 lsl 18) () =
+  { on = true;
+    limit = Stdlib.max 1 limit;
+    ring = [||];
+    len = 0;
+    head = 0;
+    total = 0;
+    names = Hashtbl.create 64;
+    pid_base = 0;
+    max_pid = -1;
+    pending = Hashtbl.create 256;
+    decomp = Hashtbl.create 32 }
+
+let enabled t = t.on
+
+let set_enabled t on =
+  t.on <- on;
+  (* Disabling mid-run abandons open async intervals; keeping them would
+     let a later re-enable match an end against a begin from a window the
+     trace no longer covers. *)
+  if not on then Hashtbl.reset t.pending
+
+let clear t =
+  t.ring <- [||];
+  t.len <- 0;
+  t.head <- 0;
+  t.total <- 0;
+  Hashtbl.reset t.pending;
+  Hashtbl.reset t.decomp
+
+let events t = t.len
+let dropped t = t.total - t.len
+
+let eff t pid = if pid < 0 then pid else t.pid_base + pid
+
+let register t ~pid ~name =
+  let p = eff t pid in
+  if p > t.max_pid then t.max_pid <- p;
+  Hashtbl.replace t.names p name
+
+let new_run t = t.pid_base <- t.max_pid + 1
+
+(* Role of a process: its registered name with trailing digits stripped,
+   so "mr-acc0".."mr-acc4" aggregate into one decomposition row. *)
+let role_of t pid =
+  if pid < 0 then "global"
+  else
+    match Hashtbl.find_opt t.names pid with
+    | None -> "?"
+    | Some name ->
+        let n = String.length name in
+        let rec stem i =
+          if i > 0 && name.[i - 1] >= '0' && name.[i - 1] <= '9' then stem (i - 1) else i
+        in
+        let k = stem n in
+        if k = 0 then name else String.sub name 0 k
+
+let push t e =
+  if e.e_pid > t.max_pid then t.max_pid <- e.e_pid;
+  let cap = Array.length t.ring in
+  if t.len < cap then begin
+    t.ring.(t.len) <- e;
+    t.len <- t.len + 1
+  end
+  else if cap < t.limit then begin
+    let cap' = Stdlib.min t.limit (Stdlib.max 1024 (cap * 2)) in
+    let r = Array.make cap' dummy in
+    Array.blit t.ring 0 r 0 cap;
+    t.ring <- r;
+    t.ring.(t.len) <- e;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* Full: overwrite the oldest. *)
+    t.ring.(t.head) <- e;
+    t.head <- (t.head + 1) mod cap
+  end;
+  t.total <- t.total + 1
+
+let note_decomp t ~pid ~cat ~dur =
+  let key = (role_of t pid, cat) in
+  let acc =
+    match Hashtbl.find_opt t.decomp key with
+    | Some l -> l
+    | None ->
+        let l = Sim.Stats.Latency.create ~reservoir:4096 () in
+        Hashtbl.add t.decomp key l;
+        l
+  in
+  Sim.Stats.Latency.add acc dur
+
+let span ?(id = -1) t ~pid ~cat ~name ~ts ~dur =
+  if t.on then begin
+    let pid = eff t pid in
+    push t { e_ts = ts; e_dur = dur; e_kind = Span; e_pid = pid; e_cat = cat;
+             e_name = name; e_id = id; e_v = 0 };
+    note_decomp t ~pid ~cat ~dur
+  end
+
+let instant ?(id = -1) t ~pid ~cat ~name ~ts =
+  if t.on then
+    push t { e_ts = ts; e_dur = 0.0; e_kind = Instant; e_pid = eff t pid; e_cat = cat;
+             e_name = name; e_id = id; e_v = 0 }
+
+let counter t ~pid ~name ~ts v =
+  if t.on then
+    push t { e_ts = ts; e_dur = 0.0; e_kind = Count; e_pid = eff t pid; e_cat = "counter";
+             e_name = name; e_id = -1; e_v = v }
+
+let abegin t ~pid ~cat ~name ~id ~ts =
+  if t.on then begin
+    let pid = eff t pid in
+    Hashtbl.replace t.pending (cat, name, pid, id) ts;
+    push t { e_ts = ts; e_dur = 0.0; e_kind = Async_b; e_pid = pid; e_cat = cat;
+             e_name = name; e_id = id; e_v = 0 }
+  end
+
+let aend t ~pid ~cat ~name ~id ~ts =
+  if t.on then begin
+    let pid = eff t pid in
+    let key = (cat, name, pid, id) in
+    match Hashtbl.find_opt t.pending key with
+    | None -> ()  (* begin evicted, or closed twice *)
+    | Some ts0 ->
+        Hashtbl.remove t.pending key;
+        push t { e_ts = ts; e_dur = 0.0; e_kind = Async_e; e_pid = pid; e_cat = cat;
+                 e_name = name; e_id = id; e_v = 0 };
+        note_decomp t ~pid ~cat ~dur:(ts -. ts0)
+  end
+
+(* --- export ------------------------------------------------------------- *)
+
+let iter_events t f =
+  let cap = Array.length t.ring in
+  if t.len < cap || t.head = 0 then
+    for i = 0 to t.len - 1 do
+      f t.ring.(i)
+    done
+  else
+    for i = 0 to t.len - 1 do
+      f t.ring.((t.head + i) mod cap)
+    done
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Timestamps are exported in microseconds at nanosecond resolution; fixed
+   formatting keeps same-seed exports byte-identical. *)
+let us ts = Printf.sprintf "%.3f" (ts *. 1.0e6)
+
+let to_chrome_json t =
+  let b = Buffer.create (256 + (t.len * 96)) in
+  Buffer.add_string b "[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b s
+  in
+  (* Process-name metadata, sorted by pid for determinism. *)
+  let pids = Hashtbl.fold (fun p n acc -> (p, n) :: acc) t.names [] in
+  List.iter
+    (fun (p, n) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+           p (json_escape n)))
+    (List.sort compare pids);
+  iter_events t (fun e ->
+      let common =
+        Printf.sprintf "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"tid\":0,\"ts\":%s"
+          (json_escape e.e_name) (json_escape e.e_cat) e.e_pid (us e.e_ts)
+      in
+      match e.e_kind with
+      | Span ->
+          let id = if e.e_id >= 0 then Printf.sprintf ",\"args\":{\"id\":%d}" e.e_id else "" in
+          emit (Printf.sprintf "{%s,\"ph\":\"X\",\"dur\":%s%s}" common (us e.e_dur) id)
+      | Instant ->
+          let id = if e.e_id >= 0 then Printf.sprintf ",\"args\":{\"id\":%d}" e.e_id else "" in
+          emit (Printf.sprintf "{%s,\"ph\":\"i\",\"s\":\"p\"%s}" common id)
+      | Count -> emit (Printf.sprintf "{%s,\"ph\":\"C\",\"args\":{\"v\":%d}}" common e.e_v)
+      | Async_b -> emit (Printf.sprintf "{%s,\"ph\":\"b\",\"id\":%d}" common e.e_id)
+      | Async_e -> emit (Printf.sprintf "{%s,\"ph\":\"e\",\"id\":%d}" common e.e_id));
+  Buffer.add_string b "]\n";
+  Buffer.contents b
+
+let write_chrome_json t path =
+  let oc = open_out path in
+  output_string oc (to_chrome_json t);
+  close_out oc
+
+(* --- latency decomposition ---------------------------------------------- *)
+
+let decomposition t =
+  let rows =
+    Hashtbl.fold
+      (fun (role, stage) acc l ->
+        ( role,
+          ( stage,
+            Sim.Stats.Latency.count acc,
+            Sim.Stats.Latency.percentile acc 0.50,
+            Sim.Stats.Latency.percentile acc 0.99 ) )
+        :: l)
+      t.decomp []
+  in
+  let by_role = Hashtbl.create 8 in
+  List.iter
+    (fun (role, row) ->
+      let prev = match Hashtbl.find_opt by_role role with Some l -> l | None -> [] in
+      Hashtbl.replace by_role role (row :: prev))
+    rows;
+  Hashtbl.fold (fun role l acc -> (role, List.sort compare l) :: acc) by_role []
+  |> List.sort compare
+
+let decomp_counters t =
+  List.concat_map
+    (fun (role, stages) ->
+      List.concat_map
+        (fun (stage, n, p50, p99) ->
+          let k suffix = Printf.sprintf "%s/%s/%s" role stage suffix in
+          [ (k "n", n);
+            (k "p50_us", int_of_float (Float.round (p50 *. 1.0e6)));
+            (k "p99_us", int_of_float (Float.round (p99 *. 1.0e6))) ])
+        stages)
+    (decomposition t)
+
+let print_decomposition t =
+  let d = decomposition t in
+  if d <> [] then begin
+    Printf.printf "  %-12s %-10s %10s %12s %12s\n" "role" "stage" "samples" "p50(us)" "p99(us)";
+    List.iter
+      (fun (role, stages) ->
+        List.iter
+          (fun (stage, n, p50, p99) ->
+            Printf.printf "  %-12s %-10s %10d %12.1f %12.1f\n" role stage n (p50 *. 1.0e6)
+              (p99 *. 1.0e6))
+          stages)
+      d
+  end

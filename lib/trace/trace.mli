@@ -1,0 +1,102 @@
+(** Deterministic causal tracing for the simulator.
+
+    A {!t} is a bounded ring of typed events — spans (a named interval of
+    virtual time on one process), instants, counters and async
+    begin/end pairs (intervals that start and end in different callbacks,
+    matched by [(cat, name, pid, id)]).  Producers stamp events with the
+    simulation clock, so a trace is a pure function of the seed: the same
+    seed yields a byte-identical export, which makes traces diffable
+    across PRs and turns the tracer into a regression oracle.
+
+    Recording is allocation-free while the tracer is disabled
+    ({!set_enabled} [false]): every record entry point checks one flag
+    and returns, and the event ring is not even allocated until the
+    first event lands.  Recording never schedules simulator events,
+    never draws from an RNG and never blocks, so enabling a tracer
+    cannot perturb a run — measured throughput and latency are identical
+    with tracing on or off.
+
+    Exports: Chrome [trace_event] JSON ({!write_chrome_json}), loadable
+    in Perfetto / [chrome://tracing], and an in-simulator
+    latency-decomposition report ({!decomposition}) aggregating span
+    durations into per-(role, stage) percentile tables. *)
+
+type t
+
+(** [create ()] makes an enabled tracer.  [limit] bounds the event ring
+    (default 2^18 events); once full, the oldest events are evicted and
+    counted by {!dropped}. *)
+val create : ?limit:int -> unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+(** Drop all recorded events, async matches and decomposition state
+    (identity registrations survive). *)
+val clear : t -> unit
+
+(** {1 Identity}
+
+    Events carry a process id.  [register] attaches a display name; the
+    {e role} used to group the decomposition tables is the name with any
+    trailing digits stripped ("mr-acc2" → "mr-acc").  Negative pids are
+    reserved for global (processless) events such as timer fires. *)
+
+val register : t -> pid:int -> name:string -> unit
+
+(** [new_run t] opens a fresh pid namespace: subsequent events and
+    registrations for pid [p] are exported as [base + p], so successive
+    simulator instances sharing one tracer do not collide. *)
+val new_run : t -> unit
+
+(** {1 Recording}
+
+    All of these are no-ops when the tracer is disabled.  [id] is the
+    causal id ([trace_id] of the message being processed); omit it (or
+    pass a negative value) when there is none. *)
+
+(** [span t ~pid ~cat ~name ~ts ~dur] records a complete interval
+    [\[ts, ts+dur)] and feeds the (role, cat) decomposition accumulator. *)
+val span : ?id:int -> t -> pid:int -> cat:string -> name:string -> ts:float -> dur:float -> unit
+
+val instant : ?id:int -> t -> pid:int -> cat:string -> name:string -> ts:float -> unit
+
+(** [counter t ~pid ~name ~ts v] records a sampled value (rendered as a
+    counter track). *)
+val counter : t -> pid:int -> name:string -> ts:float -> int -> unit
+
+(** [abegin]/[aend] open and close an async interval matched by
+    [(cat, name, pid, id)].  The matched duration feeds the (role, cat)
+    decomposition accumulator at close time; an unmatched [aend] records
+    nothing. *)
+val abegin : t -> pid:int -> cat:string -> name:string -> id:int -> ts:float -> unit
+
+val aend : t -> pid:int -> cat:string -> name:string -> id:int -> ts:float -> unit
+
+(** {1 Inspection & export} *)
+
+(** Events currently held in the ring. *)
+val events : t -> int
+
+(** Events evicted because the ring was full. *)
+val dropped : t -> int
+
+(** Chrome trace_event JSON (array form).  Deterministic: metadata
+    sorted by pid, events in record order, fixed float formatting. *)
+val to_chrome_json : t -> string
+
+val write_chrome_json : t -> string -> unit
+
+(** {1 Latency decomposition} *)
+
+(** [decomposition t] is, per role (sorted), the list of stages (sorted)
+    with [(stage, samples, p50, p99)] — durations in seconds. *)
+val decomposition : t -> (string * (string * int * float * float) list) list
+
+(** Flattened for {!Sim.Stats.Snapshot} counters:
+    ["role/stage/n"], ["role/stage/p50_us"], ["role/stage/p99_us"]. *)
+val decomp_counters : t -> (string * int) list
+
+(** Human-readable per-role stage table on stdout (used by the bench
+    harness when a run keeps a local tracer). *)
+val print_decomposition : t -> unit

@@ -122,9 +122,19 @@ let test_different_seeds_different_timelines () =
    - lcr seed 1:        a body whose sender left the ring circulated
                         forever (the forwarding stop condition never
                         triggered), re-delivering on every revolution.
-                        Fixed by the per-sender timestamp watermark. *)
+                        Fixed by the per-sender timestamp watermark.
+   - mring-pressure
+     seeds 1/13:        an acceptor killed with bytes still in service:
+                        the stale service completions landing after
+                        [Simnet.recover] drove the receive-buffer gauge
+                        negative, and the crashed sender's connection
+                        backlog replayed into the ring after the restart.
+                        Fixed by the per-proc [rcvbuf_epoch] / per-conn
+                        [c_epoch] guards and by [Simnet.kill] clearing the
+                        victim's outgoing backlogs. *)
 let pinned =
-  [ ("mring", 16); ("uring", 18); ("multiring", 12); ("multiring", 13); ("lcr", 1) ]
+  [ ("mring", 16); ("uring", 18); ("multiring", 12); ("multiring", 13); ("lcr", 1);
+    ("mring-pressure", 1); ("mring-pressure", 13) ]
 
 let test_pinned_seeds_stay_green () =
   List.iter

@@ -14,5 +14,6 @@ let () =
       ("extra", Test_extra.suite);
       ("storage", Test_storage.suite);
       ("protocol", Test_protocol.suite);
+      ("trace", Test_trace.suite);
       ("properties", Test_properties.suite);
       ("fault", Test_fault.suite) ]

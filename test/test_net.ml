@@ -288,6 +288,59 @@ let test_charge_cpu_delays_later_messages () =
   Sim.Engine.run_all engine;
   Alcotest.(check bool) "handler waited for the busy CPU" true (!served_at >= 0.1)
 
+let test_recover_resets_rcvbuf_accounting () =
+  (* Deliveries accepted before a crash used to decrement the (reset)
+     buffer accounting when their service completed after recovery,
+     driving the counter negative and disabling overflow drops forever. *)
+  let engine, net = make_net ~config:no_jitter () in
+  let na = Simnet.add_node net "a" and nb = Simnet.add_node net "b" in
+  let a = Simnet.add_proc net na "a" and b = Simnet.add_proc net nb "b" in
+  Simnet.set_rcvbuf b 10_000;
+  (Simnet.costs_of b).recv_per_msg <- 1.0e-2 (* buffered for 10ms each *);
+  Simnet.set_handler b (fun _ -> ());
+  Simnet.udp net ~src:a ~dst:b ~size:5_000 (Ping 0);
+  Simnet.udp net ~src:a ~dst:b ~size:5_000 (Ping 1);
+  (* Crash and recover while both packets still sit in the buffer. *)
+  ignore
+    (Simnet.after net 2.0e-3 (fun () ->
+         Simnet.kill net b;
+         Simnet.recover net b));
+  Sim.Engine.run_all engine;
+  Alcotest.(check int) "accounting back to zero" 0 (Simnet.rcvbuf_used b);
+  (* The recovered buffer must still enforce its bound. *)
+  let drops0 = Simnet.drops b in
+  for _ = 1 to 100 do
+    Simnet.udp net ~src:a ~dst:b ~size:5_000 (Ping 2)
+  done;
+  Sim.Engine.run_all engine;
+  Alcotest.(check bool) "overflow drops still occur" true (Simnet.drops b > drops0);
+  Alcotest.(check bool) "never negative" true (Simnet.rcvbuf_used b >= 0)
+
+let test_kill_clears_crashed_senders_backlog () =
+  (* TCP messages queued behind the receiver's window on the CRASHED
+     sender's connections must die with the sender.  They used to stay
+     queued and replay into the receiver as it drained its window —
+     ghost traffic from a dead process. *)
+  let engine, net = make_net ~config:no_jitter () in
+  let na = Simnet.add_node net "a" and nb = Simnet.add_node net "b" in
+  let a = Simnet.add_proc net na "a" and b = Simnet.add_proc net nb "b" in
+  Simnet.set_rcvbuf b 10_000;
+  (Simnet.costs_of b).recv_per_msg <- 1.0e-3;
+  let got = ref 0 in
+  Simnet.set_handler b (fun _ -> incr got);
+  for _ = 1 to 10 do
+    Simnet.send net ~src:a ~dst:b ~size:5_000 (Ping 0)
+  done;
+  (* Two messages fit the window; the rest are backlogged when [a] dies. *)
+  ignore (Simnet.after net 1.0e-4 (fun () -> Simnet.kill net a));
+  Sim.Engine.run_all engine;
+  Alcotest.(check bool) "backlogged messages are not replayed" true (!got < 10);
+  let at_quiescence = !got in
+  (* Nor may the stale backlog resurface when the sender recovers. *)
+  Simnet.recover net a;
+  Sim.Engine.run_all engine;
+  Alcotest.(check int) "recovery does not resurrect the backlog" at_quiescence !got
+
 let test_fig32_unicast_regression () =
   (* Mirrors bench/fig3.ml one_to_many `Unicast 2 and pins the throughput
      measured before the streaming-stats rewrite (481.645909 Mbps), so a
@@ -327,5 +380,9 @@ let suite =
       Alcotest.test_case "engine event budget guard" `Quick test_engine_event_budget;
       Alcotest.test_case "charge_cpu delays handlers" `Quick
         test_charge_cpu_delays_later_messages;
+      Alcotest.test_case "recover resets rcvbuf accounting" `Quick
+        test_recover_resets_rcvbuf_accounting;
+      Alcotest.test_case "kill clears crashed sender's backlog" `Quick
+        test_kill_clears_crashed_senders_backlog;
       Alcotest.test_case "fig3.2 unicast throughput regression" `Quick
         test_fig32_unicast_regression ]

@@ -176,6 +176,59 @@ let test_drain_sink_does_not_recurse_per_item () =
     (Printf.sprintf "bounded nesting (max depth = %d)" !max_depth)
     true (!max_depth <= 2)
 
+let test_repair_rearms_through_transient_death () =
+  (* The repair timer firing while the learner is transiently dead (e.g.
+     mid crash/recover) used to end the cycle forever: the gap was never
+     requested again even though the backlog persisted. *)
+  let _engine, net = fresh () in
+  let od : unit Protocol.Ordered_delivery.t = Protocol.Ordered_delivery.create () in
+  let r = Protocol.Ordered_delivery.repairer () in
+  let alive = ref false in
+  let sent = ref 0 in
+  Protocol.Ordered_delivery.note_max od 5 (* instances 0..5 missing *);
+  Protocol.Ordered_delivery.request_repairs r od net ~timeout:0.01 ~cooldown:0.04
+    ~alive:(fun () -> !alive)
+    ~complete:(fun _ _ -> true)
+    ~send:(fun insts ->
+      incr sent;
+      Alcotest.(check bool) "asks for concrete instances" true (insts <> []));
+  (* Dead at the first firing (t=0.01), back before the second. *)
+  ignore (Simnet.after net 0.02 (fun () -> alive := true));
+  Sim.Engine.run (Simnet.engine net) ~until:0.5;
+  Alcotest.(check bool) "repairs resume after the transient death" true (!sent > 0)
+
+let test_repair_gap_after_quiescence () =
+  (* A gap heals, the cycle winds down; a second gap opening later must be
+     repairable by re-invoking [request_repairs] (the caller contract). *)
+  let _engine, net = fresh () in
+  let engine = Simnet.engine net in
+  let od : unit Protocol.Ordered_delivery.t = Protocol.Ordered_delivery.create () in
+  let r = Protocol.Ordered_delivery.repairer () in
+  let sent = ref 0 in
+  let start () =
+    Protocol.Ordered_delivery.request_repairs r od net ~timeout:0.01 ~cooldown:0.02
+      ~alive:(fun () -> true)
+      ~complete:(fun _ _ -> true)
+      ~send:(fun _ -> incr sent)
+  in
+  Protocol.Ordered_delivery.note_max od 1;
+  start ();
+  Sim.Engine.run engine ~until:0.015;
+  Alcotest.(check bool) "first gap requested" true (!sent > 0);
+  (* Heal the gap; the cycle must reach quiescence... *)
+  ignore (Protocol.Ordered_delivery.offer od ~inst:0 ());
+  ignore (Protocol.Ordered_delivery.offer od ~inst:1 ());
+  Protocol.Ordered_delivery.pump od (fun _ _ -> true);
+  Sim.Engine.run engine ~until:0.2;
+  Alcotest.(check bool) "cycle quiescent once healed" false
+    (Protocol.Ordered_delivery.repairing r);
+  let healed = !sent in
+  (* ...and a later second gap must be repaired again. *)
+  Protocol.Ordered_delivery.note_max od 5;
+  start ();
+  Sim.Engine.run engine ~until:0.4;
+  Alcotest.(check bool) "second gap requested" true (!sent > healed)
+
 (* --- Failure detector ------------------------------------------------------ *)
 
 let hb_period = 0.02
@@ -281,6 +334,10 @@ let suite =
       test_drop_below_frees_speculation_marks;
     Alcotest.test_case "od: drain_sink is iterative, not per-item recursive" `Quick
       test_drain_sink_does_not_recurse_per_item;
+    Alcotest.test_case "od: repair re-arms through a transient death" `Quick
+      test_repair_rearms_through_transient_death;
+    Alcotest.test_case "od: repair handles a gap after quiescence" `Quick
+      test_repair_gap_after_quiescence;
     Alcotest.test_case "fd: no false suspicion while heartbeats flow" `Quick
       test_no_false_suspicion_under_heartbeats;
     Alcotest.test_case "fd: suspicion within hb_timeout of a crash" `Quick

@@ -1,0 +1,94 @@
+(* Tests for lib/trace: exports are a pure function of the seed, and a
+   disabled tracer costs nothing — neither allocation nor perturbation of
+   the traced run. *)
+
+(* A short M-Ring run with [tracer] installed (when given); returns the
+   number of delivered instances so runs can be compared for identical
+   behaviour with tracing on, off and absent. *)
+let mring_smoke ?tracer ~seed () =
+  let engine = Sim.Engine.create () in
+  let net = Simnet.create engine (Sim.Rng.create seed) in
+  Simnet.set_tracer net tracer;
+  let cfg = { Ringpaxos.Mring.default_config with f = 1 } in
+  let delivered = ref 0 in
+  let mr =
+    Ringpaxos.Mring.create net cfg ~n_proposers:1 ~n_learners:2
+      ~learner_parts:(fun _ -> [ 0 ])
+      ~deliver:(fun ~learner:_ ~inst:_ _ -> incr delivered)
+  in
+  let stop =
+    Simnet.every net ~period:1.0e-4 (fun () ->
+        ignore (Ringpaxos.Mring.submit mr ~proposer:0 ~size:512 Simnet.Noop))
+  in
+  Sim.Engine.run engine ~until:0.05;
+  stop ();
+  !delivered
+
+let test_same_seed_byte_identical_export () =
+  let run () =
+    let tr = Trace.create () in
+    let delivered = mring_smoke ~tracer:tr ~seed:7 () in
+    (delivered, Trace.to_chrome_json tr)
+  in
+  let d1, j1 = run () in
+  let d2, j2 = run () in
+  Alcotest.(check bool) "the run did something" true (d1 > 0);
+  Alcotest.(check bool) "trace is non-trivial" true (String.length j1 > 1024);
+  Alcotest.(check int) "same deliveries" d1 d2;
+  Alcotest.(check string) "byte-identical export" j1 j2
+
+let test_tracing_does_not_perturb_the_run () =
+  (* Recording draws no randomness and schedules no events, so traced,
+     trace-disabled and untraced runs of one seed behave identically. *)
+  let untraced = mring_smoke ~seed:11 () in
+  let traced = mring_smoke ~tracer:(Trace.create ()) ~seed:11 () in
+  let off = Trace.create () in
+  Trace.set_enabled off false;
+  let disabled = mring_smoke ~tracer:off ~seed:11 () in
+  Alcotest.(check int) "traced = untraced" untraced traced;
+  Alcotest.(check int) "disabled = untraced" untraced disabled
+
+let test_disabled_tracer_allocates_nothing () =
+  let tr = Trace.create () in
+  Trace.set_enabled tr false;
+  let baseline = Obj.reachable_words (Obj.repr tr) in
+  ignore (mring_smoke ~tracer:tr ~seed:3 ());
+  Alcotest.(check int) "no events recorded" 0 (Trace.events tr);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped tr);
+  let words = Obj.reachable_words (Obj.repr tr) in
+  (* Process-name registrations are identity, not events; the ring stays
+     unallocated.  Anything beyond a few hundred words means the disabled
+     path is buffering. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled tracer stays small (%d -> %d words)" baseline words)
+    true
+    (words - baseline < 512)
+
+let test_export_shape () =
+  (* Chrome trace_event array form: starts with '[', every event carries
+     pid/ts, and the decomposition sees the recorded spans. *)
+  let tr = Trace.create () in
+  Trace.register tr ~pid:0 ~name:"role0";
+  Trace.span tr ~pid:0 ~cat:"cpu" ~name:"work" ~ts:1.0e-3 ~dur:2.0e-3;
+  Trace.instant tr ~pid:0 ~cat:"proto" ~name:"mark" ~ts:2.0e-3;
+  Trace.counter tr ~pid:0 ~name:"depth" ~ts:3.0e-3 7;
+  Trace.abegin tr ~pid:0 ~cat:"ordering" ~name:"consensus" ~id:4 ~ts:1.0e-3;
+  Trace.aend tr ~pid:0 ~cat:"ordering" ~name:"consensus" ~id:4 ~ts:5.0e-3;
+  let j = Trace.to_chrome_json tr in
+  Alcotest.(check bool) "array form" true (String.length j > 2 && j.[0] = '[');
+  Alcotest.(check int) "five events" 5 (Trace.events tr);
+  let d = Trace.decomposition tr in
+  let stages = match d with [ (_, s) ] -> List.map (fun (st, _, _, _) -> st) s | _ -> [] in
+  Alcotest.(check (list string)) "cpu + ordering stages" [ "cpu"; "ordering" ] stages;
+  (* An unmatched async end must not fabricate an interval. *)
+  Trace.aend tr ~pid:0 ~cat:"ordering" ~name:"consensus" ~id:99 ~ts:6.0e-3;
+  Alcotest.(check int) "unmatched end ignored" 5 (Trace.events tr)
+
+let suite =
+  [ Alcotest.test_case "same seed, byte-identical export" `Quick
+      test_same_seed_byte_identical_export;
+    Alcotest.test_case "tracing does not perturb the run" `Quick
+      test_tracing_does_not_perturb_the_run;
+    Alcotest.test_case "disabled tracer allocates nothing" `Quick
+      test_disabled_tracer_allocates_nothing;
+    Alcotest.test_case "chrome export shape + decomposition" `Quick test_export_shape ]
