@@ -1,0 +1,206 @@
+(* `-- engine`: microbench of the discrete-event core, wheel vs heap
+   backend, on the three patterns that dominate real experiment runs:
+   schedule-heavy (every fired event re-arms), cancel-heavy (the
+   failure-detector / Retry cancel-on-ack pattern) and a mixed
+   simnet-like blend.  A fourth workload drives the integer-tick
+   scheduling path and asserts the zero-allocation claim.  Results go to
+   stdout and BENCH_engine.json so CI records the trajectory. *)
+
+let out_file = "BENCH_engine.json"
+
+type sample = {
+  workload : string;
+  backend : string;
+  events : int;
+  elapsed_s : float;
+  events_per_sec : float;
+  minor_words_per_event : float;
+}
+
+(* Cheap deterministic int stream (the sim RNG draws floats; here every
+   draw must stay in int registers). *)
+let lcg state = ((state * 0x2545F4914F6CDD1D) + 0x3779B97F4A7C15) land max_int
+
+let backend_name = function `Wheel -> "wheel" | `Heap -> "heap"
+
+let measure ~workload ~backend ~events f =
+  let w0 = Gc.minor_words () in
+  let t0 = Sys.time () in
+  let fired = f () in
+  let elapsed = Sys.time () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  let elapsed = if elapsed <= 0.0 then 1e-9 else elapsed in
+  ignore events;
+  { workload;
+    backend = backend_name backend;
+    events = fired;
+    elapsed_s = elapsed;
+    events_per_sec = float_of_int fired /. elapsed;
+    minor_words_per_event = words /. float_of_int (max 1 fired) }
+
+(* Every fired event re-arms itself at a pseudo-random short delay:
+   the pure schedule+fire path, one shared closure per timer chain. *)
+let schedule_heavy backend =
+  let e = Sim.Engine.create ~backend () in
+  let target = 1_500_000 in
+  let fires = ref 0 in
+  let rng = ref 0x12345 in
+  let rec arm () =
+    incr fires;
+    if !fires < target then begin
+      rng := lcg !rng;
+      let d = float_of_int (1 + (!rng land 0xFFF)) *. 1e-6 in
+      ignore (Sim.Engine.schedule e ~delay:d arm)
+    end
+  in
+  for i = 1 to 2048 do
+    ignore (Sim.Engine.schedule e ~delay:(float_of_int i *. 1e-6) arm)
+  done;
+  measure ~workload:"schedule-heavy" ~backend ~events:target (fun () ->
+      Sim.Engine.run_all e;
+      !fires)
+
+(* Failure-detector re-arm: each monitor fire cancels its outstanding
+   long timeout, arms a fresh one (which will in turn be cancelled) and
+   re-arms itself — 2 schedules + 1 cancel per fired event, with ~half
+   the queue cancelled at any time. *)
+let cancel_heavy backend =
+  let e = Sim.Engine.create ~backend () in
+  let target = 1_000_000 in
+  let monitors = 1024 in
+  let fires = ref 0 in
+  let noop () = () in
+  let handles = Array.make monitors (Sim.Engine.schedule e ~delay:9.0e3 noop) in
+  let rng = ref 0xBEEF in
+  let monitor i =
+    let rec fire () =
+      incr fires;
+      if !fires < target then begin
+        Sim.Engine.cancel e handles.(i);
+        handles.(i) <- Sim.Engine.schedule e ~delay:0.5 noop;
+        rng := lcg !rng;
+        let d = float_of_int (16 + (!rng land 0x3FF)) *. 1e-6 in
+        ignore (Sim.Engine.schedule e ~delay:d fire)
+      end
+    in
+    fire
+  in
+  for i = 0 to monitors - 1 do
+    Sim.Engine.cancel e handles.(i);
+    handles.(i) <- Sim.Engine.schedule e ~delay:0.5 noop;
+    ignore (Sim.Engine.schedule e ~delay:(float_of_int (i + 1) *. 1e-6) (monitor i))
+  done;
+  measure ~workload:"cancel-heavy" ~backend ~events:target (fun () ->
+      Sim.Engine.run_all e;
+      !fires)
+
+(* Simnet-like blend: short transmit chains, 100 ms heartbeats (a deeper
+   wheel level), a retry armed every 8th fire and cancelled (acked) on
+   the next fire of the same chain, and a far-future (overflow-level)
+   watchdog per chain. *)
+let mixed backend =
+  let e = Sim.Engine.create ~backend () in
+  let target = 1_200_000 in
+  let chains = 256 in
+  let fires = ref 0 in
+  let noop () = () in
+  let retries = Array.make chains (Sim.Engine.schedule e ~delay:9.0e3 noop) in
+  let rng = ref 0xC0FFEE in
+  let chain i =
+    let rec fire () =
+      incr fires;
+      if !fires < target then begin
+        Sim.Engine.cancel e retries.(i);
+        rng := lcg !rng;
+        if !rng land 7 = 0 then
+          retries.(i) <- Sim.Engine.schedule e ~delay:0.05 noop;
+        rng := lcg !rng;
+        let d = float_of_int (25 + (!rng land 0xFF)) *. 1e-6 in
+        ignore (Sim.Engine.schedule e ~delay:d fire)
+      end
+    in
+    fire
+  in
+  let rec heartbeat () =
+    incr fires;
+    if !fires < target then ignore (Sim.Engine.schedule e ~delay:0.1 heartbeat)
+  in
+  for i = 0 to chains - 1 do
+    ignore (Sim.Engine.schedule e ~delay:(float_of_int (i + 1) *. 1e-6) (chain i));
+    ignore (Sim.Engine.schedule e ~delay:2.0e3 noop)
+  done;
+  ignore (Sim.Engine.schedule e ~delay:0.1 heartbeat);
+  measure ~workload:"mixed-simnet" ~backend ~events:target (fun () ->
+      Sim.Engine.run_all e;
+      !fires)
+
+(* Integer-tick scheduling: after a warm-up pass grows the pool and the
+   slot arrays, a steady-state schedule/fire cycle through
+   [schedule_ticks] must allocate nothing at all on the wheel. *)
+let zero_alloc backend =
+  let e = Sim.Engine.create ~backend () in
+  let fires = ref 0 in
+  let limit = ref 0 in
+  let rng = ref 0xFEED in
+  let rec arm () =
+    incr fires;
+    if !fires < !limit then begin
+      rng := lcg !rng;
+      ignore (Sim.Engine.schedule_ticks e ~ticks:(1 + (!rng land 0x3FF)) arm)
+    end
+  in
+  let seed () =
+    for i = 1 to 512 do
+      ignore (Sim.Engine.schedule_ticks e ~ticks:i arm)
+    done
+  in
+  (* Warm-up: grow pool, slots and heaps to steady-state capacity. *)
+  limit := 100_000;
+  seed ();
+  Sim.Engine.run_all e;
+  fires := 0;
+  limit := 1_000_000;
+  seed ();
+  measure ~workload:"zero-alloc-ticks" ~backend ~events:!limit (fun () ->
+      Sim.Engine.run_all e;
+      !fires)
+
+let json_of_sample s =
+  Printf.sprintf
+    "{\"workload\":%S,\"backend\":%S,\"events\":%d,\"elapsed_s\":%.6f,\"events_per_sec\":%.1f,\"minor_words_per_event\":%.4f}"
+    s.workload s.backend s.events s.elapsed_s s.events_per_sec
+    s.minor_words_per_event
+
+let run () =
+  Util.header "Engine microbench (events/sec, minor words/event)";
+  let workloads = [ schedule_heavy; cancel_heavy; mixed; zero_alloc ] in
+  let samples =
+    List.concat_map (fun w -> [ w `Wheel; w `Heap ]) workloads
+  in
+  Printf.printf "%-18s %-6s %12s %14s %10s\n" "workload" "engine" "events"
+    "events/sec" "words/ev";
+  List.iter
+    (fun s ->
+      Printf.printf "%-18s %-6s %12d %14.0f %10.4f\n" s.workload s.backend
+        s.events s.events_per_sec s.minor_words_per_event)
+    samples;
+  let find w b =
+    List.find (fun s -> s.workload = w && s.backend = backend_name b) samples
+  in
+  let speedup w =
+    (find w `Wheel).events_per_sec /. (find w `Heap).events_per_sec
+  in
+  let mixed_speedup = speedup "mixed-simnet" in
+  Printf.printf "\nwheel/heap speedup: schedule %.2fx, cancel %.2fx, mixed %.2fx\n"
+    (speedup "schedule-heavy") (speedup "cancel-heavy") mixed_speedup;
+  Printf.printf "zero-alloc path (wheel): %.4f minor words/event\n"
+    (find "zero-alloc-ticks" `Wheel).minor_words_per_event;
+  let oc = open_out out_file in
+  Printf.fprintf oc
+    "{\n\"bench\":\"engine\",\n\"ticks_per_second\":%d,\n\"samples\":[\n%s\n],\n\"summary\":{\"schedule_speedup\":%.3f,\"cancel_speedup\":%.3f,\"mixed_speedup_wheel_over_heap\":%.3f,\"zero_alloc_minor_words_per_event\":%.4f}\n}\n"
+    Sim.Engine.ticks_per_second
+    (String.concat ",\n" (List.map json_of_sample samples))
+    (speedup "schedule-heavy") (speedup "cancel-heavy") mixed_speedup
+    (find "zero-alloc-ticks" `Wheel).minor_words_per_event;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_file

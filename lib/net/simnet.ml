@@ -532,6 +532,8 @@ let mcast ?(loopback = false) ?tid t ~src g ~size payload =
 
 let after t delay f = Sim.Engine.schedule t.engine ~delay f
 
+let cancel t h = Sim.Engine.cancel t.engine h
+
 let every t ~period f =
   let stopped = ref false in
   let rec tick () =

@@ -115,6 +115,11 @@ val mcast :
 
 val after : t -> float -> (unit -> unit) -> Sim.Engine.handle
 
+(** [cancel t h] revokes a timer returned by {!after}.  Idempotent and
+    safe after the timer has fired (handles are generation-stamped, so a
+    stale handle never cancels a newer timer). *)
+val cancel : t -> Sim.Engine.handle -> unit
+
 (** [every t ~period f] runs [f] every [period] seconds until the returned
     thunk is called. *)
 val every : t -> period:float -> (unit -> unit) -> unit -> unit

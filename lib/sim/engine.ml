@@ -1,72 +1,139 @@
+(* Discrete-event engine over a pluggable queue: the timing wheel
+   (default, zero-allocation steady state) or the original boxed-event
+   binary heap, kept as the reference backend for equivalence tests and
+   benchmarks.  Both fire events in (time, order) order, so a seeded run
+   is byte-identical across backends. *)
+
+type backend = [ `Wheel | `Heap ]
+
+let default = ref `Wheel
+let set_default_backend b = default := b
+let get_default_backend () = !default
+
+let backend_of_string = function
+  | "wheel" -> `Wheel
+  | "heap" -> `Heap
+  | s -> invalid_arg (Printf.sprintf "Engine.backend_of_string: %S" s)
+
+(* Reference backend: one boxed record per event; cancellation marks the
+   record through a handle table keyed by sequence number. *)
+type hev = { ht : float; horder : int; mutable hcancelled : bool; haction : unit -> unit }
+
+type hstate = { heap : hev Heap.t; tbl : (int, hev) Hashtbl.t; mutable hlive : int }
+
+type queue = Qwheel of Wheel.t | Qheap of hstate
+
 type t = {
-  mutable now : float;
   mutable seq : int;
-  mutable live : int;
-  heap : event Heap.t;
+  (* The clock lives in a float array so the wheel's firing loop can
+     update it without boxing. *)
+  now_cell : float array;
+  q : queue;
 }
 
-and event = { time : float; order : int; h : handle; action : unit -> unit }
+type handle = int
 
-and handle = { mutable cancelled : bool; owner : t }
+let compare_hev a b =
+  let c = Float.compare a.ht b.ht in
+  if c <> 0 then c else Int.compare a.horder b.horder
 
-let compare_event a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.order b.order
+let create ?backend () =
+  let b = match backend with Some b -> b | None -> !default in
+  { seq = 0;
+    now_cell = Array.make 1 0.0;
+    q =
+      (match b with
+      | `Wheel -> Qwheel (Wheel.create ())
+      | `Heap ->
+          Qheap { heap = Heap.create compare_hev; tbl = Hashtbl.create 64; hlive = 0 }) }
 
-let create () = { now = 0.0; seq = 0; live = 0; heap = Heap.create compare_event }
+let backend t = match t.q with Qwheel _ -> `Wheel | Qheap _ -> `Heap
 
-let now t = t.now
+let now t = t.now_cell.(0)
+
+let ticks_per_second = Wheel.ticks_per_second
+
+let heap_add hs ~time ~order f =
+  let ev = { ht = time; horder = order; hcancelled = false; haction = f } in
+  Heap.push hs.heap ev;
+  Hashtbl.replace hs.tbl order ev;
+  hs.hlive <- hs.hlive + 1;
+  order
 
 let at t ~time f =
-  let time = if time < t.now then t.now else time in
-  let h = { cancelled = false; owner = t } in
+  let nw = Array.unsafe_get t.now_cell 0 in
+  let time = if time < nw then nw else time in
   t.seq <- t.seq + 1;
-  t.live <- t.live + 1;
-  Heap.push t.heap { time; order = t.seq; h; action = f };
-  h
+  match t.q with
+  | Qwheel w -> Wheel.add w ~time ~order:t.seq f
+  | Qheap hs -> heap_add hs ~time ~order:t.seq f
 
 let schedule t ~delay f =
   let delay = if delay < 0.0 then 0.0 else delay in
-  at t ~time:(t.now +. delay) f
+  at t ~time:(Array.unsafe_get t.now_cell 0 +. delay) f
 
-(* [live] is decremented here rather than when the event is eventually
-   popped, so [pending] counts only uncancelled events. *)
-let cancel h =
-  if not h.cancelled then begin
-    h.cancelled <- true;
-    h.owner.live <- h.owner.live - 1
-  end
+let schedule_ticks t ~ticks f =
+  let ticks = if ticks < 0 then 0 else ticks in
+  t.seq <- t.seq + 1;
+  match t.q with
+  | Qwheel w -> Wheel.add_ticks w ~now:t.now_cell ~ticks ~order:t.seq f
+  | Qheap hs ->
+      let time =
+        Array.unsafe_get t.now_cell 0
+        +. (float_of_int ticks /. float_of_int ticks_per_second)
+      in
+      heap_add hs ~time ~order:t.seq f
 
-let step t =
-  let ev = Heap.pop t.heap in
-  if not ev.h.cancelled then begin
-    t.live <- t.live - 1;
-    t.now <- ev.time;
-    ev.action ()
-  end
+let cancel t h =
+  match t.q with
+  | Qwheel w -> ignore (Wheel.cancel w h)
+  | Qheap hs -> (
+      match Hashtbl.find_opt hs.tbl h with
+      | Some ev when not ev.hcancelled ->
+          ev.hcancelled <- true;
+          Hashtbl.remove hs.tbl h;
+          hs.hlive <- hs.hlive - 1
+      | _ -> ())
+
+let pending t =
+  match t.q with Qwheel w -> Wheel.live w | Qheap hs -> hs.hlive
 
 let default_max = 200_000_000
 
-let run ?(max_events = default_max) t ~until =
+(* Reference-backend firing loop, with the same budget semantics as the
+   wheel: cancelled records drain for free, at most [max_events] live
+   events fire, and the guard trips only when a fireable event remains. *)
+let heap_run hs t ~until ~max_events ~who =
   let fired = ref 0 in
   let continue = ref true in
   while !continue do
-    match Heap.peek t.heap with
+    match Heap.peek hs.heap with
     | None -> continue := false
-    | Some ev when ev.time > until -> continue := false
-    | Some _ ->
-        step t;
-        incr fired;
-        if !fired > max_events then failwith "Engine.run: event budget exhausted"
-  done;
-  if t.now < until then t.now <- until
-
-let run_all ?(max_events = default_max) t =
-  let fired = ref 0 in
-  while not (Heap.is_empty t.heap) do
-    step t;
-    incr fired;
-    if !fired > max_events then failwith "Engine.run_all: event budget exhausted"
+    | Some ev when ev.ht > until -> continue := false
+    | Some ev ->
+        if ev.hcancelled then ignore (Heap.pop hs.heap)
+        else begin
+          if !fired >= max_events then
+            failwith (who ^ ": event budget exhausted");
+          ignore (Heap.pop hs.heap);
+          Hashtbl.remove hs.tbl ev.horder;
+          hs.hlive <- hs.hlive - 1;
+          t.now_cell.(0) <- ev.ht;
+          ev.haction ();
+          incr fired
+        end
   done
 
-let pending t = t.live
+let run_until t ~until ~max_events ~who =
+  match t.q with
+  | Qwheel w -> (
+      try ignore (Wheel.run w ~now:t.now_cell ~until ~max_events)
+      with Wheel.Budget -> failwith (who ^ ": event budget exhausted"))
+  | Qheap hs -> heap_run hs t ~until ~max_events ~who
+
+let run ?(max_events = default_max) t ~until =
+  run_until t ~until ~max_events ~who:"Engine.run";
+  if t.now_cell.(0) < until then t.now_cell.(0) <- until
+
+let run_all ?(max_events = default_max) t =
+  run_until t ~until:infinity ~max_events ~who:"Engine.run_all"

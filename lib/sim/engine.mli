@@ -2,15 +2,36 @@
 
     Time is a [float] in seconds.  Events scheduled for the same instant run
     in scheduling order (a monotonically increasing sequence number breaks
-    ties), which keeps runs deterministic. *)
+    ties), which keeps runs deterministic.
+
+    Two queue backends implement that contract identically: the default
+    hierarchical {!Wheel} (pooled event records, zero allocation on the
+    steady-state schedule/fire path) and the original binary heap of boxed
+    events, kept as the reference for equivalence tests and benchmarks.  A
+    seeded run is byte-identical across backends. *)
 
 type t
 
-(** Cancellation handle for a scheduled event. *)
+(** Cancellation handle for a scheduled event: a generation-stamped
+    immediate integer, so scheduling allocates nothing. *)
 type handle
 
-(** [create ()] is a fresh engine with the clock at [0.0]. *)
-val create : unit -> t
+type backend = [ `Wheel | `Heap ]
+
+(** [create ()] is a fresh engine with the clock at [0.0], using the
+    [backend] given here or else the process-wide default. *)
+val create : ?backend:backend -> unit -> t
+
+(** Process-wide default backend for subsequent {!create} calls (the
+    experiment harness sets this from [--engine <wheel|heap>]). *)
+val set_default_backend : backend -> unit
+
+val get_default_backend : unit -> backend
+
+(** @raise Invalid_argument on anything but ["wheel"] or ["heap"]. *)
+val backend_of_string : string -> backend
+
+val backend : t -> backend
 
 (** [now t] is the current simulation time in seconds. *)
 val now : t -> float
@@ -19,17 +40,29 @@ val now : t -> float
     Negative delays are clamped to zero. *)
 val schedule : t -> delay:float -> (unit -> unit) -> handle
 
+(** Virtual-time resolution of {!schedule_ticks}: 2^20 ticks per second
+    (~0.95 us). *)
+val ticks_per_second : int
+
+(** [schedule_ticks t ~ticks f] runs [f] at [now t] plus [ticks] engine
+    ticks (clamped to zero).  Taking the delay as an integer keeps the
+    whole scheduling path free of float boxing, so hot callers can arm
+    timers with zero allocation. *)
+val schedule_ticks : t -> ticks:int -> (unit -> unit) -> handle
+
 (** [at t ~time f] runs [f] at absolute [time] (clamped to [now t]). *)
 val at : t -> time:float -> (unit -> unit) -> handle
 
-(** [cancel h] prevents the event from firing; idempotent.  The event is
-    uncounted from {!pending} immediately (not when its slot drains). *)
-val cancel : handle -> unit
+(** [cancel t h] prevents the event from firing; idempotent, and a no-op
+    once the event has fired.  The event is uncounted from {!pending}
+    immediately; its queue slot is reclaimed lazily. *)
+val cancel : t -> handle -> unit
 
-(** [run t ~until] processes events in time order until the queue drains or
-    the clock would pass [until]; the clock is left at [min until last_event].
-    Raises [Failure] if more than [max_events] fire (runaway guard,
-    default 200 million). *)
+(** [run t ~until] processes events with [time <= until] until the queue
+    drains or the next event lies beyond [until]; the clock is left at
+    [max until last_event_time].  Raises [Failure] if more than
+    [max_events] events fire (runaway guard, default 200 million):
+    exactly [max_events] may fire, and cancelled events drain for free. *)
 val run : ?max_events:int -> t -> until:float -> unit
 
 (** [run_all t] processes events until the queue is empty. *)

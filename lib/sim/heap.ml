@@ -59,6 +59,10 @@ let release_storage h =
   h.data <- [||];
   h.dummy <- [||]
 
+(* Capacity is kept across transient empties: a ping-pong workload (one
+   event in flight at a time, the `run ~until` idle pattern) must not
+   reallocate the backing array from scratch on every push.  Only [clear]
+   releases storage; an empty heap pins just the filler element. *)
 let pop h =
   if h.size = 0 then invalid_arg "Heap.pop: empty heap";
   let top = h.data.(0) in
@@ -68,7 +72,7 @@ let pop h =
     h.data.(h.size) <- h.dummy.(0);
     sift_down h 0
   end
-  else release_storage h;
+  else h.data.(0) <- h.dummy.(0);
   top
 
 let peek h = if h.size = 0 then None else Some h.data.(0)

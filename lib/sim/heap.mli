@@ -18,8 +18,10 @@ val push : 'a t -> 'a -> unit
 
 (** [pop h] removes and returns the minimum element.  The vacated slot is
     overwritten so the element is collectable once the caller drops it;
-    the heap retains at most one filler element (the first ever pushed)
-    while non-empty, and nothing once it empties.
+    the heap retains at most one filler element (the first ever pushed).
+    The backing array keeps its capacity across transient empties — a
+    heap that ping-pongs between 0 and 1 elements never reallocates; use
+    {!clear} to release storage.
     @raise Invalid_argument if the heap is empty. *)
 val pop : 'a t -> 'a
 

@@ -1,0 +1,479 @@
+(* Hierarchical timing wheel over pooled event records.  See wheel.mli for
+   the design contract; the invariants maintained throughout:
+
+   - [fire_heap] holds every queued event whose tick is <= [cur_tick],
+     ordered by (time, order).
+   - wheel slots hold only events with tick > [cur_tick]; the slot under
+     each level's cursor is empty.
+   - [overflow] holds events more than 2^32 ticks ahead (or past the
+     2^61-tick horizon), ordered by (time, order).
+
+   [advance] preserves these by jumping [cur_tick] to the earliest
+   occupied slot window (never past it) and cascading that window down
+   before anything fires. *)
+
+exception Budget
+
+let bits = 8
+let wheel_slots = 256 (* 1 lsl bits *)
+let slot_mask = wheel_slots - 1
+let levels = 4
+let ticks_per_second = 1 lsl 20
+let tick_scale = float_of_int ticks_per_second
+let tick_width = 1.0 /. tick_scale
+
+(* Ticks saturate at 2^61 so times beyond the wheel horizon (including
+   [infinity]) order purely by their float time in the overflow heap. *)
+let max_tick = 1 lsl 61
+
+let horizon_s = float_of_int max_tick /. tick_scale
+
+let gen_mask = 0x7FFFFFFF
+
+let nop () = ()
+
+(* Index heap: a binary min-heap of pool indices; ordering lives in the
+   pool arrays, so push/pop never allocate (the backing array grows by
+   doubling, amortised). *)
+type ih = { mutable hdata : int array; mutable hlen : int }
+
+type t = {
+  (* Event-record pool, struct-of-arrays so the float column stays flat
+     (writes never box). *)
+  mutable p_time : float array;
+  mutable p_tick : int array;
+  mutable p_order : int array;
+  mutable p_gen : int array;
+  mutable p_state : int array; (* 0 free, 1 pending, 2 cancelled *)
+  mutable p_action : (unit -> unit) array;
+  mutable p_free : int array; (* free-list links *)
+  mutable free_head : int;
+  (* levels * wheel_slots buckets of record indices. *)
+  s_data : int array array;
+  s_len : int array;
+  (* Occupancy bitmap, 32 slots per word, plus occupied-slot counts per
+     level so [advance] skips empty levels without scanning. *)
+  occ : int array;
+  lvl_occupied : int array;
+  mutable cur_tick : int;
+  fire : ih;
+  overflow : ih;
+  mutable n_live : int;
+  mutable n_cancelled : int;
+}
+
+let create () =
+  let cap = 64 in
+  let t =
+    { p_time = Array.make cap 0.0;
+      p_tick = Array.make cap 0;
+      p_order = Array.make cap 0;
+      p_gen = Array.make cap 0;
+      p_state = Array.make cap 0;
+      p_action = Array.make cap nop;
+      p_free = Array.init cap (fun i -> i + 1);
+      free_head = 0;
+      s_data = Array.make (levels * wheel_slots) [||];
+      s_len = Array.make (levels * wheel_slots) 0;
+      occ = Array.make (levels * wheel_slots / 32) 0;
+      lvl_occupied = Array.make levels 0;
+      cur_tick = 0;
+      fire = { hdata = [||]; hlen = 0 };
+      overflow = { hdata = [||]; hlen = 0 };
+      n_live = 0;
+      n_cancelled = 0 }
+  in
+  t.p_free.(cap - 1) <- -1;
+  t
+
+let live t = t.n_live
+let queued t = t.n_live + t.n_cancelled
+
+(* ---------- pool ---------- *)
+
+let grow_pool t =
+  let cap = Array.length t.p_time in
+  let ncap = cap * 2 in
+  t.p_time <- (let a = Array.make ncap 0.0 in Array.blit t.p_time 0 a 0 cap; a);
+  let grow_int old =
+    let a = Array.make ncap 0 in
+    Array.blit old 0 a 0 cap;
+    a
+  in
+  t.p_tick <- grow_int t.p_tick;
+  t.p_order <- grow_int t.p_order;
+  t.p_gen <- grow_int t.p_gen;
+  t.p_state <- grow_int t.p_state;
+  t.p_free <- grow_int t.p_free;
+  let a = Array.make ncap nop in
+  Array.blit t.p_action 0 a 0 cap;
+  t.p_action <- a;
+  for i = cap to ncap - 2 do
+    t.p_free.(i) <- i + 1
+  done;
+  t.p_free.(ncap - 1) <- -1;
+  t.free_head <- cap
+
+let alloc_idx t =
+  if t.free_head < 0 then grow_pool t;
+  let idx = t.free_head in
+  t.free_head <- t.p_free.(idx);
+  idx
+
+let recycle t idx =
+  t.p_action.(idx) <- nop;
+  t.p_state.(idx) <- 0;
+  t.p_gen.(idx) <- (t.p_gen.(idx) + 1) land gen_mask;
+  t.p_free.(idx) <- t.free_head;
+  t.free_head <- idx
+
+(* ---------- index heaps, keyed by (p_time, p_order) ---------- *)
+
+let ih_less t a b =
+  let ta = Array.unsafe_get t.p_time a and tb = Array.unsafe_get t.p_time b in
+  ta < tb
+  || (ta = tb && Array.unsafe_get t.p_order a < Array.unsafe_get t.p_order b)
+
+let ih_push t h idx =
+  let len = h.hlen in
+  if len = Array.length h.hdata then begin
+    let a = Array.make (if len = 0 then 16 else len * 2) 0 in
+    Array.blit h.hdata 0 a 0 len;
+    h.hdata <- a
+  end;
+  h.hdata.(len) <- idx;
+  h.hlen <- len + 1;
+  let i = ref len in
+  let d = h.hdata in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if ih_less t d.(!i) d.(parent) then begin
+      let tmp = d.(!i) in
+      d.(!i) <- d.(parent);
+      d.(parent) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let ih_sift_down t h i0 =
+  let d = h.hdata and len = h.hlen in
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let m = ref !i in
+    if l < len && ih_less t d.(l) d.(!m) then m := l;
+    if r < len && ih_less t d.(r) d.(!m) then m := r;
+    if !m <> !i then begin
+      let tmp = d.(!i) in
+      d.(!i) <- d.(!m);
+      d.(!m) <- tmp;
+      i := !m
+    end
+    else continue := false
+  done
+
+let ih_pop t h =
+  let top = h.hdata.(0) in
+  h.hlen <- h.hlen - 1;
+  if h.hlen > 0 then begin
+    h.hdata.(0) <- h.hdata.(h.hlen);
+    ih_sift_down t h 0
+  end;
+  top
+
+(* ---------- wheel slots ---------- *)
+
+let set_occ t si =
+  t.occ.(si lsr 5) <- t.occ.(si lsr 5) lor (1 lsl (si land 31));
+  t.lvl_occupied.(si lsr bits) <- t.lvl_occupied.(si lsr bits) + 1
+
+let clear_occ t si =
+  t.occ.(si lsr 5) <- t.occ.(si lsr 5) land lnot (1 lsl (si land 31));
+  t.lvl_occupied.(si lsr bits) <- t.lvl_occupied.(si lsr bits) - 1
+
+let slot_push t si idx =
+  let len = t.s_len.(si) in
+  let arr = t.s_data.(si) in
+  let arr =
+    if len = Array.length arr then begin
+      let a = Array.make (if len = 0 then 8 else len * 2) 0 in
+      Array.blit arr 0 a 0 len;
+      t.s_data.(si) <- a;
+      a
+    end
+    else arr
+  in
+  arr.(len) <- idx;
+  t.s_len.(si) <- len + 1;
+  if len = 0 then set_occ t si
+
+(* Route a record to the right level by its distance from [cur_tick].
+   delta <= 0 means "due now": straight to the firing heap. *)
+let add_at_tick t idx tick =
+  let d = tick - t.cur_tick in
+  if d <= 0 then ih_push t t.fire idx
+  else if d < wheel_slots then slot_push t (tick land slot_mask) idx
+  else if d < 1 lsl 16 then slot_push t (wheel_slots + ((tick asr 8) land slot_mask)) idx
+  else if d < 1 lsl 24 then slot_push t ((2 * wheel_slots) + ((tick asr 16) land slot_mask)) idx
+  else if d < 1 lsl 32 then slot_push t ((3 * wheel_slots) + ((tick asr 24) land slot_mask)) idx
+  else ih_push t t.overflow idx
+
+let add t ~time ~order f =
+  let idx = alloc_idx t in
+  t.p_time.(idx) <- time;
+  t.p_order.(idx) <- order;
+  t.p_action.(idx) <- f;
+  t.p_state.(idx) <- 1;
+  let tick = if time >= horizon_s then max_tick else int_of_float (time *. tick_scale) in
+  t.p_tick.(idx) <- tick;
+  t.n_live <- t.n_live + 1;
+  add_at_tick t idx tick;
+  (idx lsl 31) lor t.p_gen.(idx)
+
+let add_ticks t ~now ~ticks ~order f =
+  let idx = alloc_idx t in
+  let time = Array.unsafe_get now 0 +. (float_of_int ticks *. tick_width) in
+  t.p_time.(idx) <- time;
+  t.p_order.(idx) <- order;
+  t.p_action.(idx) <- f;
+  t.p_state.(idx) <- 1;
+  let tick = if time >= horizon_s then max_tick else int_of_float (time *. tick_scale) in
+  t.p_tick.(idx) <- tick;
+  t.n_live <- t.n_live + 1;
+  add_at_tick t idx tick;
+  (idx lsl 31) lor t.p_gen.(idx)
+
+(* ---------- purge of cancelled records ---------- *)
+
+let ih_compact t h =
+  let d = h.hdata in
+  let w = ref 0 in
+  for r = 0 to h.hlen - 1 do
+    let idx = d.(r) in
+    if t.p_state.(idx) = 1 then begin
+      d.(!w) <- idx;
+      incr w
+    end
+    else recycle t idx
+  done;
+  h.hlen <- !w;
+  for i = (!w / 2) - 1 downto 0 do
+    ih_sift_down t h i
+  done
+
+let purge t =
+  for si = 0 to (levels * wheel_slots) - 1 do
+    let len = t.s_len.(si) in
+    if len > 0 then begin
+      let arr = t.s_data.(si) in
+      let w = ref 0 in
+      for r = 0 to len - 1 do
+        let idx = arr.(r) in
+        if t.p_state.(idx) = 1 then begin
+          arr.(!w) <- idx;
+          incr w
+        end
+        else recycle t idx
+      done;
+      t.s_len.(si) <- !w;
+      if !w = 0 then clear_occ t si
+    end
+  done;
+  ih_compact t t.fire;
+  ih_compact t t.overflow;
+  t.n_cancelled <- 0
+
+let cancel t h =
+  let idx = h asr 31 in
+  let gen = h land gen_mask in
+  if
+    idx >= 0
+    && idx < Array.length t.p_state
+    && t.p_state.(idx) = 1
+    && t.p_gen.(idx) = gen
+  then begin
+    t.p_state.(idx) <- 2;
+    t.n_live <- t.n_live - 1;
+    t.n_cancelled <- t.n_cancelled + 1;
+    (* Lazy reclamation: once cancelled records are half the queue (and
+       enough to matter), sweep them out so re-arm-forever workloads
+       stay O(live events). *)
+    if t.n_cancelled >= 64 && 2 * t.n_cancelled >= t.n_live + t.n_cancelled then
+      purge t;
+    true
+  end
+  else false
+
+(* ---------- cursor advance ---------- *)
+
+(* Scan the occupancy words of one level for the first occupied slot in
+   [lo, hi]; -1 if none.  A top-level function (not a local closure) so
+   the firing loop stays allocation-free. *)
+let scan_occ t base lo hi =
+  if lo > hi then -1
+  else begin
+    let res = ref (-1) in
+    let w0 = lo lsr 5 in
+    let w = ref w0 in
+    let w1 = hi lsr 5 in
+    while !res < 0 && !w <= w1 do
+      let word = ref t.occ.(base + !w) in
+      if !w = w0 then word := !word land ((-1) lsl (lo land 31));
+      if !w = w1 && hi land 31 < 31 then
+        word := !word land ((1 lsl ((hi land 31) + 1)) - 1);
+      if !word <> 0 then begin
+        let x = !word land (- !word) in
+        let bit = ref 0 in
+        let v = ref x in
+        while !v land 1 = 0 do
+          v := !v lsr 1;
+          incr bit
+        done;
+        res := (!w lsl 5) lor !bit
+      end
+      else incr w
+    done;
+    !res
+  end
+
+(* First occupied slot of [level] in circular order strictly after the
+   cursor (the cursor's own slot is empty by invariant); -1 if the level
+   is empty. *)
+let next_occupied t level cs =
+  let base = level * (wheel_slots / 32) in
+  let s = scan_occ t base (cs + 1) (wheel_slots - 1) in
+  if s >= 0 then s else scan_occ t base 0 cs
+
+(* Absolute tick at which [slot] of [level] becomes the cursor slot:
+   the start of its window in the current revolution, or the next one if
+   the cursor already passed it. *)
+let due_tick t level slot =
+  let c = t.cur_tick asr (bits * level) in
+  let cs = c land slot_mask in
+  let high = c asr bits in
+  let rev = if slot > cs then high else high + 1 in
+  ((rev lsl bits) lor slot) lsl (bits * level)
+
+(* Jump [cur_tick] to the earliest occupied window and cascade that
+   window's events down (deepest level first, so redistributed events are
+   seen by the lower levels in the same pass).  Returns false when the
+   whole structure is empty.  The firing heap may still be empty after a
+   successful advance (the window's events all live deeper); callers
+   loop, and each iteration strictly increases [cur_tick]. *)
+let advance t =
+  let best = ref max_int in
+  (* Fast path: if level 0 has an occupied slot ahead of the cursor in
+     the current 256-tick block, its due tick precedes every
+     higher-level window (those start at 256-aligned ticks strictly
+     after [cur_tick]), so the higher levels need no scan at all — and
+     after the jump only that one slot can need cascading (the
+     higher-level cursor slots are unchanged).  [fast0] records that
+     both shortcuts apply. *)
+  let fast0 = ref false in
+  let cs0 = t.cur_tick land slot_mask in
+  if t.lvl_occupied.(0) > 0 then begin
+    let s0 = scan_occ t 0 (cs0 + 1) (wheel_slots - 1) in
+    if s0 >= 0 then begin
+      best := t.cur_tick land lnot slot_mask lor s0;
+      fast0 := true
+    end
+    else begin
+      let s = scan_occ t 0 0 cs0 in
+      if s >= 0 then best := due_tick t 0 s
+    end
+  end;
+  if not !fast0 then
+    for level = 1 to levels - 1 do
+      if t.lvl_occupied.(level) > 0 then begin
+        let cs = (t.cur_tick asr (bits * level)) land slot_mask in
+        let s = next_occupied t level cs in
+        if s >= 0 then begin
+          let d = due_tick t level s in
+          if d < !best then best := d
+        end
+      end
+    done;
+  if t.overflow.hlen > 0 then begin
+    let tk = t.p_tick.(t.overflow.hdata.(0)) in
+    if tk < !best then begin
+      best := tk;
+      fast0 := false
+    end
+  end;
+  if !best = max_int then false
+  else begin
+    t.cur_tick <- !best;
+    (if !fast0 then begin
+       (* Within one block a level-0 slot holds a single tick value, now
+          equal to [cur_tick]: its events go straight to the firing
+          heap. *)
+       let si = t.cur_tick land slot_mask in
+       let len = t.s_len.(si) in
+       if len > 0 then begin
+         let arr = t.s_data.(si) in
+         t.s_len.(si) <- 0;
+         clear_occ t si;
+         for i = 0 to len - 1 do
+           ih_push t t.fire arr.(i)
+         done
+       end
+     end
+     else
+       for level = levels - 1 downto 0 do
+         let s = (t.cur_tick asr (bits * level)) land slot_mask in
+         let si = (level * wheel_slots) + s in
+         let len = t.s_len.(si) in
+         if len > 0 then begin
+           let arr = t.s_data.(si) in
+           t.s_len.(si) <- 0;
+           clear_occ t si;
+           for i = 0 to len - 1 do
+             let idx = arr.(i) in
+             add_at_tick t idx t.p_tick.(idx)
+           done
+         end
+       done);
+    while
+      t.overflow.hlen > 0 && t.p_tick.(t.overflow.hdata.(0)) <= t.cur_tick
+    do
+      ih_push t t.fire (ih_pop t t.overflow)
+    done;
+    true
+  end
+
+(* ---------- the firing loop ---------- *)
+
+let run t ~now ~until ~max_events =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (* Cancelled records surface here and are recycled without being
+       charged to the event budget. *)
+    while t.fire.hlen > 0 && t.p_state.(t.fire.hdata.(0)) <> 1 do
+      let idx = ih_pop t t.fire in
+      t.n_cancelled <- t.n_cancelled - 1;
+      recycle t idx
+    done;
+    if t.fire.hlen = 0 then begin
+      if not (advance t) then continue := false
+    end
+    else begin
+      let top = t.fire.hdata.(0) in
+      let tm = Array.unsafe_get t.p_time top in
+      if tm > until then continue := false
+      else begin
+        if !fired >= max_events then raise Budget;
+        ignore (ih_pop t t.fire);
+        let f = t.p_action.(top) in
+        recycle t top;
+        t.n_live <- t.n_live - 1;
+        Array.unsafe_set now 0 tm;
+        f ();
+        incr fired
+      end
+    end
+  done;
+  !fired

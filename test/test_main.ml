@@ -15,5 +15,6 @@ let () =
       ("storage", Test_storage.suite);
       ("protocol", Test_protocol.suite);
       ("trace", Test_trace.suite);
+      ("engine-equiv", Test_engine_equiv.suite);
       ("properties", Test_properties.suite);
       ("fault", Test_fault.suite) ]

@@ -53,7 +53,7 @@ let test_engine_cancel () =
   let e = Engine.create () in
   let fired = ref false in
   let h = Engine.schedule e ~delay:0.5 (fun () -> fired := true) in
-  Engine.cancel h;
+  Engine.cancel e h;
   Engine.run_all e;
   Alcotest.(check bool) "cancelled does not fire" false !fired
 
@@ -274,12 +274,98 @@ let test_engine_pending_cancel () =
   let h1 = Engine.schedule e ~delay:1.0 (fun () -> ()) in
   ignore (Engine.schedule e ~delay:5.0 (fun () -> ()));
   Alcotest.(check int) "two pending" 2 (Engine.pending e);
-  Engine.cancel h1;
+  Engine.cancel e h1;
   Alcotest.(check int) "cancel uncounts immediately" 1 (Engine.pending e);
-  Engine.cancel h1;
+  Engine.cancel e h1;
   Alcotest.(check int) "cancel idempotent" 1 (Engine.pending e);
   Engine.run e ~until:2.0;
   Alcotest.(check int) "still one pending after horizon" 1 (Engine.pending e)
+
+(* The old loop counted (`incr fired`) before checking (`> max_events`),
+   so max_events + 1 events fired before the guard tripped.  Exactly
+   [max_events] may fire; one more live event must trip it. *)
+let test_engine_budget_boundary () =
+  List.iter
+    (fun backend ->
+      let e = Engine.create ~backend () in
+      let fired = ref 0 in
+      for i = 1 to 5 do
+        ignore (Engine.schedule e ~delay:(float_of_int i) (fun () -> incr fired))
+      done;
+      Engine.run_all ~max_events:5 e;
+      Alcotest.(check int) "exact budget fires all" 5 !fired;
+      let e = Engine.create ~backend () in
+      let fired = ref 0 in
+      for i = 1 to 6 do
+        ignore (Engine.schedule e ~delay:(float_of_int i) (fun () -> incr fired))
+      done;
+      Alcotest.check_raises "budget + 1 trips"
+        (Failure "Engine.run_all: event budget exhausted") (fun () ->
+          Engine.run_all ~max_events:5 e);
+      Alcotest.(check int) "budget events fired before the trip" 5 !fired)
+    [ `Wheel; `Heap ]
+
+(* Cancelled records drain for free: they used to be charged against the
+   run budget, making long failure-detector runs trip spuriously. *)
+let test_engine_budget_ignores_cancelled () =
+  List.iter
+    (fun backend ->
+      let e = Engine.create ~backend () in
+      let fired = ref 0 in
+      for i = 1 to 10 do
+        let d = 0.1 *. float_of_int i in
+        let h = Engine.schedule e ~delay:d (fun () -> ()) in
+        ignore (Engine.schedule e ~delay:d (fun () -> incr fired));
+        Engine.cancel e h
+      done;
+      Engine.run_all ~max_events:10 e;
+      Alcotest.(check int) "live events all fired within budget" 10 !fired)
+    [ `Wheel; `Heap ]
+
+(* Cancel-without-fire workloads must not accumulate dead records: the
+   wheel sweeps them once they are half the queue. *)
+let test_engine_cancel_memory_bound () =
+  let e = Engine.create ~backend:`Wheel () in
+  for _ = 1 to 200_000 do
+    let h = Engine.schedule e ~delay:1.0 (fun () -> ()) in
+    Engine.cancel e h
+  done;
+  Alcotest.(check int) "no live events" 0 (Engine.pending e);
+  Alcotest.(check bool) "cancelled records are swept" true
+    (Obj.reachable_words (Obj.repr e) < 100_000)
+
+(* A heap that ping-pongs between empty and one element must keep its
+   backing storage: the old [pop] released it on every transient empty. *)
+let test_heap_pingpong_capacity () =
+  let h = Heap.create compare in
+  for i = 1 to 64 do
+    Heap.push h i
+  done;
+  for _ = 1 to 64 do
+    ignore (Heap.pop h)
+  done;
+  let w0 = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    Heap.push h i;
+    ignore (Heap.pop h)
+  done;
+  let words = Gc.minor_words () -. w0 in
+  Alcotest.(check bool) "no allocation across transient empties" true (words < 1000.0)
+
+(* [run ~until] can park the wheel cursor far ahead of the clock; a
+   later schedule "in the past" relative to the cursor must still fire,
+   and in time order. *)
+let test_engine_past_schedule_after_jump () =
+  List.iter
+    (fun backend ->
+      let e = Engine.create ~backend () in
+      let log = ref [] in
+      ignore (Engine.schedule e ~delay:100.0 (fun () -> log := 100 :: !log));
+      Engine.run e ~until:2.0;
+      ignore (Engine.schedule e ~delay:1.0 (fun () -> log := 3 :: !log));
+      Engine.run_all e;
+      Alcotest.(check (list int)) "late schedule fires first" [ 3; 100 ] (List.rev !log))
+    [ `Wheel; `Heap ]
 
 let test_snapshot_json () =
   let r = Stats.Rate.create () in
@@ -329,4 +415,12 @@ let suite =
     Alcotest.test_case "stats: rate bounded memory" `Quick test_rate_bounded_memory;
     Alcotest.test_case "heap: releases popped elements" `Quick test_heap_releases_popped;
     Alcotest.test_case "engine: pending tracks cancel" `Quick test_engine_pending_cancel;
+    Alcotest.test_case "engine: budget boundary is exact" `Quick test_engine_budget_boundary;
+    Alcotest.test_case "engine: budget ignores cancelled" `Quick
+      test_engine_budget_ignores_cancelled;
+    Alcotest.test_case "engine: cancelled records are swept" `Quick
+      test_engine_cancel_memory_bound;
+    Alcotest.test_case "heap: ping-pong keeps capacity" `Quick test_heap_pingpong_capacity;
+    Alcotest.test_case "engine: past schedule after clock jump" `Quick
+      test_engine_past_schedule_after_jump;
     Alcotest.test_case "stats: snapshot json" `Quick test_snapshot_json ]
