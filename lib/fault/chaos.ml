@@ -18,7 +18,9 @@ type outcome = {
   events : (float * string) list;
 }
 
-let protocols = [ "mring"; "mring-pressure"; "uring"; "multiring"; "spaxos"; "lcr"; "smr" ]
+let protocols =
+  [ "mring"; "mring-pressure"; "mring-reconfig"; "mring-join"; "uring"; "multiring";
+    "multiring-reconfig"; "spaxos"; "lcr"; "smr" ]
 
 let mk_env seed =
   let engine = Sim.Engine.create () in
@@ -224,6 +226,171 @@ let run_mring_pressure ~seed ~duration () =
     ok = o.ok && gauge_violations = [];
     violations = o.violations @ gauge_violations }
 
+(* --- M-Ring dynamic reconfiguration ---------------------------------------- *)
+
+(* Ring reconfiguration under chaos: grow the pool with a fresh acceptor
+   and stage a fresh learner, then reconfigure twice mid-run — first to a
+   ring of survivors led by a former spare (retiring one founding member),
+   then to a ring containing the newcomer while activating the staged
+   learner.  The founding coordinator is crashed a random instant after
+   the first command is submitted, so across seeds the crash lands before
+   the proposal, mid-drain, or just after activation — the
+   kill-the-coordinator-mid-handoff race of the reconfiguration protocol.
+   Multicast chaos overlaps the handoff window.  On top of the auditor's
+   agreement/order checks the scenario asserts validity (both original
+   learners deliver every accepted command by the horizon) and that at
+   least one epoch activated. *)
+let run_mring_reconfig ~seed ~duration () =
+  let _engine, net = mk_env seed in
+  let cfg = { Ringpaxos.Mring.default_config with f = 2 } in
+  let aud = Safety.create ~name:"mring-reconfig" ~n_learners:2 in
+  let deliver ~learner ~inst:_ = function
+    (* The learner added mid-run delivers only its epoch's suffix, so it
+       stays outside the auditor's full-history agreement check. *)
+    | Some v when learner < 2 ->
+        List.iter (fun i -> Safety.delivered aud ~learner i) (cmd_ids v)
+    | _ -> ()
+  in
+  let mr =
+    Ringpaxos.Mring.create net cfg ~n_proposers:2 ~n_learners:2
+      ~learner_parts:(fun _ -> [ 0 ])
+      ~deliver
+  in
+  let joiner = Ringpaxos.Mring.add_acceptor mr in
+  let new_lrn = Ringpaxos.Mring.stage_learner mr ~parts:[ 0 ] in
+  let inj = Injector.create net ~seed:((seed * 7919) + 264) in
+  let rng = Injector.sched_rng inj in
+  let next = ref 0 in
+  drive net ~until:(0.6 *. duration) ~period:1.0e-3 (fun () ->
+      incr next;
+      let id = !next in
+      if Ringpaxos.Mring.submit mr ~proposer:(id mod 2) ~size:256 (Cmd id) >= 0 then
+        Safety.broadcast aud id);
+  (* Initial ring is [0; 1; 2] with acc2 coordinating; accs 3,4 are spares,
+     [joiner] = 5 is the newcomer. *)
+  let tr1 = pick rng (0.15 *. duration) (0.3 *. duration) in
+  Injector.at inj tr1 (fun () ->
+      Injector.note inj "reconfig1([1;4;3] -acc0)";
+      ignore (Ringpaxos.Mring.reconfigure mr ~retire:[ 0 ] ~ring:[ 1; 4; 3 ] ()));
+  (* Crash the founding coordinator somewhere inside the handoff window. *)
+  Injector.at inj (tr1 +. pick rng 0.0 0.02) (fun () ->
+      Injector.note inj "crash(acc2)";
+      Ringpaxos.Mring.crash_acceptor mr 2);
+  Injector.rule inj ~at:tr1 ~dur:(pick rng 0.2 0.4)
+    ~drop:(pick rng 0.02 0.08)
+    ~dup:0.02 ~jitter:2.0e-4 ~applies:mcast_only "mcast-chaos";
+  let tr2 = pick rng (0.45 *. duration) (0.55 *. duration) in
+  Injector.at inj tr2 (fun () ->
+      Injector.note inj "reconfig2([4;5;3] +lrn2)";
+      ignore
+        (Ringpaxos.Mring.reconfigure mr ~add_learners:[ new_lrn ]
+           ~ring:[ 4; joiner; 3 ] ()));
+  Sim.Engine.run (Simnet.engine net) ~until:duration;
+  let verdict = Safety.verdict aud in
+  let validity =
+    List.concat_map
+      (fun l ->
+        if verdict.delivered.(l) <> verdict.broadcast then
+          [ Printf.sprintf "mring-reconfig: learner %d delivered %d of %d accepted commands"
+              l verdict.delivered.(l) verdict.broadcast ]
+        else [])
+      [ 0; 1 ]
+  in
+  let epochs =
+    if Ringpaxos.Mring.epoch mr < 1 then
+      [ Printf.sprintf "mring-reconfig: no epoch activated by the horizon (epoch=%d)"
+          (Ringpaxos.Mring.epoch mr) ]
+    else []
+  in
+  let o =
+    finish ~protocol:"mring-reconfig" ~seed ~verdict ~events:(Injector.events inj)
+      ~extra:
+        (Printf.sprintf " epoch=%d ring=[%s]" (Ringpaxos.Mring.epoch mr)
+           (String.concat ";" (List.map string_of_int (Ringpaxos.Mring.membership mr))))
+  in
+  { o with
+    ok = o.ok && validity = [] && epochs = [];
+    violations = o.violations @ validity @ epochs }
+
+(* Joining-acceptor catch-up under chaos: a fresh acceptor is elected into
+   the ring and must replay the decided prefix below the activation
+   instance through gap repair — while a partition cuts it off mid-way
+   (healed before the horizon) and multicast drop/dup/jitter corrupts the
+   repair traffic itself.  Asserts that catch-up completes, an epoch
+   activated, and both learners deliver every accepted command. *)
+let run_mring_join ~seed ~duration () =
+  let _engine, net = mk_env seed in
+  let cfg = { Ringpaxos.Mring.default_config with f = 1 } in
+  let aud = Safety.create ~name:"mring-join" ~n_learners:2 in
+  let deliver ~learner ~inst:_ = function
+    | Some v -> List.iter (fun i -> Safety.delivered aud ~learner i) (cmd_ids v)
+    | None -> ()
+  in
+  let mr =
+    Ringpaxos.Mring.create net cfg ~n_proposers:2 ~n_learners:2
+      ~learner_parts:(fun _ -> [ 0 ])
+      ~deliver
+  in
+  let joiner = Ringpaxos.Mring.add_acceptor mr in
+  let inj = Injector.create net ~seed:((seed * 7919) + 265) in
+  let rng = Injector.sched_rng inj in
+  let next = ref 0 in
+  drive net ~until:(0.6 *. duration) ~period:1.0e-3 (fun () ->
+      incr next;
+      let id = !next in
+      if Ringpaxos.Mring.submit mr ~proposer:(id mod 2) ~size:256 (Cmd id) >= 0 then
+        Safety.broadcast aud id);
+  (* Initial ring [0; 1], coordinator acc1, spare acc2; [joiner] = 3 enters
+     the ring (keeping acc1 as coordinator) and catches up. *)
+  let tr = pick rng (0.2 *. duration) (0.35 *. duration) in
+  Injector.at inj tr (fun () ->
+      Injector.note inj "reconfig([3;1])";
+      ignore (Ringpaxos.Mring.reconfigure mr ~ring:[ joiner; 1 ] ()));
+  (* Partition the joiner mid-catch-up, heal before the horizon. *)
+  let jpid = Simnet.pid (Ringpaxos.Mring.acceptor_procs mr).(joiner) in
+  let rest =
+    List.concat
+      [ List.init 3 (fun i -> Simnet.pid (Ringpaxos.Mring.acceptor_procs mr).(i));
+        List.init 2 (fun i -> Simnet.pid (Ringpaxos.Mring.learner_proc mr i));
+        List.init 2 (fun i -> Simnet.pid (Ringpaxos.Mring.proposer_proc mr i)) ]
+  in
+  Injector.partition inj
+    ~at:(tr +. pick rng 0.01 0.05)
+    ~dur:(pick rng 0.1 0.2)
+    ~group_a:[ jpid ] ~group_b:rest "joiner";
+  Injector.rule inj
+    ~at:(pick rng (0.15 *. duration) (0.65 *. duration))
+    ~dur:(pick rng 0.2 0.5)
+    ~drop:(pick rng 0.02 0.10)
+    ~dup:0.02 ~jitter:2.0e-4 ~applies:mcast_only "mcast-chaos";
+  Sim.Engine.run (Simnet.engine net) ~until:duration;
+  let verdict = Safety.verdict aud in
+  let extra_violations =
+    List.concat
+      [ (if Ringpaxos.Mring.catching_up mr joiner then
+           [ "mring-join: joiner still catching up at the horizon" ]
+         else []);
+        (if Ringpaxos.Mring.epoch mr < 1 then
+           [ "mring-join: no epoch activated by the horizon" ]
+         else []);
+        List.concat_map
+          (fun l ->
+            if verdict.delivered.(l) <> verdict.broadcast then
+              [ Printf.sprintf "mring-join: learner %d delivered %d of %d accepted commands"
+                  l verdict.delivered.(l) verdict.broadcast ]
+            else [])
+          [ 0; 1 ] ]
+  in
+  let o =
+    finish ~protocol:"mring-join" ~seed ~verdict ~events:(Injector.events inj)
+      ~extra:
+        (Printf.sprintf " epoch=%d catchup=%b" (Ringpaxos.Mring.epoch mr)
+           (Ringpaxos.Mring.catching_up mr joiner))
+  in
+  { o with
+    ok = o.ok && extra_violations = [];
+    violations = o.violations @ extra_violations }
+
 (* --- U-Ring Paxos --------------------------------------------------------- *)
 
 (* U-Ring's model excludes message loss (no learner gap repair; decisions
@@ -334,6 +501,74 @@ let run_multiring ~seed ~duration () =
   let verdict = Safety.verdict aud in
   finish ~protocol:"multiring" ~seed ~verdict ~events:(Injector.events inj)
     ~extra:(Printf.sprintf " skips=%d" (Multiring.skips_proposed mr ring))
+
+(* --- Multi-Ring reconfiguration -------------------------------------------- *)
+
+(* Per-ring reconfiguration under the deterministic merge: one of the two
+   rings swaps its coordinator for a spare mid-run (on odd seeds the old
+   coordinator is additionally crashed inside the handoff window), with
+   multicast chaos overlapping.  Both learners subscribe to both groups,
+   so any skew the reconfiguring ring introduces — lost skip slots, a
+   stalled group, a duplicated boundary instance — surfaces as a merge
+   disagreement or stall at the auditor.  Asserts the ring's epoch
+   advanced by the horizon. *)
+let run_multiring_reconfig ~seed ~duration () =
+  let _engine, net = mk_env seed in
+  let cfg =
+    { Multiring.default_config with
+      ring = { Ringpaxos.Mring.default_config with f = 1 };
+      n_rings = 2;
+      lambda = 2000.0;
+      delta = 5.0e-3;
+      m = 2 }
+  in
+  let aud = Safety.create ~name:"multiring-reconfig" ~n_learners:2 in
+  let mr =
+    Multiring.create net cfg ~n_learners:2
+      ~subs:(fun _ -> [ 0; 1 ])
+      ~proposers_per_ring:1
+      ~deliver:(fun ~learner ~group:_ (it : Paxos.Value.item) ->
+        match it.app with Cmd i -> Safety.delivered aud ~learner i | _ -> ())
+  in
+  let inj = Injector.create net ~seed:((seed * 7919) + 266) in
+  let rng = Injector.sched_rng inj in
+  let next = ref 0 in
+  drive net ~until:(0.6 *. duration) ~period:1.0e-3 (fun () ->
+      incr next;
+      let id = !next in
+      if Multiring.multicast mr ~group:(id mod 2) ~proposer:0 ~size:256 (Cmd id) >= 0 then
+        Safety.broadcast aud id);
+  let t0 = 0.15 *. duration and t1 = 0.65 *. duration in
+  (* Each ring starts as [0; 1] with acc1 coordinating and acc2 spare:
+     promote the spare to coordinator of the chosen ring. *)
+  let ring = Sim.Rng.int rng 2 in
+  let tr = pick rng t0 (0.4 *. duration) in
+  Injector.at inj tr (fun () ->
+      Injector.note inj (Printf.sprintf "reconfig(ring%d:[0;2])" ring);
+      ignore (Multiring.reconfigure_ring mr ring ~ring:[ 0; 2 ]));
+  if seed land 1 = 1 then
+    Injector.at inj (tr +. pick rng 0.0 0.02) (fun () ->
+        Injector.note inj (Printf.sprintf "kill_coord(ring%d)" ring);
+        Multiring.kill_ring_coordinator mr ring);
+  Injector.rule inj
+    ~at:(pick rng t0 t1)
+    ~dur:(pick rng 0.2 0.4)
+    ~drop:(pick rng 0.02 0.08)
+    ~dup:0.02 ~jitter:2.0e-4 ~applies:mcast_only "mcast-chaos";
+  Sim.Engine.run (Simnet.engine net) ~until:duration;
+  let verdict = Safety.verdict aud in
+  let epochs =
+    if Multiring.ring_epoch mr ring < 1 then
+      [ Printf.sprintf "multiring-reconfig: ring %d epoch did not advance" ring ]
+    else []
+  in
+  let o =
+    finish ~protocol:"multiring-reconfig" ~seed ~verdict ~events:(Injector.events inj)
+      ~extra:
+        (Printf.sprintf " epoch=%d skips=%d" (Multiring.ring_epoch mr ring)
+           (Multiring.skips_proposed mr ring))
+  in
+  { o with ok = o.ok && epochs = []; violations = o.violations @ epochs }
 
 (* --- S-Paxos ---------------------------------------------------------------- *)
 
@@ -520,8 +755,11 @@ let run_one ~protocol ~seed ~duration () =
   match protocol with
   | "mring" -> run_mring ~seed ~duration ()
   | "mring-pressure" -> run_mring_pressure ~seed ~duration ()
+  | "mring-reconfig" -> run_mring_reconfig ~seed ~duration ()
+  | "mring-join" -> run_mring_join ~seed ~duration ()
   | "uring" -> run_uring ~seed ~duration ()
   | "multiring" -> run_multiring ~seed ~duration ()
+  | "multiring-reconfig" -> run_multiring_reconfig ~seed ~duration ()
   | "spaxos" -> run_spaxos ~seed ~duration ()
   | "lcr" -> run_lcr ~seed ~duration ()
   | "smr" -> run_smr ~seed ~duration ()

@@ -23,8 +23,16 @@ type outcome = {
   events : (float * string) list;  (** the fault timeline *)
 }
 
-(** Scenario names accepted by {!run_one}: ["mring"; "uring";
-    ["multiring"]; "spaxos"; "lcr"; "smr"]. *)
+(** Scenario names accepted by {!run_one}: ["mring"; "mring-pressure";
+    "mring-reconfig"; "mring-join"; "uring"; "multiring";
+    "multiring-reconfig"; "spaxos"; "lcr"; "smr"].  The reconfiguration
+    scenarios exercise dynamic membership: ["mring-reconfig"] retires a
+    founding member and crashes the founding coordinator inside the
+    handoff window, then elects the newcomer while activating a staged
+    learner; ["mring-join"] partitions a joining acceptor mid-catch-up
+    under multicast drop/dup/jitter; ["multiring-reconfig"] swaps one
+    ring's coordinator under the deterministic merge (crashing it
+    mid-handoff on odd seeds). *)
 val protocols : string list
 
 (** [run_one ~protocol ~seed ~duration ()] builds a fresh simulation,

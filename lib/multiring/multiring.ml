@@ -47,6 +47,11 @@ type t = {
   deliver : learner:int -> group:int -> Paxos.Value.item -> unit;
   submitted : int array;  (* per group, messages in the current delta window *)
   skips : int array;  (* per group, total skip slots proposed *)
+  deficits : int array;
+      (* per group, skip slots owed but not yet submitted (the controller's
+         proposal was rejected, e.g. a full buffer while its ring
+         reconfigures) — carried into the next delta window so the merge
+         never silently loses slots *)
   ring_learners : int array array;  (* ring -> multiring learner ids *)
 }
 
@@ -117,21 +122,32 @@ let on_ring_deliver t _ring_id l (v : Paxos.Value.t) =
   merge t l
 
 (* The skip controller of one group: every delta, top the group's traffic up
-   to lambda with a single batched skip message (§5.2.2). *)
+   to lambda with a single batched skip message (§5.2.2).  A rejected skip
+   proposal is not forgotten: its slots accumulate in the group's deficit
+   and ride the next window, so a ring that briefly refuses proposals
+   (reconfiguration handoff, full buffer) cannot starve the deterministic
+   merge of the groups it carries. *)
 let controller_loop t group =
   let (_stop : unit -> unit) =
     Simnet.every t.net ~period:t.cfg.delta (fun () ->
         let expected = int_of_float (t.cfg.lambda *. t.cfg.delta) in
-        let missing = expected - t.submitted.(group) in
+        let missing = expected - t.submitted.(group) + t.deficits.(group) in
         t.submitted.(group) <- 0;
+        t.deficits.(group) <- 0;
         if missing > 0 && t.cfg.lambda > 0.0 then begin
-          t.skips.(group) <- t.skips.(group) + missing;
-          ignore
-            (Ringpaxos.Mring.submit
-               t.rings.(ring_of_group t group)
-               ~proposer:0 (* the controller's dedicated proposer *)
-               ~size:64
-               (Grouped { group; app = Skip { count = missing } }))
+          let uid =
+            Ringpaxos.Mring.submit
+              t.rings.(ring_of_group t group)
+              ~proposer:0 (* the controller's dedicated proposer *)
+              ~size:64
+              (Grouped { group; app = Skip { count = missing } })
+          in
+          if uid >= 0 then t.skips.(group) <- t.skips.(group) + missing
+          else
+            (* Carry the debt, bounded to a second's worth of slots so a
+               long outage cannot turn into an unbounded skip burst. *)
+            t.deficits.(group) <-
+              Stdlib.min missing (int_of_float (Stdlib.max t.cfg.lambda 1.0))
         end)
   in
   ()
@@ -177,6 +193,7 @@ let create ?learner_nodes net cfg ~n_learners ~subs ~proposers_per_ring ~deliver
       deliver;
       submitted = Array.make n_groups 0;
       skips = Array.make n_groups 0;
+      deficits = Array.make n_groups 0;
       ring_learners }
   in
   let rings =
@@ -199,12 +216,18 @@ let create ?learner_nodes net cfg ~n_learners ~subs ~proposers_per_ring ~deliver
   t
 
 let multicast t ~group ~proposer ~size app =
-  t.submitted.(group) <- t.submitted.(group) + 1;
   (* Proposer 0 of every ring belongs to the skip controller. *)
-  Ringpaxos.Mring.submit
-    t.rings.(ring_of_group t group)
-    ~proposer:(proposer + 1) ~size
-    (Grouped { group; app })
+  let uid =
+    Ringpaxos.Mring.submit
+      t.rings.(ring_of_group t group)
+      ~proposer:(proposer + 1) ~size
+      (Grouped { group; app })
+  in
+  (* Only accepted proposals count against the window: a rejected one will
+     never be ordered, and counting it would make the controller under-skip
+     and stall the merge at every subscriber of this group. *)
+  if uid >= 0 then t.submitted.(group) <- t.submitted.(group) + 1;
+  uid
 
 let ring t i = t.rings.(i)
 
@@ -227,6 +250,14 @@ let learner_delivered t i = t.lrns.(i).ml_delivered
 let received t ~learner ~group = t.lrns.(learner).ml_recv.(group)
 
 let kill_ring_coordinator t r = Ringpaxos.Mring.kill_coordinator t.rings.(r)
+
+(* Per-ring dynamic membership: a reconfiguration of one ring is invisible
+   to the merge — the skip controllers of the groups it carries keep
+   topping traffic up to lambda (with the deficit carrying over any window
+   the handoff refuses), so subscribers merging this ring with others
+   never stall or skew. *)
+let reconfigure_ring t r ~ring = Ringpaxos.Mring.reconfigure t.rings.(r) ~ring ()
+let ring_epoch t r = Ringpaxos.Mring.epoch t.rings.(r)
 
 let skips_proposed t g = t.skips.(g)
 

@@ -76,6 +76,16 @@ val received : t -> learner:int -> group:int -> int
 
 val kill_ring_coordinator : t -> int -> unit
 
+(** [reconfigure_ring t r ~ring] submits a membership change to ring [r]
+    (see {!Ringpaxos.Mring.reconfigure}); returns the command's item uid.
+    The merge is unaffected: the skip controllers of the groups carried by
+    [r] keep topping traffic up to [lambda] across the handoff, carrying
+    any refused window as a deficit into the next one. *)
+val reconfigure_ring : t -> int -> ring:int list -> int
+
+(** Membership epoch of ring [r]. *)
+val ring_epoch : t -> int -> int
+
 (** Skip messages proposed so far by the controller of a group. *)
 val skips_proposed : t -> int -> int
 

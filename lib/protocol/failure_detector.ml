@@ -3,17 +3,55 @@ type t = {
   hb_timeout : float;
   last : (int, float) Hashtbl.t;
   mutable stopped : bool;
+  mutable epoch : int;
+  mutable members : (int, unit) Hashtbl.t option;
+      (* None until a membership is installed: every peer is monitored,
+         which keeps pre-reconfiguration deployments working unchanged. *)
 }
 
-let heartbeat t peer = Hashtbl.replace t.last peer (Simnet.now t.net)
+let heartbeat ?epoch t peer =
+  (* A heartbeat stamped with an older membership epoch is evidence about
+     a membership that no longer exists; recording it would let a process
+     removed (or demoted) by reconfiguration keep masking real silence. *)
+  match epoch with
+  | Some e when e < t.epoch -> ()
+  | _ -> Hashtbl.replace t.last peer (Simnet.now t.net)
 
 let last_heartbeat t peer =
   match Hashtbl.find_opt t.last peer with Some x -> x | None -> 0.0
 
-let stale t peer = Simnet.now t.net -. last_heartbeat t peer > t.hb_timeout
+let is_member t peer =
+  match t.members with None -> true | Some m -> Hashtbl.mem m peer
+
+let stale t peer =
+  (* A peer outside the current membership can never be suspected: its
+     staleness describes a role the reconfiguration already revoked. *)
+  is_member t peer && Simnet.now t.net -. last_heartbeat t peer > t.hb_timeout
+
+let epoch t = t.epoch
+
+let set_epoch t ~epoch ~members =
+  if epoch > t.epoch then begin
+    t.epoch <- epoch;
+    let m = Hashtbl.create 16 in
+    List.iter (fun p -> Hashtbl.add m p ()) members;
+    t.members <- Some m;
+    (* Suspicions accrued under the previous epoch must not fire in the
+       new one: removed peers lose their entries entirely, surviving
+       members get a fresh grace period (the new coordinator has not
+       heartbeaten anyone yet). *)
+    let now = Simnet.now t.net in
+    let doomed =
+      Hashtbl.fold (fun p _ acc -> if Hashtbl.mem m p then acc else p :: acc) t.last []
+    in
+    List.iter (Hashtbl.remove t.last) doomed;
+    List.iter (fun p -> Hashtbl.replace t.last p now) members
+  end
 
 let create net ~hb_period ~hb_timeout ~leader ~emit ~on_suspect =
-  let t = { net; hb_timeout; last = Hashtbl.create 16; stopped = false } in
+  let t =
+    { net; hb_timeout; last = Hashtbl.create 16; stopped = false; epoch = 0; members = None }
+  in
   let (_stop : unit -> unit) =
     Simnet.every net ~period:hb_period (fun () ->
         if not t.stopped then

@@ -1,4 +1,4 @@
-(** Heartbeat-based leader failure detection.
+(** Heartbeat-based leader failure detection with membership epochs.
 
     One detector serves a whole protocol instance.  Every [hb_period] it
     checks [leader ()]: while a leader is in charge it runs [emit] (the
@@ -12,7 +12,14 @@
 
     Follower message handlers record leader liveness with [heartbeat];
     peers start stale at time 0, so [hb_timeout] also bounds how long a
-    cold start waits before electing. *)
+    cold start waits before electing.
+
+    Dynamic membership: [set_epoch] installs the membership produced by a
+    reconfiguration.  Suspicions carried over from the previous epoch are
+    cleared — removed peers are forgotten (and can never go stale again),
+    surviving members get a fresh grace period — and heartbeats stamped
+    with an older epoch are ignored from then on.  Until the first
+    [set_epoch], every peer is monitored (epoch 0, open membership). *)
 
 type t
 
@@ -25,14 +32,26 @@ val create :
   on_suspect:(stale:(int -> bool) -> unit) ->
   t
 
-(** [heartbeat t peer] — [peer] heard from the leader just now. *)
-val heartbeat : t -> int -> unit
+(** [heartbeat ?epoch t peer] — [peer] heard from the leader just now.
+    With [epoch] below the installed membership epoch the heartbeat is
+    stale evidence and is dropped; omitting [epoch] always records. *)
+val heartbeat : ?epoch:int -> t -> int -> unit
 
 (** Time [peer] last heard from the leader; 0.0 if never. *)
 val last_heartbeat : t -> int -> float
 
-(** [stale t peer] — no leader heartbeat within the last [hb_timeout]. *)
+(** [stale t peer] — no leader heartbeat within the last [hb_timeout].
+    Always [false] for a peer outside the installed membership. *)
 val stale : t -> int -> bool
+
+(** The installed membership epoch; 0 before any [set_epoch]. *)
+val epoch : t -> int
+
+(** [set_epoch t ~epoch ~members] installs a new membership.  No-op
+    unless [epoch] is strictly greater than the current epoch.  Clears
+    the recorded heartbeats of peers outside [members] and restamps the
+    members to now (fresh suspicion grace across the boundary). *)
+val set_epoch : t -> epoch:int -> members:int list -> unit
 
 (** Permanently disable the monitor (the periodic timer becomes a no-op). *)
 val stop : t -> unit

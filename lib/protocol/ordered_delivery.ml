@@ -66,6 +66,17 @@ let drop_below t floor =
      otherwise strand their marks forever. *)
   prune t.spec
 
+let fast_forward t inst =
+  (* Jump the delivery cursor to [inst] without delivering the skipped
+     prefix: a learner admitted by reconfiguration starts at the epoch's
+     activation instance, and a catching-up acceptor skips the prefix
+     already pruned by the garbage-collection floor. *)
+  if inst > t.next then begin
+    drop_below t inst;
+    t.next <- inst;
+    if t.max_seen < inst - 1 then t.max_seen <- inst - 1
+  end
+
 (* --- gap repair ---------------------------------------------------------- *)
 
 type repair = { mutable active : bool }

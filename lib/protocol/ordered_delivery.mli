@@ -52,6 +52,13 @@ val speculate : 'v t -> inst:int -> (unit -> unit) -> unit
 (** Forget stored payloads below [floor] (garbage collection). *)
 val drop_below : 'v t -> int -> unit
 
+(** [fast_forward t inst] jumps the delivery cursor to [inst], dropping
+    any stored payloads below it, without delivering the skipped prefix.
+    No-op unless [inst > next].  Used when a membership change admits a
+    learner at an epoch's activation instance, and when a joining
+    acceptor's catch-up starts at the garbage-collection floor. *)
+val fast_forward : 'v t -> int -> unit
+
 (** {1 Gap repair}
 
     Single-outstanding repair scheduling with a cooldown: while a backlog

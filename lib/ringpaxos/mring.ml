@@ -15,6 +15,10 @@ type config = {
   gc_period : float;
   partitions : int;
   send_rate : float;  (** coordinator pacing, bits/s of Phase 2A traffic *)
+  reconfig_alpha : int;
+      (** a membership change decided at instance [i] activates at
+          [i + reconfig_alpha] (the paper's alpha parameter for
+          log-ordered reconfiguration) *)
 }
 
 let default_config =
@@ -31,7 +35,8 @@ let default_config =
     retrans_timeout = 5.0e-3;
     gc_period = 0.1;
     partitions = 1;
-    send_rate = 0.85e9 }
+    send_rate = 0.85e9;
+    reconfig_alpha = 64 }
 
 let hdr = 64
 
@@ -43,7 +48,17 @@ module Retry = Protocol.Retry
 type Simnet.payload +=
   | Propose of { item : Paxos.Value.item; parts : int list }
   | P1a of { rnd : int; ring : int list; coord : int }
-  | P1b of { rnd : int; acc : int; floor : int; votes : (int * int * Paxos.Value.t * int list) list }
+  | P1b of {
+      rnd : int;
+      acc : int;
+      floor : int;
+      votes : (int * int * Paxos.Value.t * int list) list;
+      done_uids : int list;
+          (* item uids of this acceptor's GC-pruned decided votes: a new
+             coordinator with no vote history of its own (a promoted spare)
+             needs them to suppress proposer resubmissions of items that
+             were decided, delivered and pruned before its tenure *)
+    }
   | P2a of { inst : int; rnd : int; value : Paxos.Value.t; parts : int list }
   | P2b of { inst : int; rnd : int; vid : int }
   | Decision of { inst : int; vid : int; parts : int list; uids : int list }
@@ -51,11 +66,34 @@ type Simnet.payload +=
   | Version of { learner : int; version : int }
   | Gc of { floor : int }
   | RetransReq of { inst : int; count : int; learner : int }
-  | RepairReq of { insts : int list; learner : int }
+  | RepairReq of { insts : int list; learner : int; fwd : int }
+      (* [learner >= 0] addresses replies to a learner; [learner < 0]
+         encodes acceptor [-1 - learner] (a joiner catching up).  [fwd]
+         counts forwarding hops so an instance nobody holds cannot
+         ping-pong between the coordinator and a spare forever. *)
   | Retrans of { inst : int; value : Paxos.Value.t; parts : int list }
   | MaxDec of { upto : int }
-  | Hb of { acc : int }
+  | Hb of { acc : int; epoch : int }
   | NewCoord of { acc : int }
+  | ReconfigCmd of {
+      ring : int list;  (* new ring, coordinator last *)
+      add_lrns : int list;
+      rm_lrns : int list;
+      retire : int list;  (* acceptors leaving the system entirely *)
+    }
+      (* A membership change is an ordinary item ordered through the log
+         (after "Reconfigurable SMR from Non-Reconfigurable Building
+         Blocks"): deciding it at instance [i] schedules activation at
+         [i + reconfig_alpha]. *)
+
+(* A joining acceptor replays the decided prefix below the activation
+   instance through the learners' gap-repair machinery: a unit-valued
+   [Od] tracks which instances below [cu_upto] have been recovered. *)
+type catchup = {
+  cu_od : unit Protocol.Ordered_delivery.t;
+  cu_repair : Protocol.Ordered_delivery.repair;
+  cu_upto : int;  (* the epoch's activation instance *)
+}
 
 type acc = {
   x_proc : Simnet.proc;
@@ -63,6 +101,8 @@ type acc = {
   mutable x_rnd : int;
   mutable x_ring : int list;  (* current ring view, coordinator last *)
   mutable x_is_coord : bool;
+  mutable x_retired : bool;  (* removed from the system by reconfiguration *)
+  mutable x_catchup : catchup option;
   x_votes : (int, int * Paxos.Value.t * int list) Hashtbl.t;
   x_decided : (int, int * int list) Hashtbl.t;
   x_durable : (int, bool) Hashtbl.t;  (* inst -> write completed *)
@@ -96,6 +136,10 @@ type acc = {
   mutable c_rate_bits : float;  (* Phase 2A bits sent in the window *)
   mutable c_rate_timer : bool;  (* a deferred drain is scheduled *)
   mutable c_rate_limit : float;  (* adaptive pacing limit (AIMD), bit/s *)
+  mutable c_rc_fill : int;
+      (* hole-filling cursor of the handoff drain; -1 = not started.
+         Reset whenever this acceptor is (re-)promoted, because a new
+         coordinator must rescan from the GC floor. *)
 }
 
 type lrn = {
@@ -108,6 +152,9 @@ type lrn = {
   l_sink : (int * Paxos.Value.t option) Od.sink;  (* in-order, unprocessed *)
   mutable l_fc_sent : bool;
   l_repair : Od.repair;
+  mutable l_active : bool;
+      (* staged learners wait inactive for their epoch's activation;
+         removed learners go inactive and deliver only their prefix *)
 }
 
 type prop = {
@@ -119,12 +166,29 @@ type prop = {
   mutable p_buffer : int;  (* client-side buffer bound, bytes *)
 }
 
+(* A pending membership change, from proposal to activation.  The record
+   lives on [t] (one at a time): it is derived from the log — the
+   [ReconfigCmd] value and its instance — so any coordinator, including
+   one taking over mid-handoff, reconstructs and resumes it from the
+   claimed votes of Phase 1. *)
+type reconfig = {
+  rc_uid : int;  (* item uid of the ReconfigCmd, for resubmission dedup *)
+  rc_epoch : int;
+  rc_inst : int;  (* instance carrying the command *)
+  rc_activate : int;  (* rc_inst + reconfig_alpha *)
+  rc_ring : int list;
+  rc_add_lrns : int list;
+  rc_rm_lrns : int list;
+  rc_retire : int list;
+  rc_decided : bool;
+}
+
 type t = {
   net : Simnet.t;
   cfg : config;
   ctrs : Protocol.Counters.t;  (* per-instance event counters *)
-  accs : acc array;  (* 2f+1 acceptors; initial ring = 0..f with f last *)
-  lrns : lrn array;
+  mutable accs : acc array;  (* 2f+1 at creation; add_acceptor grows it *)
+  mutable lrns : lrn array;
   props : prop array;
   part_groups : Simnet.group array;  (* Phase 2A dissemination, per partition *)
   dec_group : Simnet.group;  (* decisions, gc *)
@@ -134,6 +198,11 @@ type t = {
   mutable next_uid : int;
   mutable next_vid : int;
   mutable cur_ring : int list;  (* last installed ring, failover fallback *)
+  mutable epoch : int;  (* membership epoch, bumped at each activation *)
+  mutable rc : reconfig option;  (* the pending membership change, if any *)
+  done_rc_uids : (int, unit) Hashtbl.t;
+      (* uids of activated ReconfigCmds: a claimed-vote replay of an old
+         reconfiguration instance must not re-activate a past epoch *)
 }
 
 let dbg t name = Protocol.Counters.incr t.ctrs name
@@ -146,7 +215,9 @@ let n_acceptors cfg = (2 * cfg.f) + 1
 let coord_opt t =
   let found = ref None in
   Array.iter
-    (fun a -> if a.x_is_coord && Simnet.is_alive a.x_proc && !found = None then found := Some a)
+    (fun a ->
+      if a.x_is_coord && (not a.x_retired) && Simnet.is_alive a.x_proc && !found = None then
+        found := Some a)
     t.accs;
   !found
 
@@ -162,6 +233,56 @@ let successor ring idx =
   go ring
 
 let intersects l1 l2 = List.exists (fun x -> List.mem x l2) l1
+
+(* --- reconfiguration bookkeeping --------------------------------------- *)
+
+(* The not-yet-activated ReconfigCmd carried by a value, if any. *)
+let rc_of_value t (v : Paxos.Value.t) =
+  List.find_map
+    (fun (it : Paxos.Value.item) ->
+      match it.app with
+      | ReconfigCmd { ring; add_lrns; rm_lrns; retire }
+        when not (Hashtbl.mem t.done_rc_uids it.uid) ->
+          Some (it.uid, ring, add_lrns, rm_lrns, retire)
+      | _ -> None)
+    v.items
+
+(* Record (or refresh) the pending membership change whenever a value
+   carrying a ReconfigCmd is proposed or decided.  The activation instance
+   is pinned to the proposal instance, so the coordinator caps its pipeline
+   at [inst + alpha] from the moment of proposal; a takeover that replays
+   the claimed vote re-derives the same record, and a takeover after the
+   proposal was lost entirely re-derives it at the resubmission's fresh
+   instance. *)
+let note_rc t inst (v : Paxos.Value.t) ~decided =
+  match rc_of_value t v with
+  | None -> ()
+  | Some (uid, ring, add_lrns, rm_lrns, retire) ->
+      let was = match t.rc with Some rc when rc.rc_uid = uid -> rc.rc_decided | _ -> false in
+      t.rc <-
+        Some
+          { rc_uid = uid;
+            rc_epoch = t.epoch + 1;
+            rc_inst = inst;
+            rc_activate = inst + t.cfg.reconfig_alpha;
+            rc_ring = ring;
+            rc_add_lrns = add_lrns;
+            rc_rm_lrns = rm_lrns;
+            rc_retire = retire;
+            rc_decided = decided || was }
+
+(* New proposals must stay below the pending activation instance so the
+   pipeline is provably drained when the epoch turns over. *)
+let under_rc_cap t c =
+  match t.rc with Some rc -> c.c_next_inst < rc.rc_activate | None -> true
+
+let cancel_catchup a =
+  match a.x_catchup with
+  | Some cu ->
+      (* Draining the synthetic backlog ends the repair cycle. *)
+      Od.fast_forward cu.cu_od cu.cu_upto;
+      a.x_catchup <- None
+  | None -> ()
 
 (* --- memory accounting ------------------------------------------------ *)
 
@@ -223,6 +344,7 @@ let propose_instance t c inst (v : Paxos.Value.t) parts =
   trace t (fun tr ->
       Trace.abegin tr ~pid:(Simnet.pid c.x_proc) ~cat:"ordering" ~name:"consensus" ~id:inst
         ~ts:(Simnet.now t.net));
+  note_rc t inst v ~decided:false;
   Retry.watch c.c_insts ~now:(Simnet.now t.net) inst (v, parts);
   c.c_rate_bits <-
     c.c_rate_bits +. (float_of_int (v.size + hdr) *. 8.0 *. float_of_int (List.length parts));
@@ -230,12 +352,44 @@ let propose_instance t c inst (v : Paxos.Value.t) parts =
   coord_local_vote t c inst c.c_rnd v parts;
   mcast_p2a t c inst v parts
 
+let alive_acceptors t =
+  Array.to_list t.accs
+  |> List.filter (fun a -> (not a.x_retired) && Simnet.is_alive a.x_proc)
+
+let install_ring t new_coord ring =
+  t.cur_ring <- ring;
+  Array.iter
+    (fun a ->
+      a.x_ring <- ring;
+      a.x_is_coord <- a.x_idx = new_coord.x_idx;
+      (* Group membership follows ring membership so promoted spares start
+         receiving Phase 2A and decision multicasts. *)
+      let op = if List.mem a.x_idx ring then Simnet.join else Simnet.leave in
+      Array.iter (fun g -> op g a.x_proc) t.part_groups;
+      op t.dec_group a.x_proc)
+    t.accs
+
+let start_phase1 t c =
+  c.c_rnd <- Stdlib.max c.c_rnd c.x_rnd + Array.length t.accs + 1;
+  c.x_rnd <- Stdlib.max c.x_rnd c.c_rnd;
+  c.c_phase1_ok <- false;
+  c.c_p1b <- 0;
+  Array.iter
+    (fun a ->
+      if Simnet.is_alive a.x_proc && a.x_idx <> c.x_idx then
+        Simnet.send t.net ~src:c.x_proc ~dst:a.x_proc ~size:hdr
+          (P1a { rnd = c.c_rnd; ring = c.x_ring; coord = c.x_idx }))
+    t.accs
+
 let rec drain t c =
   if c.c_phase1_ok && c.x_is_coord && Simnet.is_alive c.x_proc then begin
     let claimed = Hashtbl.fold (fun i x acc -> (i, x) :: acc) c.c_claimed [] in
     Hashtbl.reset c.c_claimed;
     List.iter
       (fun (inst, (_, v, parts)) ->
+        (* A coordinator taking over mid-reconfiguration reconstructs the
+           pending membership change from the claimed votes. *)
+        note_rc t inst v ~decided:(Hashtbl.mem c.x_decided inst);
         if not (Retry.mem c.c_insts inst) && not (Hashtbl.mem c.x_decided inst) then
           propose_instance t c inst v parts;
         if inst >= c.c_next_inst then c.c_next_inst <- inst + 1)
@@ -251,12 +405,13 @@ let rec drain t c =
       c.c_rate_bits < c.c_rate_limit *. 0.01
     in
     let continue = ref true in
-    while !continue && c.c_outstanding < c.c_window && pace_ok () do
+    while !continue && c.c_outstanding < c.c_window && under_rc_cap t c && pace_ok () do
       match Batcher.ready c.c_batch with
       | Some parts -> propose_batch t c parts
       | None -> continue := false
     done;
     if Batcher.ready c.c_batch <> None && c.c_outstanding < c.c_window
+       && under_rc_cap t c
        && (not (pace_ok ())) && not c.c_rate_timer
     then begin
       c.c_rate_timer <- true;
@@ -267,14 +422,15 @@ let rec drain t c =
     Batcher.arm_timeout c.c_batch t.net ~timeout:t.cfg.batch_timeout (fun () ->
         dbg t "batch_timer";
         if c.x_is_coord && Simnet.is_alive c.x_proc && c.c_phase1_ok
-           && c.c_outstanding < c.c_window
+           && c.c_outstanding < c.c_window && under_rc_cap t c
         then begin
           (* Seal the largest partial batch. *)
           match Batcher.largest c.c_batch with
           | Some (parts, _) -> propose_batch t c parts
           | None -> ()
         end;
-        drain t c)
+        drain t c);
+    reconfig_drive t c
   end
 
 and propose_batch t c parts =
@@ -288,6 +444,245 @@ and propose_batch t c parts =
       let inst = c.c_next_inst in
       c.c_next_inst <- inst + 1;
       propose_instance t c inst v parts
+
+(* Handoff drain: once the membership change is decided, fill every
+   instance below the activation point — holes get a no-op, which is safe
+   because a decided instance is claimed by every Phase-1 majority, so an
+   unclaimed hole is provably undecided — then wait for the in-flight
+   Phase 2 pipeline to reach zero before turning the epoch over. *)
+and reconfig_drive t c =
+  match t.rc with
+  | Some rc
+    when rc.rc_decided && c.x_is_coord && c.c_phase1_ok && Simnet.is_alive c.x_proc ->
+      if c.c_rc_fill < rc.rc_activate then begin
+        let i = ref (Stdlib.max 0 (Stdlib.max c.c_rc_fill c.x_gc_floor)) in
+        while !i < rc.rc_activate do
+          if not (Retry.mem c.c_insts !i) && not (Hashtbl.mem c.x_decided !i) then begin
+            dbg t "reconfig_noop";
+            propose_noop t c !i
+          end;
+          incr i
+        done;
+        c.c_rc_fill <- rc.rc_activate;
+        if c.c_next_inst < rc.rc_activate then c.c_next_inst <- rc.rc_activate
+      end;
+      if c.c_outstanding = 0 && c.c_next_inst >= rc.rc_activate then
+        activate_reconfig t c rc
+  | _ -> ()
+
+and propose_noop t c inst =
+  t.next_vid <- t.next_vid + 1;
+  propose_instance t c inst (Paxos.Value.skip ~vid:t.next_vid) [ 0 ]
+
+(* The epoch turns over: install the new ring and learner set, thread the
+   epoch through the failure detector, hand the coordinator role (and its
+   decided-map bookkeeping) to the new ring's coordinator, and start
+   catch-up for ring members that lack the prior epoch's history. *)
+and activate_reconfig t c rc =
+  Hashtbl.replace t.done_rc_uids rc.rc_uid ();
+  t.rc <- None;
+  t.epoch <- rc.rc_epoch;
+  dbg t "reconfig_activate";
+  let old_ring = t.cur_ring in
+  (* Retired acceptors leave every dissemination group; their history
+     stays readable over unicast for repair traffic. *)
+  List.iter
+    (fun idx ->
+      if idx >= 0 && idx < Array.length t.accs then begin
+        let a = t.accs.(idx) in
+        a.x_retired <- true;
+        cancel_catchup a;
+        Array.iter (fun g -> Simnet.leave g a.x_proc) t.part_groups;
+        Simnet.leave t.dec_group a.x_proc
+      end)
+    rc.rc_retire;
+  (* Removed learners stop at the boundary: leaving the groups means no
+     decision at or past the activation instance ever reaches them, so
+     they deliver exactly a prefix of the stream. *)
+  List.iter
+    (fun li ->
+      if li >= 0 && li < Array.length t.lrns then begin
+        let l = t.lrns.(li) in
+        l.l_active <- false;
+        List.iter
+          (fun p ->
+            if p < Array.length t.part_groups then Simnet.leave t.part_groups.(p) l.l_proc)
+          l.l_parts;
+        Simnet.leave t.dec_group l.l_proc
+      end)
+    rc.rc_rm_lrns;
+  (* Added learners join exactly at the boundary: their delivery cursor
+     starts at the activation instance, so their stream is the new
+     epoch's suffix — no catch-up, no gap. *)
+  List.iter
+    (fun li ->
+      if li >= 0 && li < Array.length t.lrns then begin
+        let l = t.lrns.(li) in
+        l.l_active <- true;
+        Od.fast_forward l.l_od rc.rc_activate;
+        List.iter
+          (fun p ->
+            if p < Array.length t.part_groups then Simnet.join t.part_groups.(p) l.l_proc)
+          l.l_parts;
+        Simnet.join t.dec_group l.l_proc
+      end)
+    rc.rc_add_lrns;
+  (* A removed learner's last version report must not gate GC forever. *)
+  Array.iter (fun a -> List.iter (Hashtbl.remove a.c_versions) rc.rc_rm_lrns) t.accs;
+  let nc = t.accs.(List.nth rc.rc_ring (List.length rc.rc_ring - 1)) in
+  if nc.x_idx <> c.x_idx then begin
+    (* Handoff state transfer: the outgoing coordinator hands its decided
+       map and GC bookkeeping to the incoming one, so Phase 1's claimed
+       votes over the old epoch are recognised as decided instead of
+       being replayed as fresh proposals. *)
+    Hashtbl.iter
+      (fun i d -> if not (Hashtbl.mem nc.x_decided i) then Hashtbl.replace nc.x_decided i d)
+      c.x_decided;
+    (* The uids of GC-pruned decided votes travel with the role: a spare
+       promoted by the handoff has no vote history of its own, and Phase 1
+       claims can no longer produce votes the ring already pruned — without
+       these uids a proposer that missed a decision would get its item
+       re-decided under a second instance. *)
+    Hashtbl.iter (fun uid () -> Hashtbl.replace nc.x_done_uids uid ()) c.x_done_uids;
+    if c.x_max_dec > nc.x_max_dec then nc.x_max_dec <- c.x_max_dec;
+    nc.c_gc_floor <- Stdlib.max nc.c_gc_floor c.c_gc_floor;
+    nc.x_gc_floor <- Stdlib.max nc.x_gc_floor c.x_gc_floor;
+    Hashtbl.iter
+      (fun l v ->
+        match Hashtbl.find_opt nc.c_versions l with
+        | Some v' when v' >= v -> ()
+        | _ -> Hashtbl.replace nc.c_versions l v)
+      c.c_versions;
+    c.c_phase1_ok <- false;
+    (* Items still batched here were never proposed; their proposers
+       resubmit to the new coordinator on the NewCoord announcement. *)
+    Batcher.clear c.c_batch
+  end;
+  (match t.fd with
+  | Some fd ->
+      let members =
+        Array.to_list t.accs
+        |> List.filter (fun a -> not a.x_retired)
+        |> List.map (fun a -> a.x_idx)
+      in
+      Protocol.Failure_detector.set_epoch fd ~epoch:rc.rc_epoch ~members
+  | None -> ());
+  let floor = Stdlib.max c.x_gc_floor c.c_gc_floor in
+  promote_coordinator t nc ~at_least:rc.rc_activate ~ring:rc.rc_ring ();
+  (* Ring members without the prior epoch's history replay it in the
+     background; activation does not wait for them. *)
+  List.iter
+    (fun idx ->
+      if not (List.mem idx old_ring) then start_catchup t t.accs.(idx) ~floor ~upto:rc.rc_activate)
+    rc.rc_ring
+
+(* Promote [a] to coordinator of [ring] and run Phase 1.  Shared between
+   failover ([become_coordinator]) and planned handoff
+   ([activate_reconfig], which pins the next instance to the activation
+   point via [at_least]). *)
+and promote_coordinator t a ?(at_least = 0) ~ring () =
+  install_ring t a ring;
+  a.c_rnd <- Stdlib.max a.c_rnd a.x_rnd;
+  a.c_window <- t.cfg.window;
+  (* A previous coordinator tenure may have left tracked instances and an
+     outstanding count behind; Phase 1's claimed votes re-cover anything
+     still undecided, so the trackers restart empty. *)
+  Retry.clear a.c_insts;
+  a.c_outstanding <- 0;
+  a.c_rc_fill <- -1;
+  a.c_next_inst <-
+    Hashtbl.fold (fun i _ acc -> Stdlib.max (i + 1) acc) a.x_votes
+      (Stdlib.max (Stdlib.max a.c_next_inst a.x_gc_floor) at_least);
+  (* Every value this acceptor voted for may already be decided, so its
+     items must never be proposed again under a fresh instance.  The
+     resubmissions triggered by the NewCoord announcement are buffered
+     until Phase 1 completes (see the Propose handler), by which point the
+     claimed votes have extended this seeding to every decided value. *)
+  Hashtbl.iter
+    (fun _ ((_, v, _) : int * Paxos.Value.t * int list) ->
+      List.iter (fun it -> Hashtbl.replace a.c_seen_uids it.Paxos.Value.uid ()) v.items)
+    a.x_votes;
+  (* ...including votes GC already pruned.  An in-ring acceptor voted on
+     every decided instance (decisions need all f+1 ring votes), so its
+     own vote history is a complete record of the decided uids. *)
+  Hashtbl.iter (fun uid () -> Hashtbl.replace a.c_seen_uids uid ()) a.x_done_uids;
+  (* The coordinator's own votes count toward Phase 1 too.  Without them,
+     a decided instance whose only voter in the Phase 1 quorum is the
+     coordinator itself would be replayed from a stale lower-round claim
+     — deciding a different value for the same instance. *)
+  Hashtbl.iter
+    (fun inst ((vrnd, vval, parts) : int * Paxos.Value.t * int list) ->
+      match Hashtbl.find_opt a.c_claimed inst with
+      | Some (r, _, _) when r >= vrnd -> ()
+      | _ -> Hashtbl.replace a.c_claimed inst (vrnd, vval, parts))
+    a.x_votes;
+  let announce dst = Simnet.send t.net ~src:a.x_proc ~dst ~size:hdr (NewCoord { acc = a.x_idx }) in
+  Array.iter (fun p -> announce p.p_proc) t.props;
+  Array.iter (fun l -> if l.l_active then announce l.l_proc) t.lrns;
+  start_phase1 t a
+
+(* A joining ring member replays the decided prefix below the activation
+   instance (above the GC floor — everything below was already applied by
+   f+1 learners and will never be repaired again) through the same
+   targeted gap-repair machinery the learners use. *)
+and start_catchup t a ~floor ~upto =
+  cancel_catchup a;
+  let od = Od.create () in
+  Od.fast_forward od (Stdlib.max 0 floor);
+  Od.note_max od (upto - 1);
+  let cu = { cu_od = od; cu_repair = Od.repairer (); cu_upto = upto } in
+  a.x_catchup <- Some cu;
+  dbg t "catchup_start";
+  (* Credit history the acceptor already holds (an old spare re-joining). *)
+  Hashtbl.iter
+    (fun i _ -> if i < upto && Hashtbl.mem a.x_votes i then ignore (Od.offer od ~inst:i ()))
+    a.x_decided;
+  catchup_pump t a
+
+and catchup_pump t a =
+  match a.x_catchup with
+  | None -> ()
+  | Some cu ->
+      Od.pump cu.cu_od (fun _ () -> true);
+      if Od.backlog cu.cu_od = 0 then begin
+        a.x_catchup <- None;
+        dbg t "catchup_done"
+      end
+      else catchup_cycle t a cu
+
+and catchup_cycle t a cu =
+  Od.request_repairs cu.cu_repair cu.cu_od t.net ~timeout:t.cfg.retrans_timeout
+    ~cooldown:(4.0 *. t.cfg.retrans_timeout)
+    ~alive:(fun () -> Simnet.is_alive a.x_proc)
+    ~complete:(fun _ () -> true)
+    ~send:(fun insts ->
+      match catchup_source t a with
+      | Some src ->
+          dbg t "catchup_req";
+          Simnet.send t.net ~src:a.x_proc ~dst:src.x_proc ~size:(hdr + List.length insts)
+            (RepairReq { insts; learner = -1 - a.x_idx; fwd = 0 })
+      | None -> ())
+
+(* Repair source for a catching-up acceptor: spread over the ring like the
+   learners' preferential acceptors, falling back to any alive acceptor
+   (an out-of-ring one still holds the previous epoch's history). *)
+and catchup_source t a =
+  let ring = ring_of t in
+  let n = List.length ring in
+  let rec pick k =
+    if k >= n then None
+    else
+      let idx = List.nth ring ((a.x_idx + k) mod n) in
+      let b = t.accs.(idx) in
+      if idx <> a.x_idx && Simnet.is_alive b.x_proc then Some b else pick (k + 1)
+  in
+  match pick 0 with
+  | Some b -> Some b
+  | None ->
+      Array.fold_left
+        (fun acc b ->
+          if acc = None && b.x_idx <> a.x_idx && Simnet.is_alive b.x_proc then Some b else acc)
+        None t.accs
 
 let coord_decide t c inst vid =
   match Retry.find c.c_insts inst with
@@ -305,6 +700,7 @@ let coord_decide t c inst vid =
           if inst > c.x_max_dec then c.x_max_dec <- inst;
           c.c_outstanding <- c.c_outstanding - 1;
           c.c_decided <- c.c_decided + 1;
+          note_rc t inst v ~decided:true;
           mcast_decision t c inst vid parts v;
           drain t c
         end
@@ -320,18 +716,6 @@ let coord_decide t c inst vid =
       in
       wait_durable ()
   | _ -> ()
-
-let start_phase1 t c =
-  c.c_rnd <- Stdlib.max c.c_rnd c.x_rnd + n_acceptors t.cfg + 1;
-  c.x_rnd <- Stdlib.max c.x_rnd c.c_rnd;
-  c.c_phase1_ok <- false;
-  c.c_p1b <- 0;
-  Array.iter
-    (fun a ->
-      if Simnet.is_alive a.x_proc && a.x_idx <> c.x_idx then
-        Simnet.send t.net ~src:c.x_proc ~dst:a.x_proc ~size:hdr
-          (P1a { rnd = c.c_rnd; ring = c.x_ring; coord = c.x_idx }))
-    t.accs
 
 (* --- flow control ------------------------------------------------------ *)
 
@@ -381,7 +765,20 @@ let acc_on_p2a t a inst rnd (v : Paxos.Value.t) parts =
     | Some (r, v', _) -> r = rnd && v'.Paxos.Value.vid = v.vid
     | None -> false
   in
-  if duplicate then acc_try_forward t a inst
+  if duplicate then begin
+    (* A retransmitted P2A means the coordinator still lacks this instance.
+       Mid-chain acceptors re-forward from their held P2B, but the chain
+       head holds nothing — its spontaneous P2B may have been the lost
+       message (e.g. a partition hit right after the vote), so it must
+       re-send or the chain can never restart: the round is unchanged, so
+       every further retransmission stays a duplicate. *)
+    if
+      (not a.x_is_coord) && a.x_ring <> []
+      && List.hd a.x_ring = a.x_idx
+      && Hashtbl.find_opt a.x_durable inst = Some true
+    then forward_p2b t a inst rnd v.vid
+    else acc_try_forward t a inst
+  end
   else if rnd >= a.x_rnd then begin
     a.x_rnd <- rnd;
     Hashtbl.replace a.x_votes inst (rnd, v, parts);
@@ -477,7 +874,7 @@ let repair_cycle t l =
       match pref_acceptor t l with
       | Some a ->
           Simnet.send t.net ~src:l.l_proc ~dst:a.x_proc ~size:(hdr + List.length insts)
-            (RepairReq { insts; learner = l.l_idx })
+            (RepairReq { insts; learner = l.l_idx; fwd = 0 })
       | None -> ())
 
 (* Release everything deliverable in instance order; what remains blocked is
@@ -544,7 +941,7 @@ let lrn_on_decision t l inst vid parts =
 let version_reports t l =
   ignore
     (Retry.every t.net ~name:"version" ~period:t.cfg.gc_period (fun () ->
-         if Simnet.is_alive l.l_proc then begin
+         if Simnet.is_alive l.l_proc && l.l_active then begin
            match pref_acceptor t l with
            | Some a ->
                Simnet.send t.net ~src:l.l_proc ~dst:a.x_proc ~size:hdr
@@ -577,7 +974,8 @@ let acc_gc t a floor =
 
 let coord_on_version t c learner version =
   Hashtbl.replace c.c_versions learner version;
-  if Hashtbl.length c.c_versions = Array.length t.lrns then begin
+  let active = Array.fold_left (fun n l -> if l.l_active then n + 1 else n) 0 t.lrns in
+  if active > 0 && Hashtbl.length c.c_versions >= active then begin
     let floor = Hashtbl.fold (fun _ v acc -> Stdlib.min v acc) c.c_versions max_int in
     if floor > c.c_gc_floor then begin
       c.c_gc_floor <- floor;
@@ -602,60 +1000,16 @@ let prop_resubmission t p =
 
 (* --- failure handling ---------------------------------------------------- *)
 
-let alive_acceptors t = Array.to_list t.accs |> List.filter (fun a -> Simnet.is_alive a.x_proc)
-
-let install_ring t new_coord ring =
-  t.cur_ring <- ring;
-  Array.iter
-    (fun a ->
-      a.x_ring <- ring;
-      a.x_is_coord <- a.x_idx = new_coord.x_idx;
-      (* Group membership follows ring membership so promoted spares start
-         receiving Phase 2A and decision multicasts. *)
-      let op = if List.mem a.x_idx ring then Simnet.join else Simnet.leave in
-      Array.iter (fun g -> op g a.x_proc) t.part_groups;
-      op t.dec_group a.x_proc)
-    t.accs
-
 let become_coordinator t a =
-  (* Lay out a fresh ring of f+1 alive acceptors with [a] as coordinator
+  (* Lay out a fresh ring of alive acceptors — preserving the current ring
+     size and preferring its surviving members — with [a] as coordinator
      (last), then run Phase 1 with a higher round. *)
-  let alive = alive_acceptors t |> List.filter (fun b -> b.x_idx <> a.x_idx) in
-  let chosen = List.filteri (fun i _ -> i < t.cfg.f) alive in
+  let target = Stdlib.max 1 (List.length t.cur_ring) in
+  let others = alive_acceptors t |> List.filter (fun b -> b.x_idx <> a.x_idx) in
+  let in_ring, spares = List.partition (fun b -> List.mem b.x_idx t.cur_ring) others in
+  let chosen = List.filteri (fun i _ -> i < target - 1) (in_ring @ spares) in
   let ring = List.map (fun b -> b.x_idx) chosen @ [ a.x_idx ] in
-  install_ring t a ring;
-  a.c_rnd <- Stdlib.max a.c_rnd a.x_rnd;
-  a.c_window <- t.cfg.window;
-  a.c_next_inst <-
-    Hashtbl.fold (fun i _ acc -> Stdlib.max (i + 1) acc) a.x_votes
-      (Stdlib.max a.c_next_inst a.x_gc_floor);
-  (* Every value this acceptor voted for may already be decided, so its
-     items must never be proposed again under a fresh instance.  The
-     resubmissions triggered by the NewCoord announcement are buffered
-     until Phase 1 completes (see the Propose handler), by which point the
-     claimed votes have extended this seeding to every decided value. *)
-  Hashtbl.iter
-    (fun _ ((_, v, _) : int * Paxos.Value.t * int list) ->
-      List.iter (fun it -> Hashtbl.replace a.c_seen_uids it.Paxos.Value.uid ()) v.items)
-    a.x_votes;
-  (* ...including votes GC already pruned.  An in-ring acceptor voted on
-     every decided instance (decisions need all f+1 ring votes), so its
-     own vote history is a complete record of the decided uids. *)
-  Hashtbl.iter (fun uid () -> Hashtbl.replace a.c_seen_uids uid ()) a.x_done_uids;
-  (* The coordinator's own votes count toward Phase 1 too.  Without them,
-     a decided instance whose only voter in the Phase 1 quorum is the
-     coordinator itself would be replayed from a stale lower-round claim
-     — deciding a different value for the same instance. *)
-  Hashtbl.iter
-    (fun inst ((vrnd, vval, parts) : int * Paxos.Value.t * int list) ->
-      match Hashtbl.find_opt a.c_claimed inst with
-      | Some (r, _, _) when r >= vrnd -> ()
-      | _ -> Hashtbl.replace a.c_claimed inst (vrnd, vval, parts))
-    a.x_votes;
-  let announce dst = Simnet.send t.net ~src:a.x_proc ~dst ~size:hdr (NewCoord { acc = a.x_idx }) in
-  Array.iter (fun p -> announce p.p_proc) t.props;
-  Array.iter (fun l -> announce l.l_proc) t.lrns;
-  start_phase1 t a
+  promote_coordinator t a ~ring ()
 
 (* Undecided instances whose Phase 2A multicast may have been lost are
    re-multicast so the ring's Phase 2B chain can restart (§3.3.4). *)
@@ -679,12 +1033,14 @@ let failure_detection t =
     match coord_opt t with
     | None -> ()
     | Some c ->
-        (* Coordinator heartbeats every alive acceptor (spares included, so
-           a spare's promotion timeout measures real silence)... *)
+        (* Coordinator heartbeats every alive non-retired acceptor (spares
+           included, so a spare's promotion timeout measures real
+           silence)... *)
         Array.iter
           (fun a ->
-            if a.x_idx <> c.x_idx && Simnet.is_alive a.x_proc then
-              Simnet.send t.net ~src:c.x_proc ~dst:a.x_proc ~size:hdr (Hb { acc = c.x_idx }))
+            if a.x_idx <> c.x_idx && (not a.x_retired) && Simnet.is_alive a.x_proc then
+              Simnet.send t.net ~src:c.x_proc ~dst:a.x_proc ~size:hdr
+                (Hb { acc = c.x_idx; epoch = t.epoch }))
           t.accs;
         (* ...and reconfigures, swapping dead ring members for spares. *)
         List.iter
@@ -741,6 +1097,32 @@ let coord_admit a (item : Paxos.Value.item) parts =
     else false
   else false
 
+(* A ReconfigCmd is never batched with application items: it gets its own
+   instance immediately, so the activation point [inst + alpha] is pinned
+   the moment it is proposed.  One membership change is in flight at a
+   time — while [t.rc] is pending, further commands are dropped and ride
+   the proposer's resubmission loop until the current one activates. *)
+let coord_propose_reconfig t c (item : Paxos.Value.item) =
+  let busy = match t.rc with Some rc -> rc.rc_uid <> item.uid | None -> false in
+  if
+    (not busy)
+    && (not (Hashtbl.mem c.c_seen_uids item.uid))
+    && not (Hashtbl.mem t.done_rc_uids item.uid)
+  then begin
+    Hashtbl.add c.c_seen_uids item.uid ();
+    dbg t "reconfig_propose";
+    t.next_vid <- t.next_vid + 1;
+    let v = Paxos.Value.make ~vid:t.next_vid [ item ] in
+    let inst = c.c_next_inst in
+    c.c_next_inst <- inst + 1;
+    propose_instance t c inst v [ 0 ]
+  end
+
+let coord_ingest t c (item : Paxos.Value.item) parts =
+  match item.app with
+  | ReconfigCmd _ -> coord_propose_reconfig t c item
+  | _ -> if coord_admit c item parts then drain t c
+
 let acc_handler t a (m : Simnet.msg) =
   match m.payload with
   | Propose { item; parts } ->
@@ -749,7 +1131,7 @@ let acc_handler t a (m : Simnet.msg) =
           (* Buffer, in arrival order, until the claimed votes of Phase 1
              have seeded [c_seen_uids] with every decided item. *)
           Queue.push (item, parts) a.c_preq
-        else if coord_admit a item parts then drain t a
+        else coord_ingest t a item parts
   | P1a { rnd; ring; coord = cidx } ->
       if rnd > a.x_rnd then begin
         a.x_rnd <- rnd;
@@ -758,13 +1140,26 @@ let acc_handler t a (m : Simnet.msg) =
         let votes =
           Hashtbl.fold (fun i (vr, vv, ps) l -> (i, vr, vv, ps) :: l) a.x_votes []
         in
+        let done_uids = Hashtbl.fold (fun uid () l -> uid :: l) a.x_done_uids [] in
         Simnet.send t.net ~src:a.x_proc ~dst:t.accs.(cidx).x_proc
-          ~size:(hdr + (List.length votes * 24))
-          (P1b { rnd; acc = a.x_idx; floor = a.x_gc_floor; votes })
+          ~size:(hdr + (List.length votes * 24) + (List.length done_uids * 8))
+          (P1b { rnd; acc = a.x_idx; floor = a.x_gc_floor; votes; done_uids })
       end
-  | P1b { rnd; acc = _; floor; votes } ->
+  | P1b { rnd; acc = _; floor; votes; done_uids } ->
       if a.x_is_coord && rnd = a.c_rnd && not a.c_phase1_ok then begin
         if floor > a.c_next_inst then a.c_next_inst <- floor;
+        (* Decided-and-pruned items exist only as uids now; without them a
+           promoted spare would happily re-order a resubmission of an item
+           every learner already applied.  Any Phase-1 majority contains a
+           ring member of every earlier epoch (quorum intersection), so
+           merging each reply's pruned uids covers all such items.  They
+           also go into [x_done_uids] so a later planned handoff (which
+           transfers that table to the next coordinator) carries them on. *)
+        List.iter
+          (fun uid ->
+            Hashtbl.replace a.c_seen_uids uid ();
+            Hashtbl.replace a.x_done_uids uid ())
+          done_uids;
         List.iter
           (fun (inst, vrnd, vval, parts) ->
             match Hashtbl.find_opt a.c_claimed inst with
@@ -772,9 +1167,11 @@ let acc_handler t a (m : Simnet.msg) =
             | _ -> Hashtbl.replace a.c_claimed inst (vrnd, vval, parts))
           votes;
         a.c_p1b <- a.c_p1b + 1;
-        (* Counting its own state, the coordinator needs f more replies for a
-           majority of the 2f+1 acceptors. *)
-        if a.c_p1b >= t.cfg.f then begin
+        (* Counting its own state, the coordinator needs [n/2] more replies
+           for a majority of the n-acceptor pool.  Retired acceptors stay in
+           the pool and keep answering Phase 1 — quorums taken before and
+           after a reconfiguration therefore always intersect. *)
+        if a.c_p1b >= Array.length t.accs / 2 then begin
           a.c_phase1_ok <- true;
           (* The claimed votes of a majority cover every decided value
              (quorum intersection), so marking their uids seen stops a
@@ -790,7 +1187,9 @@ let acc_handler t a (m : Simnet.msg) =
           (* Replay proposals buffered during Phase 1, in arrival order. *)
           while not (Queue.is_empty a.c_preq) do
             let item, parts = Queue.pop a.c_preq in
-            ignore (coord_admit a item parts)
+            match item.Paxos.Value.app with
+            | ReconfigCmd _ -> coord_propose_reconfig t a item
+            | _ -> ignore (coord_admit a item parts)
           done;
           drain t a
         end
@@ -812,7 +1211,11 @@ let acc_handler t a (m : Simnet.msg) =
       (* Tell the learner how far decisions actually reach, so a learner
          that lost the tail of the decision stream discovers the gap and
          repairs it through its normal targeted requests. *)
-      if version <= a.x_max_dec && learner >= 0 && learner < Array.length t.lrns then
+      if
+        version <= a.x_max_dec && learner >= 0
+        && learner < Array.length t.lrns
+        && t.lrns.(learner).l_active
+      then
         Simnet.send t.net ~src:a.x_proc ~dst:t.lrns.(learner).l_proc ~size:hdr
           (MaxDec { upto = a.x_max_dec });
       if a.x_is_coord then coord_on_version t a learner version
@@ -823,7 +1226,15 @@ let acc_handler t a (m : Simnet.msg) =
               (Version { learner; version })
         | None -> ()
       end
-  | Gc { floor } -> acc_gc t a floor
+  | Gc { floor } -> (
+      acc_gc t a floor;
+      (* The prefix below the advancing floor was applied by f+1 learners
+         and will never be repaired again: a catching-up joiner skips it. *)
+      match a.x_catchup with
+      | Some cu ->
+          Od.fast_forward cu.cu_od (Stdlib.min floor cu.cu_upto);
+          catchup_pump t a
+      | None -> ())
   | RetransReq { inst; count; learner } -> begin
       (* learner >= 0: a learner asks for decided values in a range;
          learner < 0 encodes an acceptor asking for a lost Phase 2A. *)
@@ -837,35 +1248,83 @@ let acc_handler t a (m : Simnet.msg) =
       end
       else ignore count
     end
-  | RepairReq { insts; learner } -> begin
-      (* Serve every decided instance this acceptor knows; hand anything it
-         is missing to the coordinator. *)
+  | RepairReq { insts; learner; fwd } -> begin
+      (* Serve every decided instance this acceptor knows; forward the rest
+         (ring member -> coordinator -> an out-of-ring acceptor, which may
+         still hold history the ring has garbage collected).  [fwd] bounds
+         the forwarding chain so a request for an instance nobody holds
+         cannot circulate forever; the requester's repair cycle re-asks. *)
+      let reply_dst =
+        if learner >= 0 then t.lrns.(learner).l_proc else t.accs.(-1 - learner).x_proc
+      in
       let missing = ref [] in
       List.iter
         (fun i ->
-          let decided = Hashtbl.mem a.x_decided i || a.x_is_coord in
+          (* Only genuinely decided instances may be served: a vote — even
+             the coordinator's own — can still lose its instance to a
+             takeover (the proposal multicast lost, the voter crashed), and
+             a repair response is taken as a decision by the requester. *)
+          let decided = Hashtbl.mem a.x_decided i in
           match Hashtbl.find_opt a.x_votes i with
           | Some (_, v, ps) when decided ->
-              Simnet.send t.net ~src:a.x_proc ~dst:t.lrns.(learner).l_proc
-                ~size:(v.size + hdr)
+              Simnet.send t.net ~src:a.x_proc ~dst:reply_dst ~size:(v.size + hdr)
                 (Retrans { inst = i; value = v; parts = ps })
           | _ -> missing := i :: !missing)
         insts;
-      if !missing <> [] && not a.x_is_coord then begin
-        match coord_opt t with
-        | Some c when c.x_idx <> a.x_idx ->
-            Simnet.send t.net ~src:a.x_proc ~dst:c.x_proc ~size:hdr
-              (RepairReq { insts = List.rev !missing; learner })
-        | _ -> ()
+      if !missing <> [] && fwd < 2 then begin
+        let fwd_to b =
+          Simnet.send t.net ~src:a.x_proc ~dst:b.x_proc ~size:hdr
+            (RepairReq { insts = List.rev !missing; learner; fwd = fwd + 1 })
+        in
+        let in_ring = List.mem a.x_idx (ring_of t) in
+        if a.x_is_coord then begin
+          (* The coordinator lacking the value: try an acceptor outside the
+             ring (a spare or a retired member of a previous epoch). *)
+          match
+            Array.fold_left
+              (fun acc b ->
+                if
+                  acc = None && b.x_idx <> a.x_idx
+                  && (not (List.mem b.x_idx (ring_of t)))
+                  && Simnet.is_alive b.x_proc
+                then Some b
+                else acc)
+              None t.accs
+          with
+          | Some b -> fwd_to b
+          | None -> ()
+        end
+        else if in_ring then begin
+          match coord_opt t with
+          | Some c when c.x_idx <> a.x_idx -> fwd_to c
+          | _ -> ()
+        end
       end
     end
-  | Retrans { inst; value; parts } ->
-      (* An acceptor recovering a lost Phase 2A. *)
-      acc_on_p2a t a inst a.x_rnd value parts;
-      acc_try_forward t a inst
-  | Hb { acc = _ } -> (
+  | Retrans { inst; value; parts } -> begin
+      match a.x_catchup with
+      | Some cu when inst < cu.cu_upto ->
+          (* Catch-up import: store the decided prefix directly — the
+             instance is already decided, so no vote is re-forwarded along
+             the ring. *)
+          if not (Hashtbl.mem a.x_votes inst) then begin
+            Hashtbl.replace a.x_votes inst (a.x_rnd, value, parts);
+            Hashtbl.replace a.x_durable inst true;
+            acc_update_mem a
+          end;
+          if not (Hashtbl.mem a.x_decided inst) then
+            Hashtbl.replace a.x_decided inst (value.Paxos.Value.vid, parts);
+          if inst > a.x_max_dec then a.x_max_dec <- inst;
+          ignore (Od.offer cu.cu_od ~inst ());
+          catchup_pump t a
+      | _ ->
+          (* An acceptor recovering a lost Phase 2A. *)
+          acc_on_p2a t a inst a.x_rnd value parts;
+          acc_try_forward t a inst
+    end
+  | Hb { acc = _; epoch } -> (
       match t.fd with
-      | Some fd -> Protocol.Failure_detector.heartbeat fd a.x_idx
+      | Some fd -> Protocol.Failure_detector.heartbeat ~epoch fd a.x_idx
       | None -> ())
   | _ -> ()
 
@@ -940,6 +1399,8 @@ let create ?speculative ?learner_nodes net cfg ~n_proposers ~n_learners ~learner
           x_rnd = 0;
           x_ring = [];
           x_is_coord = false;
+          x_retired = false;
+          x_catchup = None;
           x_votes = Hashtbl.create 4096;
           x_decided = Hashtbl.create 4096;
           x_durable = Hashtbl.create 4096;
@@ -966,7 +1427,8 @@ let create ?speculative ?learner_nodes net cfg ~n_proposers ~n_learners ~learner
           c_rate_window = 0.0;
           c_rate_bits = 0.0;
           c_rate_timer = false;
-          c_rate_limit = cfg.send_rate })
+          c_rate_limit = cfg.send_rate;
+          c_rc_fill = -1 })
   in
   let lrns =
     Array.init n_learners (fun i ->
@@ -978,7 +1440,8 @@ let create ?speculative ?learner_nodes net cfg ~n_proposers ~n_learners ~learner
           l_delay = 0.0;
           l_sink = Od.sink ();
           l_fc_sent = false;
-          l_repair = Od.repairer () })
+          l_repair = Od.repairer ();
+          l_active = true })
   in
   let props =
     Array.init n_proposers (fun i ->
@@ -1015,7 +1478,7 @@ let create ?speculative ?learner_nodes net cfg ~n_proposers ~n_learners ~learner
   let t =
     { net; cfg; ctrs = Protocol.Counters.create (); accs; lrns; props; part_groups;
       dec_group; deliver; speculative; fd = None; next_uid = 0; next_vid = 0;
-      cur_ring = ring }
+      cur_ring = ring; epoch = 0; rc = None; done_rc_uids = Hashtbl.create 16 }
   in
   Array.iter
     (fun a ->
@@ -1085,6 +1548,8 @@ let crash_acceptor t idx =
   Queue.clear a.c_preq;
   a.c_phase1_ok <- false;
   a.c_outstanding <- 0;
+  a.c_rc_fill <- -1;
+  cancel_catchup a;
   if t.cfg.durability = Memory then begin
     Hashtbl.reset a.x_votes;
     Hashtbl.reset a.x_decided;
@@ -1150,3 +1615,122 @@ let debug_dump t =
 let disk t pos =
   let ring = ring_of t in
   if pos < List.length ring then t.accs.(List.nth ring pos).x_disk else None
+
+(* --- dynamic membership --------------------------------------------------- *)
+
+let epoch t = t.epoch
+let membership t = t.cur_ring
+let reconfiguring t = t.rc <> None
+let catching_up t idx = t.accs.(idx).x_catchup <> None
+let learner_active t i = t.lrns.(i).l_active
+
+(* Grow the acceptor pool with a fresh spare.  It answers Phase 1 and
+   repair traffic immediately but joins no ring (and no multicast group)
+   until a reconfiguration elects it. *)
+let add_acceptor t =
+  let i = Array.length t.accs in
+  let node = Simnet.add_node t.net (Printf.sprintf "mr-acc%d" i) in
+  let proc = Simnet.add_proc t.net node (Printf.sprintf "mr-acc%d" i) in
+  let disk =
+    match t.cfg.durability with
+    | Memory -> None
+    | Sync_disk | Async_disk ->
+        Some (Storage.Disk.create (Simnet.engine t.net) (Printf.sprintf "disk%d" i))
+  in
+  let a =
+    { x_proc = proc;
+      x_idx = i;
+      x_rnd = 0;
+      x_ring = t.cur_ring;
+      x_is_coord = false;
+      x_retired = false;
+      x_catchup = None;
+      x_votes = Hashtbl.create 4096;
+      x_decided = Hashtbl.create 4096;
+      x_durable = Hashtbl.create 4096;
+      x_held = Hashtbl.create 64;
+      x_disk = disk;
+      x_done_uids = Hashtbl.create 4096;
+      x_mem = 0;
+      x_gc_floor = 0;
+      x_max_dec = -1;
+      c_rnd = 0;
+      c_phase1_ok = false;
+      c_p1b = 0;
+      c_claimed = Hashtbl.create 64;
+      c_next_inst = 0;
+      c_outstanding = 0;
+      c_batch =
+        Batcher.create ~buffer_bytes:t.cfg.buffer_bytes ~batch_bytes:t.cfg.batch_bytes ();
+      c_insts = Retry.tracker ();
+      c_window = t.cfg.window;
+      c_decided = 0;
+      c_versions = Hashtbl.create 16;
+      c_gc_floor = 0;
+      c_seen_uids = Hashtbl.create 4096;
+      c_preq = Queue.create ();
+      c_rate_window = 0.0;
+      c_rate_bits = 0.0;
+      c_rate_timer = false;
+      c_rate_limit = t.cfg.send_rate;
+      c_rc_fill = -1 }
+  in
+  t.accs <- Array.append t.accs [| a |];
+  Simnet.set_handler proc (acc_handler t a);
+  i
+
+(* Create an inactive learner: it joins no group and reports no version
+   until a reconfiguration naming it in [add_learners] activates, at which
+   point it starts delivering exactly from the activation instance. *)
+let stage_learner t ~parts =
+  let i = Array.length t.lrns in
+  let node = Simnet.add_node t.net (Printf.sprintf "mr-lrn%d" i) in
+  let proc = Simnet.add_proc t.net node (Printf.sprintf "mr-lrn%d" i) in
+  let l =
+    { l_proc = proc;
+      l_idx = i;
+      l_parts = parts;
+      l_od = Od.create ();
+      l_vals = Hashtbl.create 4096;
+      l_delay = 0.0;
+      l_sink = Od.sink ();
+      l_fc_sent = false;
+      l_repair = Od.repairer ();
+      l_active = false }
+  in
+  t.lrns <- Array.append t.lrns [| l |];
+  Simnet.set_handler proc (lrn_handler t l);
+  version_reports t l;
+  i
+
+(* Submit a membership change as an ordinary proposal (through proposer 0's
+   resubmission machinery, so a coordinator crash cannot lose it).  The new
+   ring lists acceptor indexes with the coordinator last.  Validation only
+   checks what would break safety or liveness outright; everything else —
+   timing, failover interleavings, competing commands — is resolved by the
+   log order. *)
+let reconfigure t ?(add_learners = []) ?(remove_learners = []) ?(retire = []) ~ring () =
+  let n = Array.length t.accs in
+  let valid_acc i = i >= 0 && i < n && not t.accs.(i).x_retired in
+  if ring = [] then invalid_arg "Mring.reconfigure: empty ring";
+  if not (List.for_all valid_acc ring) then
+    invalid_arg "Mring.reconfigure: ring member out of range or retired";
+  if List.length (List.sort_uniq compare ring) <> List.length ring then
+    invalid_arg "Mring.reconfigure: duplicate ring member";
+  if not (List.for_all valid_acc retire) then
+    invalid_arg "Mring.reconfigure: retiree out of range or already retired";
+  if List.exists (fun i -> List.mem i ring) retire then
+    invalid_arg "Mring.reconfigure: cannot retire a member of the new ring";
+  (* Decisions carry all ring votes; any Phase-1 majority of the pool must
+     claim every decided value, so the ring must intersect every majority:
+     |ring| + majority > n. *)
+  let majority = (n / 2) + 1 in
+  if List.length ring < n - majority + 1 then
+    invalid_arg "Mring.reconfigure: ring too small for quorum intersection";
+  let valid_lrn i = i >= 0 && i < Array.length t.lrns in
+  if not (List.for_all valid_lrn add_learners) then
+    invalid_arg "Mring.reconfigure: added learner out of range";
+  if not (List.for_all valid_lrn remove_learners) then
+    invalid_arg "Mring.reconfigure: removed learner out of range";
+  submit t ~proposer:0 ~parts:[ 0 ] ~size:64
+    (ReconfigCmd { ring; add_lrns = add_learners; rm_lrns = remove_learners; retire })

@@ -36,6 +36,10 @@ type config = {
   gc_period : float;
   partitions : int;  (** multicast groups for state partitioning; 1 = plain *)
   send_rate : float;  (** coordinator Phase 2A pacing, bits per second *)
+  reconfig_alpha : int;
+      (** a membership change decided at instance [i] activates at
+          [i + reconfig_alpha] — the activation lag of log-ordered
+          reconfiguration *)
 }
 
 val default_config : config
@@ -114,3 +118,61 @@ val counters : t -> (string * int) list
 
 (** Disk attached to acceptor position [i] of the ring (durable modes). *)
 val disk : t -> int -> Storage.Disk.t option
+
+(** {1 Dynamic membership}
+
+    A membership change is an ordinary command ordered through the log:
+    deciding it at instance [i] schedules its activation at
+    [i + reconfig_alpha].  Until activation the coordinator caps its
+    pipeline below the activation instance, fills any undecided holes with
+    no-ops and waits for in-flight instances to drain, so the epoch
+    boundary is a decided prefix — no delivery is lost or duplicated
+    across it.  At activation the new ring is installed, removed members
+    retire (they keep answering Phase 1 and repair requests, preserving
+    quorum intersection), joining ring members replay the decided prefix
+    in the background, added learners start delivering exactly at the
+    activation instance, and the failure detector moves to the new epoch
+    so suspicions from the old one cannot fire. *)
+
+(** [add_acceptor t] grows the acceptor pool with a fresh spare and
+    returns its global index.  The spare serves Phase 1 and repair
+    traffic but joins no ring until a reconfiguration elects it. *)
+val add_acceptor : t -> int
+
+(** [stage_learner t ~parts] creates an inactive learner subscribed to
+    [parts] and returns its index; it delivers nothing until a
+    reconfiguration activates it. *)
+val stage_learner : t -> parts:int list -> int
+
+(** [reconfigure t ?add_learners ?remove_learners ?retire ~ring ()]
+    submits a membership change: [ring] lists the new ring's acceptor
+    indexes, coordinator last.  Returns the command's item uid ([-1] if
+    the proposal buffer is full; the command is retried by the proposer's
+    resubmission loop either way).  Raises [Invalid_argument] when [ring]
+    is empty, repeats a member, names a retired or out-of-range acceptor,
+    retires a member of the new ring, or is too small to intersect every
+    Phase-1 majority of the pool. *)
+val reconfigure :
+  t ->
+  ?add_learners:int list ->
+  ?remove_learners:int list ->
+  ?retire:int list ->
+  ring:int list ->
+  unit ->
+  int
+
+(** The current membership epoch (0 at creation, +1 per activation). *)
+val epoch : t -> int
+
+(** The current ring, coordinator last. *)
+val membership : t -> int list
+
+(** A membership change is pending (proposed or decided, not yet active). *)
+val reconfiguring : t -> bool
+
+(** Acceptor [i] is still replaying the decided prefix of the epoch it
+    joined in. *)
+val catching_up : t -> int -> bool
+
+(** Learner [i] delivers (inactive learners are staged or removed). *)
+val learner_active : t -> int -> bool

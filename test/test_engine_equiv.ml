@@ -94,9 +94,75 @@ let prop_backends_fire_identically =
     QCheck.(list_of_size Gen.(int_range 1 60) (pair (int_range 0 10) (int_range 0 7)))
     (fun ops -> String.equal (replay `Wheel ops) (replay `Heap ops))
 
+(* Adversarial wheel-vs-heap differential beyond the qcheck property:
+   delays pinned to every wheel-level boundary (±1 tick), nested
+   schedules from inside callbacks, heavy cancellation, and segmented
+   [run ~until] calls that park the cursor far ahead before scheduling
+   "in the past" — the regression surface of the wheel's cursor
+   arithmetic.  Each seeded program must produce byte-identical fire
+   logs (and final pending counts) on both backends. *)
+let boundary_tps = float_of_int Sim.Engine.ticks_per_second
+
+let boundary_deltas =
+  [| 0.0; 1.0 /. boundary_tps; 255.0 /. boundary_tps; 256.0 /. boundary_tps;
+     257.0 /. boundary_tps; 65535.0 /. boundary_tps; 65536.0 /. boundary_tps;
+     65537.0 /. boundary_tps; 16777216.0 /. boundary_tps;
+     4294967296.0 /. boundary_tps; 0.013; 1.7; 42.0; 900.0; 1e7; infinity |]
+
+let boundary_replay backend seed =
+  let e = Sim.Engine.create ~backend () in
+  let st = Random.State.make [| seed |] in
+  let log = Buffer.create 4096 in
+  let handles = ref [] in
+  let fire i () =
+    Buffer.add_string log (Printf.sprintf "%d@%.9f;" i (Sim.Engine.now e))
+  in
+  let n = ref 0 in
+  let rec act depth i () =
+    fire i ();
+    if depth < 3 && Random.State.int st 100 < 40 then begin
+      incr n;
+      let d = boundary_deltas.(Random.State.int st (Array.length boundary_deltas)) in
+      let h = Sim.Engine.schedule e ~delay:d (act (depth + 1) (10000 + !n)) in
+      handles := h :: !handles
+    end;
+    if Random.State.int st 100 < 30 then
+      match !handles with
+      | h :: rest ->
+          handles := rest;
+          Sim.Engine.cancel e h
+      | [] -> ()
+  in
+  for i = 1 to 400 do
+    let d = boundary_deltas.(Random.State.int st (Array.length boundary_deltas)) in
+    let h = Sim.Engine.schedule e ~delay:d (act 0 i) in
+    if Random.State.int st 100 < 25 then Sim.Engine.cancel e h
+    else handles := h :: !handles
+  done;
+  (* Segmented runs park the cursor ahead, then schedule "in the past". *)
+  List.iter
+    (fun u ->
+      Sim.Engine.run e ~until:u;
+      let h = Sim.Engine.schedule e ~delay:(Random.State.float st 2.0) (fire (-1)) in
+      if Random.State.bool st then Sim.Engine.cancel e h)
+    [ 0.001; 0.5; 3.0; 50.0; 1000.0; 2e6 ];
+  Buffer.add_string log (Printf.sprintf "pending=%d;" (Sim.Engine.pending e));
+  Buffer.contents log
+
+let test_boundary_stress () =
+  for seed = 0 to 49 do
+    let w = boundary_replay `Wheel seed and h = boundary_replay `Heap seed in
+    if not (String.equal w h) then
+      Alcotest.failf "backend mismatch at seed %d\nwheel: %s\nheap : %s" seed
+        (String.sub w 0 (Stdlib.min 400 (String.length w)))
+        (String.sub h 0 (Stdlib.min 400 (String.length h)))
+  done
+
 let suite =
   [ Alcotest.test_case "mring trace byte-identical across backends" `Quick
       test_mring_trace_identical;
     Alcotest.test_case "chaos seed identical across backends" `Quick
       test_chaos_seed_identical;
-    QCheck_alcotest.to_alcotest prop_backends_fire_identically ]
+    QCheck_alcotest.to_alcotest prop_backends_fire_identically;
+    Alcotest.test_case "level-boundary and parked-cursor stress" `Quick
+      test_boundary_stress ]

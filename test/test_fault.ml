@@ -131,10 +131,30 @@ let test_different_seeds_different_timelines () =
                         backlog replayed into the ring after the restart.
                         Fixed by the per-proc [rcvbuf_epoch] / per-conn
                         [c_epoch] guards and by [Simnet.kill] clearing the
-                        victim's outgoing backlogs. *)
+                        victim's outgoing backlogs.
+   - mring-reconfig
+     seed 16:           the founding coordinator served its own undecided
+                        vote to a learner's gap repair (repair responses
+                        are taken as decisions) and then crashed inside
+                        the handoff window: the takeover correctly no-op
+                        filled the instance and the proposer's
+                        resubmission re-decided the item under a second
+                        instance — one learner delivered it twice.  Fixed
+                        by serving only genuinely decided instances from
+                        [RepairReq].
+   - mring-join
+     seed 0:            the chain head voted and its spontaneous Phase 2B
+                        was lost to the joiner partition; with the round
+                        unchanged, every retransmitted Phase 2A was a
+                        duplicate and nothing restarted the chain — the
+                        epoch's first instance hung forever and both
+                        learners stalled behind it.  Fixed by having the
+                        chain head re-send its Phase 2B on duplicate
+                        Phase 2As. *)
 let pinned =
   [ ("mring", 16); ("uring", 18); ("multiring", 12); ("multiring", 13); ("lcr", 1);
-    ("mring-pressure", 1); ("mring-pressure", 13) ]
+    ("mring-pressure", 1); ("mring-pressure", 13); ("mring-reconfig", 16);
+    ("mring-join", 0) ]
 
 let test_pinned_seeds_stay_green () =
   List.iter

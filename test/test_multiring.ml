@@ -134,6 +134,41 @@ let test_coordinator_failure_recovery () =
     true
     (after > before + 500)
 
+let test_reconfigure_keeps_merge_running () =
+  (* Reconfigure ring 0 mid-run (spare 2 replaces the coordinator's
+     ring-mate): the handoff refuses skip proposals for a window, and the
+     controller must carry that deficit forward so neither ring's merge
+     column starves — every message from both rings still comes out, in
+     the same order at both learners. *)
+  let cfg =
+    { Multiring.default_config with
+      n_rings = 2;
+      lambda = 5_000.0;
+      ring = { Ringpaxos.Mring.default_config with f = 1 } }
+  in
+  let engine, net, mr, log = make ~config:cfg ~n_learners:2 () in
+  let next = ref 0 in
+  let stop =
+    Simnet.every net ~period:1.0e-3 (fun () ->
+        incr next;
+        ignore (Multiring.multicast mr ~group:(!next mod 2) ~proposer:0 ~size:256 (Cmd !next)))
+  in
+  Sim.Engine.run engine ~until:0.3;
+  ignore (Multiring.reconfigure_ring mr 0 ~ring:[ 0; 2 ]);
+  Sim.Engine.run engine ~until:1.0;
+  stop ();
+  Sim.Engine.run engine ~until:3.0;
+  Alcotest.(check int) "ring 0 epoch turned over" 1 (Multiring.ring_epoch mr 0);
+  Alcotest.(check int) "ring 1 epoch untouched" 0 (Multiring.ring_epoch mr 1);
+  let s0 = seq log 0 in
+  Alcotest.(check int) "nothing lost across the handoff" !next (List.length s0);
+  Alcotest.(check (list (pair int int))) "merge stays deterministic" s0 (seq log 1);
+  let ring_order g = List.filter (fun (g', _) -> g' = g) s0 |> List.map snd in
+  Alcotest.(check (list int)) "group 0 FIFO across epochs"
+    (List.sort compare (ring_order 0)) (ring_order 0);
+  Alcotest.(check (list int)) "group 1 FIFO"
+    (List.sort compare (ring_order 1)) (ring_order 1)
+
 let prop_merge_agreement =
   QCheck.Test.make ~name:"multiring: learners merge identically" ~count:10
     QCheck.(pair (int_range 2 4) (int_range 10 50))
@@ -159,6 +194,8 @@ let suite =
     Alcotest.test_case "buffer overflow halts learner" `Quick test_buffer_overflow_halts;
     Alcotest.test_case "coordinator failure + catch-up" `Quick
       test_coordinator_failure_recovery;
+    Alcotest.test_case "reconfiguration keeps the merge running" `Quick
+      test_reconfigure_keeps_merge_running;
     QCheck_alcotest.to_alcotest prop_merge_agreement ]
 
 let test_groups_share_rings () =

@@ -197,6 +197,63 @@ let test_repair_rearms_through_transient_death () =
   Sim.Engine.run (Simnet.engine net) ~until:0.5;
   Alcotest.(check bool) "repairs resume after the transient death" true (!sent > 0)
 
+let test_fast_forward_starts_at_boundary () =
+  (* A learner activated mid-run (a staged learner joining at a
+     reconfiguration boundary) fast-forwards to the activation instance:
+     everything below is forgotten — never delivered, never treated as a
+     gap — and delivery starts exactly at the boundary. *)
+  let od : int Protocol.Ordered_delivery.t = Protocol.Ordered_delivery.create () in
+  Protocol.Ordered_delivery.note_max od 99 (* pre-activation history *);
+  Protocol.Ordered_delivery.fast_forward od 100;
+  Alcotest.(check int) "next is the boundary" 100 (Protocol.Ordered_delivery.next od);
+  (* Pre-boundary decisions arriving late are ignored... *)
+  Alcotest.(check bool) "stale offer rejected" false
+    (Protocol.Ordered_delivery.offer od ~inst:42 42);
+  (* ...and open no gaps: nothing below the boundary is missing. *)
+  Alcotest.(check (list int)) "no pre-boundary gaps" []
+    (Protocol.Ordered_delivery.missing od ~limit:10 ~complete:(fun _ _ -> true) ());
+  let got = ref [] in
+  ignore (Protocol.Ordered_delivery.offer od ~inst:100 100);
+  ignore (Protocol.Ordered_delivery.offer od ~inst:101 101);
+  Protocol.Ordered_delivery.pump od (fun inst v ->
+      got := (inst, v) :: !got;
+      true);
+  Alcotest.(check (list (pair int int)))
+    "delivery starts at the boundary"
+    [ (100, 100); (101, 101) ]
+    (List.rev !got)
+
+let test_repair_retargets_when_source_leaves () =
+  (* The repair cycle asks one source per attempt; when that source leaves
+     the membership mid-cycle (a retired acceptor), its reply never comes
+     and the cycle must keep re-asking so the caller's rotation reaches a
+     live source.  The first attempts here go to the departed source and
+     vanish; the cycle may not wind down until a later attempt is served. *)
+  let _engine, net = fresh () in
+  let od : int Protocol.Ordered_delivery.t = Protocol.Ordered_delivery.create () in
+  let r = Protocol.Ordered_delivery.repairer () in
+  let attempt = ref 0 in
+  let unanswered = ref 0 in
+  Protocol.Ordered_delivery.note_max od 3 (* instances 0..3 missing *);
+  Protocol.Ordered_delivery.request_repairs r od net ~timeout:0.01 ~cooldown:0.02
+    ~alive:(fun () -> true)
+    ~complete:(fun _ _ -> true)
+    ~send:(fun insts ->
+      incr attempt;
+      (* Rotation over two sources, like the learners' preferential
+         acceptors; source 0 has left the ring and never answers. *)
+      if !attempt mod 2 = 1 then incr unanswered
+      else begin
+        List.iter (fun i -> ignore (Protocol.Ordered_delivery.offer od ~inst:i i)) insts;
+        Protocol.Ordered_delivery.pump od (fun _ _ -> true)
+      end);
+  Sim.Engine.run (Simnet.engine net) ~until:1.0;
+  Alcotest.(check bool) "first target silently departed" true (!unanswered > 0);
+  Alcotest.(check int) "gap healed via the live source" 4
+    (Protocol.Ordered_delivery.next od);
+  Alcotest.(check bool) "cycle quiescent once healed" false
+    (Protocol.Ordered_delivery.repairing r)
+
 let test_repair_gap_after_quiescence () =
   (* A gap heals, the cycle winds down; a second gap opening later must be
      repairable by re-invoking [request_repairs] (the caller contract). *)
@@ -301,6 +358,87 @@ let test_suspicion_does_not_refire_after_reconfiguration () =
   Alcotest.(check int) "exactly one suspicion" 1 !suspicions;
   Alcotest.(check bool) "leader duties running after takeover" true (!emissions > 0)
 
+let test_epoch_change_grants_fresh_grace () =
+  (* A reconfiguration must clear suspicions carried over from the previous
+     epoch: a peer that went silent in the old membership gets a fresh
+     [hb_timeout] of grace after [set_epoch] (before the fix, the stale
+     timestamp survived the boundary and the suspicion re-fired at once).
+     A peer silent through the whole new epoch must still be caught. *)
+  let engine, net = fresh () in
+  let reconf_at = 1.0 in
+  let epoch_installed = ref false in
+  let first_post_epoch = ref nan in
+  let fd =
+    follower_fd net
+      ~leader:(fun () -> false)
+      ~on_suspect:(fun ~stale ->
+        if stale 0 && !epoch_installed && Float.is_nan !first_post_epoch then
+          first_post_epoch := Sim.Engine.now engine)
+  in
+  (* Heartbeats for peer 0 stop well before the reconfiguration, so it is
+     already (legitimately) stale in the old epoch when the boundary
+     crosses... *)
+  let stop =
+    Simnet.every net ~period:hb_period (fun () ->
+        if Sim.Engine.now engine < reconf_at -. (2.0 *. hb_timeout) then
+          Protocol.Failure_detector.heartbeat fd 0)
+  in
+  (* ...the epoch turns over with peer 0 still a member... *)
+  ignore
+    (Simnet.after net reconf_at (fun () ->
+         Protocol.Failure_detector.set_epoch fd ~epoch:1 ~members:[ 0; 1 ];
+         epoch_installed := true;
+         (* The carried-over staleness must not re-fire at the boundary. *)
+         Alcotest.(check bool) "not stale right after set_epoch" false
+           (Protocol.Failure_detector.stale fd 0)));
+  Sim.Engine.run engine ~until:3.0;
+  stop ();
+  Alcotest.(check bool) "member silent through the new epoch is suspected" false
+    (Float.is_nan !first_post_epoch);
+  Alcotest.(check bool) "but only after a fresh post-epoch grace" true
+    (!first_post_epoch >= reconf_at +. hb_timeout -. hb_period)
+
+let test_removed_peer_never_goes_stale () =
+  (* A peer dropped from the membership must never fire a suspicion again,
+     no matter how long it stays silent. *)
+  let engine, net = fresh () in
+  let suspected = ref false in
+  let fd =
+    follower_fd net
+      ~leader:(fun () -> false)
+      ~on_suspect:(fun ~stale -> if stale 0 then suspected := true)
+  in
+  Protocol.Failure_detector.set_epoch fd ~epoch:1 ~members:[ 1; 2 ];
+  Sim.Engine.run engine ~until:3.0;
+  Alcotest.(check bool) "removed peer never suspected" false !suspected;
+  Alcotest.(check bool) "stale is false outside the membership" false
+    (Protocol.Failure_detector.stale fd 0)
+
+let test_old_epoch_heartbeats_dropped () =
+  (* Heartbeats stamped with a pre-reconfiguration epoch are stale
+     evidence of liveness: they must not refresh the peer.  Same-epoch
+     (and unstamped) heartbeats keep counting. *)
+  let engine, net = fresh () in
+  let fd =
+    follower_fd net ~leader:(fun () -> false) ~on_suspect:(fun ~stale:_ -> ())
+  in
+  Protocol.Failure_detector.set_epoch fd ~epoch:2 ~members:[ 0; 1 ];
+  let stamped = Protocol.Failure_detector.last_heartbeat fd 0 in
+  ignore
+    (Simnet.after net 0.5 (fun () ->
+         Protocol.Failure_detector.heartbeat ~epoch:1 fd 0 (* pre-epoch: dropped *)));
+  ignore
+    (Simnet.after net 0.75 (fun () -> Protocol.Failure_detector.heartbeat ~epoch:2 fd 1));
+  Sim.Engine.run engine ~until:1.0;
+  Alcotest.(check (float 1e-9)) "old-epoch heartbeat dropped" stamped
+    (Protocol.Failure_detector.last_heartbeat fd 0);
+  Alcotest.(check (float 1e-9)) "current-epoch heartbeat recorded" 0.75
+    (Protocol.Failure_detector.last_heartbeat fd 1);
+  (* Epochs only move forward: a late set_epoch from a superseded
+     reconfiguration is a no-op. *)
+  Protocol.Failure_detector.set_epoch fd ~epoch:1 ~members:[ 5 ];
+  Alcotest.(check int) "epoch monotonic" 2 (Protocol.Failure_detector.epoch fd)
+
 let test_stop_silences_detector () =
   let engine, net = fresh () in
   let calls = ref 0 in
@@ -336,6 +474,10 @@ let suite =
       test_drain_sink_does_not_recurse_per_item;
     Alcotest.test_case "od: repair re-arms through a transient death" `Quick
       test_repair_rearms_through_transient_death;
+    Alcotest.test_case "od: fast_forward starts delivery at the boundary" `Quick
+      test_fast_forward_starts_at_boundary;
+    Alcotest.test_case "od: repair retargets when the source leaves" `Quick
+      test_repair_retargets_when_source_leaves;
     Alcotest.test_case "od: repair handles a gap after quiescence" `Quick
       test_repair_gap_after_quiescence;
     Alcotest.test_case "fd: no false suspicion while heartbeats flow" `Quick
@@ -344,4 +486,10 @@ let suite =
       test_suspicion_within_timeout_of_crash;
     Alcotest.test_case "fd: reconfiguring suspicion does not re-fire" `Quick
       test_suspicion_does_not_refire_after_reconfiguration;
+    Alcotest.test_case "fd: epoch change grants fresh suspicion grace" `Quick
+      test_epoch_change_grants_fresh_grace;
+    Alcotest.test_case "fd: removed peer never goes stale" `Quick
+      test_removed_peer_never_goes_stale;
+    Alcotest.test_case "fd: old-epoch heartbeats are dropped" `Quick
+      test_old_epoch_heartbeats_dropped;
     Alcotest.test_case "fd: stop silences the monitor" `Quick test_stop_silences_detector ]

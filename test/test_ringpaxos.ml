@@ -231,6 +231,141 @@ let test_mring_gc_frees_memory () =
      proposed. *)
   Alcotest.(check bool) "memory reclaimed" true (coord_mem < 50 * 1024)
 
+(* --- M-Ring dynamic membership ------------------------------------------- *)
+
+let test_mring_reconfigure_under_load () =
+  (* A membership change ordered through the ring itself: traffic submitted
+     before, across and after the boundary is delivered exactly once, in
+     agreement, and the epoch turns over to the requested ring. *)
+  let cfg = { Ringpaxos.Mring.default_config with f = 1 } in
+  let env = make_mring ~config:cfg () in
+  for i = 1 to 30 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:0.2;
+  (* Swap the first ring member for spare 2, keeping the coordinator. *)
+  ignore (Ringpaxos.Mring.reconfigure env.mr ~ring:[ 2; 1 ] ());
+  for i = 31 to 60 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:2.0;
+  Alcotest.(check (list int)) "no loss, no duplication across the epoch"
+    (List.init 60 (fun i -> i + 1))
+    (List.sort compare (seq env 0));
+  Alcotest.(check (list int)) "learners agree" (seq env 0) (seq env 1);
+  Alcotest.(check int) "epoch turned over" 1 (Ringpaxos.Mring.epoch env.mr);
+  Alcotest.(check (list int)) "requested ring installed" [ 2; 1 ]
+    (Ringpaxos.Mring.membership env.mr);
+  Alcotest.(check bool) "reconfiguration finished" false
+    (Ringpaxos.Mring.reconfiguring env.mr)
+
+let test_mring_joiner_catches_up () =
+  (* An acceptor added at runtime enters the ring and must replay the
+     decided prefix below its activation instance via gap repair. *)
+  let cfg = { Ringpaxos.Mring.default_config with f = 1 } in
+  let env = make_mring ~config:cfg () in
+  let joiner = Ringpaxos.Mring.add_acceptor env.mr in
+  for i = 1 to 40 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:0.3;
+  ignore (Ringpaxos.Mring.reconfigure env.mr ~ring:[ joiner; 1 ] ());
+  for i = 41 to 80 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:3.0;
+  Alcotest.(check bool) "joiner finished catching up" false
+    (Ringpaxos.Mring.catching_up env.mr joiner);
+  Alcotest.(check (list int)) "full history delivered"
+    (List.init 80 (fun i -> i + 1))
+    (List.sort compare (seq env 0));
+  Alcotest.(check (list int)) "agreement" (seq env 0) (seq env 1);
+  Alcotest.(check (list int)) "joiner serves in the ring" [ joiner; 1 ]
+    (Ringpaxos.Mring.membership env.mr)
+
+let test_mring_coordinator_handoff () =
+  (* The reconfiguration moves the coordinator role: the old coordinator
+     drains its in-flight instances, transfers its bookkeeping, and the
+     new one takes over without losing or duplicating anything — even
+     when the old coordinator dies right after the handoff. *)
+  let cfg = { Ringpaxos.Mring.default_config with f = 2 } in
+  let env = make_mring ~config:cfg () in
+  for i = 1 to 40 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:0.2;
+  (* Ring [0;1;2] with acc2 coordinating; hand the role to spare 3. *)
+  ignore (Ringpaxos.Mring.reconfigure env.mr ~ring:[ 0; 1; 3 ] ());
+  Sim.Engine.run env.engine ~until:1.0;
+  Ringpaxos.Mring.crash_acceptor env.mr 2;
+  for i = 41 to 80 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:3.0;
+  Alcotest.(check (list int)) "zero lost or duplicated deliveries"
+    (List.init 80 (fun i -> i + 1))
+    (List.sort compare (seq env 0));
+  Alcotest.(check (list int)) "agreement across the handoff" (seq env 0) (seq env 1);
+  Alcotest.(check (list int)) "new coordinator's ring" [ 0; 1; 3 ]
+    (Ringpaxos.Mring.membership env.mr)
+
+let test_mring_staged_learner_delivers_suffix () =
+  (* A learner staged before the run and activated by a reconfiguration
+     delivers exactly the suffix from its activation instance: a
+     contiguous tail of the established order, nothing from before. *)
+  let cfg = { Ringpaxos.Mring.default_config with f = 1 } in
+  let env = make_mring ~config:cfg () in
+  let lrn = Ringpaxos.Mring.stage_learner env.mr ~parts:[ 0 ] in
+  Hashtbl.replace env.seqs lrn (ref []);
+  Hashtbl.replace env.skips lrn (ref 0);
+  Alcotest.(check bool) "staged learner inactive" false
+    (Ringpaxos.Mring.learner_active env.mr lrn);
+  for i = 1 to 30 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:0.3;
+  Alcotest.(check (list int)) "nothing before activation" [] (seq env lrn);
+  ignore (Ringpaxos.Mring.reconfigure env.mr ~add_learners:[ lrn ] ~ring:[ 0; 1 ] ());
+  for i = 31 to 60 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:3.0;
+  Alcotest.(check bool) "activated" true (Ringpaxos.Mring.learner_active env.mr lrn);
+  let full = seq env 0 and suffix = seq env lrn in
+  Alcotest.(check bool) "delivered a non-empty suffix" true (suffix <> []);
+  let skip = List.length full - List.length suffix in
+  Alcotest.(check bool) "suffix no longer than the full history" true (skip >= 0);
+  Alcotest.(check (list int)) "exactly the tail of the total order" suffix
+    (List.filteri (fun i _ -> i >= skip) full)
+
+let test_mring_learner_removal_stops_at_boundary () =
+  (* A removed learner delivers a prefix — nothing past the activation —
+     and its silence must not wedge garbage collection or delivery for
+     the learners that remain. *)
+  let cfg = { Ringpaxos.Mring.default_config with f = 1; gc_period = 0.02 } in
+  let env = make_mring ~config:cfg () in
+  for i = 1 to 30 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:0.3;
+  ignore (Ringpaxos.Mring.reconfigure env.mr ~remove_learners:[ 1 ] ~ring:[ 0; 1 ] ());
+  Sim.Engine.run env.engine ~until:1.0;
+  let frozen = seq env 1 in
+  for i = 31 to 60 do
+    ignore (Ringpaxos.Mring.submit env.mr ~proposer:0 ~size:128 (Cmd i))
+  done;
+  Sim.Engine.run env.engine ~until:3.0;
+  Alcotest.(check bool) "removed learner deactivated" false
+    (Ringpaxos.Mring.learner_active env.mr 1);
+  Alcotest.(check (list int)) "no deliveries past the boundary" frozen (seq env 1);
+  Alcotest.(check (list int)) "remaining learner unaffected"
+    (List.init 60 (fun i -> i + 1))
+    (List.sort compare (seq env 0));
+  (* GC quorum now counts active learners only: memory keeps being
+     reclaimed without learner 1's version reports. *)
+  Alcotest.(check bool) "gc not wedged by the removed learner" true
+    (Simnet.mem (Ringpaxos.Mring.coordinator_proc env.mr) < 50 * 1024)
+
 (* --- U-Ring Paxos --------------------------------------------------------- *)
 
 type uring_env = {
@@ -377,6 +512,13 @@ let suite =
     Alcotest.test_case "mring: acceptor failover via spare" `Quick test_mring_acceptor_failover;
     Alcotest.test_case "mring: sync disk throttles" `Quick test_mring_sync_disk_slower;
     Alcotest.test_case "mring: gc frees memory" `Quick test_mring_gc_frees_memory;
+    Alcotest.test_case "mring: reconfigure under load" `Quick test_mring_reconfigure_under_load;
+    Alcotest.test_case "mring: joiner catches up" `Quick test_mring_joiner_catches_up;
+    Alcotest.test_case "mring: coordinator handoff" `Quick test_mring_coordinator_handoff;
+    Alcotest.test_case "mring: staged learner delivers suffix" `Quick
+      test_mring_staged_learner_delivers_suffix;
+    Alcotest.test_case "mring: learner removal stops at boundary" `Quick
+      test_mring_learner_removal_stops_at_boundary;
     QCheck_alcotest.to_alcotest prop_mring_total_order;
     Alcotest.test_case "uring: basic order" `Quick test_uring_basic;
     Alcotest.test_case "uring: all learners agree" `Quick test_uring_all_learners_agree;
