@@ -165,6 +165,185 @@ let zero_alloc backend =
       Sim.Engine.run_all e;
       !fires)
 
+(* --- simnet message-path workloads (pooled vs boxed) --------------------
+
+   Same virtual run in both modes (the modes are schedule- and
+   RNG-identical by construction), so messages/sec compares wall time for
+   identical work and minor words/message isolates the allocation shape.
+   Jitter and base loss are disabled so the unicast workload exercises the
+   pure zero-allocation Deliver path. *)
+
+let simnet_config =
+  { Simnet.default_config with latency = 1.0e-6; latency_jitter = 0.0 }
+
+let mode_name = function `Pooled -> "pooled" | `Boxed -> "boxed"
+
+(* Build both modes of a workload up front, warm each to steady state
+   (pool, rings and wheel slots grown), then run them in alternating
+   virtual-time slices.  Interleaving means both modes sample the same
+   machine conditions — CPU frequency, cache pressure, neighbours — so
+   the pooled/boxed ratio is stable even when absolute throughput drifts
+   between runs.  Each virtual run is deterministic, so the allocation
+   counts are exact regardless of slicing. *)
+let sim_measure_pair ~workload ~warmup ~until ~slices setup =
+  let ep, fp = setup `Pooled in
+  let eb, fb = setup `Boxed in
+  Gc.compact ();
+  Sim.Engine.run ep ~until:warmup;
+  Sim.Engine.run eb ~until:warmup;
+  let f0p = !fp and f0b = !fb in
+  let tp = ref 0.0 and tb = ref 0.0 and wp = ref 0.0 and wb = ref 0.0 in
+  let step = (until -. warmup) /. float_of_int slices in
+  for k = 1 to slices do
+    let stop = warmup +. (step *. float_of_int k) in
+    let w0 = Gc.minor_words () in
+    let t0 = Sys.time () in
+    Sim.Engine.run ep ~until:stop;
+    tp := !tp +. (Sys.time () -. t0);
+    wp := !wp +. (Gc.minor_words () -. w0);
+    let w0 = Gc.minor_words () in
+    let t0 = Sys.time () in
+    Sim.Engine.run eb ~until:stop;
+    tb := !tb +. (Sys.time () -. t0);
+    wb := !wb +. (Gc.minor_words () -. w0)
+  done;
+  let sample mode n elapsed words =
+    let elapsed = if elapsed <= 0.0 then 1e-9 else elapsed in
+    { workload;
+      backend = mode_name mode;
+      events = n;
+      elapsed_s = elapsed;
+      events_per_sec = float_of_int n /. elapsed;
+      minor_words_per_event = words /. float_of_int (max 1 n) }
+  in
+  [ sample `Pooled (!fp - f0p) !tp !wp; sample `Boxed (!fb - f0b) !tb !wb ]
+
+(* Steady unicast ping-pong over TCP-like connections: 8 independent
+   pairs, each handler echoes the message back.  The measured interval
+   must allocate nothing in pooled mode (CI gates on it). *)
+let net_unicast (mode : Simnet.mode) =
+  let e = Sim.Engine.create () in
+  let rng = Sim.Rng.create 4242 in
+  let net = Simnet.create ~config:simnet_config ~mode e rng in
+  let fires = ref 0 in
+  for i = 0 to 7 do
+    let na = Simnet.add_node net (Printf.sprintf "a%d" i) in
+    let nb = Simnet.add_node net (Printf.sprintf "b%d" i) in
+    let pa = Simnet.add_proc net na "pa" in
+    let pb = Simnet.add_proc net nb "pb" in
+    Simnet.set_handler pb (fun m ->
+        incr fires;
+        Simnet.send net ~src:pb ~dst:pa ~size:m.size m.payload);
+    Simnet.set_handler pa (fun m ->
+        incr fires;
+        Simnet.send net ~src:pa ~dst:pb ~size:m.size m.payload);
+    Simnet.send net ~src:pa ~dst:pb ~size:512 Simnet.Noop
+  done;
+  (e, fires)
+
+(* Switch fan-out: one multicast round of 8 deliveries at a time; the
+   last receiver of a round fires the next round. *)
+let net_fanout (mode : Simnet.mode) =
+  let e = Sim.Engine.create () in
+  let rng = Sim.Rng.create 4243 in
+  let net = Simnet.create ~config:simnet_config ~mode e rng in
+  let fires = ref 0 in
+  let ns = Simnet.add_node net "sender" in
+  let ps = Simnet.add_proc net ns "ps" in
+  let g = Simnet.new_group net "fan" in
+  let pending = ref 0 in
+  for i = 0 to 7 do
+    let n = Simnet.add_node net (Printf.sprintf "r%d" i) in
+    let p = Simnet.add_proc net n "pr" in
+    Simnet.join g p;
+    Simnet.set_handler p (fun m ->
+        incr fires;
+        decr pending;
+        if !pending = 0 then begin
+          pending := 8;
+          Simnet.mcast net ~src:ps g ~size:m.size m.payload
+        end)
+  done;
+  pending := 8;
+  Simnet.mcast net ~src:ps g ~size:512 Simnet.Noop;
+  (e, fires)
+
+(* Window-limited flow: a 4 KB receive window against 1 KB messages keeps
+   a ~64-message backlog parked on the connection, so every delivery goes
+   through a backlog push + drain (ring in pooled mode, tuple queue in
+   boxed mode). *)
+let net_backlog (mode : Simnet.mode) =
+  let e = Sim.Engine.create () in
+  let rng = Sim.Rng.create 4244 in
+  let net = Simnet.create ~config:simnet_config ~mode e rng in
+  let fires = ref 0 in
+  let na = Simnet.add_node net "src" in
+  let nb = Simnet.add_node net "dst" in
+  let pa = Simnet.add_proc net na "pa" in
+  let pb = Simnet.add_proc net nb "pb" in
+  Simnet.set_rcvbuf pb 4096;
+  Simnet.set_handler pb (fun m ->
+      incr fires;
+      Simnet.send net ~src:pa ~dst:pb ~size:m.size m.payload);
+  for _ = 1 to 64 do
+    Simnet.send net ~src:pa ~dst:pb ~size:1024 Simnet.Noop
+  done;
+  (e, fires)
+
+(* The blend the acceptance criterion gates on: ping-pong pairs,
+   deeply backlogged window-limited flows and a periodic multicast
+   fan-out sharing one network.  The window flows keep thousands of
+   messages parked on connections the way an SMR sender parks a deep
+   proposal window: in boxed mode every parked message survives minor
+   collections and is promoted, so the major heap churns at the message
+   rate; in pooled mode the parked population lives in preallocated
+   slots and the GC never sees it. *)
+let net_mixed (mode : Simnet.mode) =
+  let e = Sim.Engine.create () in
+  let rng = Sim.Rng.create 4245 in
+  let net = Simnet.create ~config:simnet_config ~mode e rng in
+  let fires = ref 0 in
+  let g = Simnet.new_group net "all" in
+  for i = 0 to 1 do
+    let na = Simnet.add_node net (Printf.sprintf "a%d" i) in
+    let nb = Simnet.add_node net (Printf.sprintf "b%d" i) in
+    let pa = Simnet.add_proc net na "pa" in
+    let pb = Simnet.add_proc net nb "pb" in
+    Simnet.join g pa;
+    Simnet.join g pb;
+    Simnet.set_handler pb (fun m ->
+        incr fires;
+        if m.dst >= 0 then Simnet.send net ~src:pb ~dst:pa ~size:m.size m.payload);
+    Simnet.set_handler pa (fun m ->
+        incr fires;
+        if m.dst >= 0 then Simnet.send net ~src:pa ~dst:pb ~size:m.size m.payload);
+    Simnet.send net ~src:pa ~dst:pb ~size:256 Simnet.Noop
+  done;
+  for i = 0 to 7 do
+    let nc = Simnet.add_node net (Printf.sprintf "win-src%d" i) in
+    let nd = Simnet.add_node net (Printf.sprintf "win-dst%d" i) in
+    let pc = Simnet.add_proc net nc "pc" in
+    let pd = Simnet.add_proc net nd "pd" in
+    (* 1 MB window over 1 KB messages: ~1024 message records in flight
+       per flow, each alive for the whole window's worth of service
+       time — long enough to survive minor collections in boxed mode. *)
+    Simnet.set_rcvbuf pd (1024 * 1024);
+    Simnet.set_handler pd (fun m ->
+        incr fires;
+        Simnet.send net ~src:pc ~dst:pd ~size:m.size m.payload);
+    for _ = 1 to 2048 do
+      Simnet.send net ~src:pc ~dst:pd ~size:1024 Simnet.Noop
+    done
+  done;
+  let nm = Simnet.add_node net "mc" in
+  let pm = Simnet.add_proc net nm "pm" in
+  let (_cancel : unit -> unit) =
+    Simnet.every_tk net
+      ~ticks:(Sim.Engine.ticks_of_duration 5.0e-5)
+      (fun () -> Simnet.mcast net ~src:pm g ~size:256 Simnet.Noop)
+  in
+  (e, fires)
+
 let json_of_sample s =
   Printf.sprintf
     "{\"workload\":%S,\"backend\":%S,\"events\":%d,\"elapsed_s\":%.6f,\"events_per_sec\":%.1f,\"minor_words_per_event\":%.4f}"
@@ -195,12 +374,57 @@ let run () =
     (speedup "schedule-heavy") (speedup "cancel-heavy") mixed_speedup;
   Printf.printf "zero-alloc path (wheel): %.4f minor words/event\n"
     (find "zero-alloc-ticks" `Wheel).minor_words_per_event;
+  Util.header "Simnet message path (messages/sec, minor words/message)";
+  let net_workloads =
+    [ ("net-unicast", net_unicast, 0.5, 8.5);
+      ("net-fanout", net_fanout, 0.5, 6.5);
+      ("net-backlog", net_backlog, 0.5, 6.5);
+      ("net-mixed", net_mixed, 0.25, 2.75) ]
+  in
+  let net_samples =
+    List.concat_map
+      (fun (workload, setup, warmup, until) ->
+        sim_measure_pair ~workload ~warmup ~until ~slices:16 setup)
+      net_workloads
+  in
+  Printf.printf "%-18s %-6s %12s %14s %10s\n" "workload" "simnet" "messages"
+    "msgs/sec" "words/msg";
+  List.iter
+    (fun s ->
+      Printf.printf "%-18s %-6s %12d %14.0f %10.4f\n" s.workload s.backend
+        s.events s.events_per_sec s.minor_words_per_event)
+    net_samples;
+  let nfind w m =
+    List.find (fun s -> s.workload = w && s.backend = mode_name m) net_samples
+  in
+  let nspeedup w =
+    (nfind w `Pooled).events_per_sec /. (nfind w `Boxed).events_per_sec
+  in
+  let unicast_words = (nfind "net-unicast" `Pooled).minor_words_per_event in
+  Printf.printf
+    "\npooled/boxed speedup: unicast %.2fx, fanout %.2fx, backlog %.2fx, mixed %.2fx\n"
+    (nspeedup "net-unicast") (nspeedup "net-fanout") (nspeedup "net-backlog")
+    (nspeedup "net-mixed");
+  Printf.printf "pooled unicast Deliver path: %.4f minor words/message\n"
+    unicast_words;
   let oc = open_out out_file in
   Printf.fprintf oc
-    "{\n\"bench\":\"engine\",\n\"ticks_per_second\":%d,\n\"samples\":[\n%s\n],\n\"summary\":{\"schedule_speedup\":%.3f,\"cancel_speedup\":%.3f,\"mixed_speedup_wheel_over_heap\":%.3f,\"zero_alloc_minor_words_per_event\":%.4f}\n}\n"
+    "{\n\
+     \"bench\":\"engine\",\n\
+     \"ticks_per_second\":%d,\n\
+     \"samples\":[\n\
+     %s\n\
+     ],\n\
+     \"simnet_samples\":[\n\
+     %s\n\
+     ],\n\
+     \"summary\":{\"schedule_speedup\":%.3f,\"cancel_speedup\":%.3f,\"mixed_speedup_wheel_over_heap\":%.3f,\"zero_alloc_minor_words_per_event\":%.4f,\"simnet_unicast_minor_words_per_msg\":%.4f,\"simnet_mixed_speedup_pooled_over_boxed\":%.3f}\n\
+     }\n"
     Sim.Engine.ticks_per_second
     (String.concat ",\n" (List.map json_of_sample samples))
+    (String.concat ",\n" (List.map json_of_sample net_samples))
     (speedup "schedule-heavy") (speedup "cancel-heavy") mixed_speedup
-    (find "zero-alloc-ticks" `Wheel).minor_words_per_event;
+    (find "zero-alloc-ticks" `Wheel).minor_words_per_event
+    unicast_words (nspeedup "net-mixed");
   close_out oc;
   Printf.printf "wrote %s\n%!" out_file

@@ -72,8 +72,9 @@ let chapters =
     ("ch7", Fig7.all) ]
 
 (* Strip `--json <path>` (machine-readable metrics dump), `--trace <path>`
-   (Chrome trace_event capture) and `--engine <wheel|heap>` (event-queue
-   backend selection) from the argument list before experiment dispatch. *)
+   (Chrome trace_event capture), `--engine <wheel|heap>` (event-queue
+   backend selection) and `--simnet <pooled|boxed>` (message-path mode)
+   from the argument list before experiment dispatch. *)
 let rec extract_output_flags = function
   | [] -> []
   | [ "--json" ] ->
@@ -93,6 +94,12 @@ let rec extract_output_flags = function
       exit 1
   | "--engine" :: b :: rest ->
       Sim.Engine.set_default_backend (Sim.Engine.backend_of_string b);
+      extract_output_flags rest
+  | [ "--simnet" ] ->
+      prerr_endline "--simnet requires a mode (pooled|boxed)";
+      exit 1
+  | "--simnet" :: m :: rest ->
+      Simnet.set_default_mode (Simnet.mode_of_string m);
       extract_output_flags rest
   | a :: rest -> a :: extract_output_flags rest
 

@@ -7,11 +7,16 @@ type t = {
   net : Simnet.t;
   dice : Sim.Rng.t;
   sched : Sim.Rng.t;
-  cuts : (int * int, int) Hashtbl.t;
+  (* Keyed by packed (src, dst) pid pair — 20 bits each, matching the
+     simnet pid space — so the per-message cut lookup in [tap] hashes an
+     immediate int instead of allocating a tuple. *)
+  cuts : (int, int) Hashtbl.t;
   mutable rules : rule list;
   mutable log : (float * string) list;
   mutable r_drops : int;
 }
+
+let cut_key src dst = (src lsl 20) lor (dst land 0xFFFFF)
 
 let note t label = t.log <- (Simnet.now t.net, label) :: t.log
 let events t = List.rev t.log
@@ -24,7 +29,7 @@ let drops t = t.r_drops
    so installing an injector does not perturb the simulation's own
    random sequence. *)
 let tap t (m : Simnet.msg) ~dst =
-  if Hashtbl.mem t.cuts (m.src, Simnet.pid dst) then begin
+  if Hashtbl.mem t.cuts (cut_key m.src (Simnet.pid dst)) then begin
     t.r_drops <- t.r_drops + 1;
     Simnet.Drop
   end
@@ -63,12 +68,12 @@ let at t time f = ignore (Sim.Engine.at (Simnet.engine t.net) ~time f)
 (* --- link cuts ----------------------------------------------------------- *)
 
 let cut t ~src ~dst =
-  let k = (src, dst) in
+  let k = cut_key src dst in
   let n = match Hashtbl.find_opt t.cuts k with Some n -> n | None -> 0 in
   Hashtbl.replace t.cuts k (n + 1)
 
 let heal t ~src ~dst =
-  let k = (src, dst) in
+  let k = cut_key src dst in
   match Hashtbl.find_opt t.cuts k with
   | Some n when n > 1 -> Hashtbl.replace t.cuts k (n - 1)
   | Some _ -> Hashtbl.remove t.cuts k

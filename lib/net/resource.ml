@@ -1,22 +1,56 @@
+(* [free_at] lives in a 1-element float array: a mutable float field in
+   this mixed record would box on every write, and [acquire_tk] runs four
+   times per delivered message on the packet path. *)
 type t = {
   name : string;
-  mutable free_at : float;
+  fl : float array; (* 0: free_at *)
+  mutable last_start_tk : int;
   busy : Sim.Stats.Busy.t;
 }
 
-let create name = { name; free_at = 0.0; busy = Sim.Stats.Busy.create () }
+let tick_scale = float_of_int Sim.Engine.ticks_per_second
+let tick_width = 1.0 /. tick_scale
+
+let create name =
+  { name; fl = Array.make 1 0.0; last_start_tk = 0; busy = Sim.Stats.Busy.create () }
 
 let name t = t.name
 
 let acquire t ~at ~dur =
-  let start = if at > t.free_at then at else t.free_at in
+  let fa = Array.unsafe_get t.fl 0 in
+  let start = if at > fa then at else fa in
   let finish = start +. dur in
-  t.free_at <- finish;
+  Array.unsafe_set t.fl 0 finish;
   Sim.Stats.Busy.add ~at:start t.busy dur;
   (start, finish)
 
-let free_at t = t.free_at
+(* Tick-grid acquisition: starts at the later of [at_tk] and the tick
+   the resource frees up (rounded up, so work booked through the float
+   [acquire] path is still respected), finishes [dur_tk] ticks later.
+   Int-only signature and array-slot floats keep the call allocation
+   free; the granted start lands in [last_start_tk] for callers that
+   trace queueing delay. *)
+let acquire_tk t ~at_tk ~dur_tk =
+  let fa = Array.unsafe_get t.fl 0 in
+  let fa_tk = int_of_float (ceil (fa *. tick_scale)) in
+  let start_tk = if at_tk > fa_tk then at_tk else fa_tk in
+  let finish_tk = start_tk + dur_tk in
+  Array.unsafe_set t.fl 0 (float_of_int finish_tk *. tick_width);
+  Sim.Stats.Busy.add_tk t.busy ~start_tk ~dur_tk;
+  t.last_start_tk <- start_tk;
+  finish_tk
 
-let backlog t ~now = if t.free_at > now then t.free_at -. now else 0.0
+let last_start_tk t = t.last_start_tk
+
+let free_at t = Array.unsafe_get t.fl 0
+
+let backlog t ~now =
+  let fa = Array.unsafe_get t.fl 0 in
+  if fa > now then fa -. now else 0.0
+
+(* [backlog t ~now > limit] with an int-only signature (all float math
+   local, nothing boxed). *)
+let backlog_gt t ~now_tk ~limit_tk =
+  (Array.unsafe_get t.fl 0 *. tick_scale) -. float_of_int now_tk > float_of_int limit_tk
 
 let busy t = t.busy

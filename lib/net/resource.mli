@@ -14,10 +14,26 @@ val name : t -> string
     [(start, finish)] of the granted slot. *)
 val acquire : t -> at:float -> dur:float -> float * float
 
+(** [acquire_tk t ~at_tk ~dur_tk] is tick-grid [acquire]: the slot starts
+    at [max at_tk (ceil free_at)] engine ticks and runs [dur_tk] ticks;
+    returns the finish tick.  Int-only signature — the packet path books
+    NIC and CPU time through here with zero allocation.  Mixes safely
+    with float {!acquire} on the same resource (each sees the other's
+    bookings). *)
+val acquire_tk : t -> at_tk:int -> dur_tk:int -> int
+
+(** Start tick granted by the most recent {!acquire_tk} (for tracing the
+    queueing split without returning a tuple). *)
+val last_start_tk : t -> int
+
 (** [free_at t] is the earliest instant a new acquisition can start. *)
 val free_at : t -> float
 
 (** [backlog t ~now] is how far the resource is booked past [now]. *)
 val backlog : t -> now:float -> float
+
+(** [backlog_gt t ~now_tk ~limit_tk] is [backlog > limit] on the tick
+    grid, without boxing any float. *)
+val backlog_gt : t -> now_tk:int -> limit_tk:int -> bool
 
 val busy : t -> Sim.Stats.Busy.t

@@ -2,14 +2,21 @@ type payload = ..
 
 type payload += Noop
 
-type msg = {
-  src : int;
-  dst : int;
-  size : int;
-  payload : payload;
-  sent_at : float;
-  tid : int;
-}
+(* Tick grid shared with the engine: 2^20 ticks per second.  All hot-path
+   times are integer ticks; the float equivalents below are exact for any
+   tick count < 2^52, so converting back and forth loses nothing. *)
+let tick_scale = float_of_int Sim.Engine.ticks_per_second
+let tick_width = 1.0 /. tick_scale
+
+let[@inline] tf tk = float_of_int tk *. tick_width
+
+(* Round-to-nearest quantization of a duration (matches
+   [Sim.Engine.ticks_of_duration]); never negative. *)
+let[@inline] tk_of_dur d =
+  let x = (d *. tick_scale) +. 0.5 in
+  if x <= 0.0 then 0 else int_of_float x
+
+let nop () = ()
 
 type costs = {
   mutable recv_per_msg : float;
@@ -28,7 +35,42 @@ type node = {
   lat_factor : float;
 }
 
-type proc = {
+(* The message record is pooled: [m_i] carries the pooling/routing state
+   (slot, generation, refcount, per-hop continuations) while the public
+   fields are rewritten in place on every reuse.  In boxed mode each send
+   allocates a fresh record (slot = -1) and the pool is bypassed — the
+   reference implementation the benchmarks compare against. *)
+type msg = {
+  mutable src : int;
+  mutable dst : int;
+  mutable size : int;
+  mutable payload : payload;
+  mutable sent_tk : int;
+  mutable tid : int;
+  m_i : minternal;
+}
+
+and minternal = {
+  slot : int; (* pool registry index; -1 = boxed (not pooled) *)
+  mutable gen : int; (* bumped on recycle: stale refs are detectable *)
+  mutable rc : int; (* 1 while in flight; [retain] adds references *)
+  mutable udp : bool;
+  mutable credit : bool; (* should credit the TCP window when consumed *)
+  mutable srcp : proc;
+  mutable dstp : proc; (* concrete destination (dst = -1 for multicast) *)
+  mutable cn : conn;
+  mutable cepoch : int; (* conn epoch at send: stale credits are voided *)
+  mutable bufep : int; (* rcvbuf epoch at accept: stale credits voided *)
+  mutable arr_tk : int; (* arrival tick at the destination NIC *)
+  (* Per-hop continuations, built once at record birth so steady-state
+     scheduling allocates no closures. *)
+  mutable k1 : unit -> unit; (* arrival: occupy nic_in *)
+  mutable k2 : unit -> unit; (* rx done: buffer accept, occupy cpu *)
+  mutable k3 : unit -> unit; (* served: run handler, reclaim *)
+  mutable kc : unit -> unit; (* consume-only (fault drops) *)
+}
+
+and proc = {
   p_id : int;
   p_name : string;
   p_node : node;
@@ -48,6 +90,28 @@ type proc = {
   mutable p_mem : int;
 }
 
+(* Per-(src,dst) reliable-connection state: [in_flight] counts bytes accepted
+   by the network but not yet consumed by the receiver's handler; sends that
+   would exceed the receiver window wait in the backlog.  Pooled mode keeps
+   the backlog in a grow-only ring of parallel arrays (no allocation per
+   deferred send once the ring has grown); boxed mode uses the legacy queue
+   of tuples. *)
+and conn = {
+  mutable in_flight : int;
+  (* Bumped when [kill] resets the connection: window credits from
+     deliveries accepted under the old incarnation must not decrement the
+     fresh [in_flight] (which would drive it negative and let later sends
+     overrun the receiver window). *)
+  mutable c_epoch : int;
+  mutable b_size : int array;
+  mutable b_sent : int array;
+  mutable b_tid : int array;
+  mutable b_pay : payload array;
+  mutable b_head : int;
+  mutable b_len : int;
+  b_queue : (int * payload * int * int) Queue.t; (* boxed-mode backlog *)
+}
+
 type group = {
   g_id : int;
   g_name : string;
@@ -59,19 +123,6 @@ type group = {
   mutable g_last : float;
   mutable g_pending_bits : float;
   g_senders : (int, float) Hashtbl.t;
-}
-
-(* Per-(src,dst) reliable-connection state: [in_flight] counts bytes accepted
-   by the network but not yet consumed by the receiver's handler; sends that
-   would exceed the receiver window wait in [backlog]. *)
-type conn = {
-  mutable in_flight : int;
-  backlog : (int * payload * float * int) Queue.t;  (* size, payload, sent_at, tid *)
-  (* Bumped when [kill] resets the connection: window credits from
-     deliveries accepted under the old incarnation must not decrement the
-     fresh [in_flight] (which would drive it negative and let later sends
-     overrun the receiver window). *)
-  mutable c_epoch : int;
 }
 
 type config = {
@@ -108,27 +159,93 @@ let default_config =
 (* Verdict of the fault tap for one (message, destination) pair. *)
 type fault = Deliver | Drop | Delay of float | Duplicate of float
 
+(* Two implementations of the message path share every computation that
+   affects timing, randomness, statistics and tracing, so a seeded run is
+   byte-identical across modes.  They differ only in allocation shape:
+   [`Pooled] (default) recycles message records, schedules hops through
+   per-record preallocated closures and parks backlogged sends in a ring;
+   [`Boxed] allocates a fresh record and fresh hop closures per message —
+   the pre-pooling reference used by equivalence tests and benchmarks. *)
+type mode = [ `Pooled | `Boxed ]
+
+let default_mode : mode ref = ref `Pooled
+let set_default_mode m = default_mode := m
+let get_default_mode () = !default_mode
+
+let mode_of_string = function
+  | "pooled" -> `Pooled
+  | "boxed" -> `Boxed
+  | s -> invalid_arg ("Simnet.mode_of_string: " ^ s)
+
 type t = {
   engine : Sim.Engine.t;
   rng : Sim.Rng.t;
   cfg : config;
+  pooled : bool;
+  cell : float array; (* the engine clock cell; reads don't box *)
   mutable nodes : node list;
   procs : (int, proc) Hashtbl.t;
   mutable nprocs : int;
   mutable ngroups : int;
-  conns : (int * int, conn) Hashtbl.t;
+  conns : (int, conn) Hashtbl.t; (* key = src lsl 20 lor dst *)
   mutable mc_drops : int;
   mutable mc_packets : int;
   mutable fault_tap : (msg -> dst:proc -> fault) option;
   mutable fault_drops : int;
   mutable tracer : Trace.t option;
   mutable next_tid : int;
+  dummy_proc : proc;
+  dummy_conn : conn;
+  (* Message pool: [all] registers every record ever born (for audits),
+     [free] is the recycle stack. *)
+  mutable all : msg array;
+  mutable n_all : int;
+  mutable free : msg array;
+  mutable n_free : int;
 }
 
-let create ?(config = default_config) engine rng =
+let new_conn () =
+  { in_flight = 0;
+    c_epoch = 0;
+    b_size = Array.make 8 0;
+    b_sent = Array.make 8 0;
+    b_tid = Array.make 8 0;
+    b_pay = Array.make 8 Noop;
+    b_head = 0;
+    b_len = 0;
+    b_queue = Queue.create () }
+
+let create ?(config = default_config) ?mode engine rng =
+  let mode = match mode with Some m -> m | None -> !default_mode in
+  let dummy_node =
+    { node_id = -1;
+      nname = "<none>";
+      cpu = Resource.create "<none>.cpu";
+      nic_out = Resource.create "<none>.out";
+      nic_in = Resource.create "<none>.in";
+      cpu_factor = 1.0;
+      lat_factor = 1.0 }
+  in
+  let dummy_proc =
+    { p_id = -1;
+      p_name = "<none>";
+      p_node = dummy_node;
+      handler = (fun _ -> ());
+      alive = false;
+      rcvbuf_cap = 0;
+      rcvbuf_used = 0;
+      rcvbuf_epoch = 0;
+      p_costs = default_costs ();
+      p_recv = Sim.Stats.Rate.create ();
+      p_sent = Sim.Stats.Rate.create ();
+      p_drops = 0;
+      p_mem = 0 }
+  in
   { engine;
     rng;
     cfg = config;
+    pooled = (mode = `Pooled);
+    cell = Sim.Engine.now_cell engine;
     nodes = [];
     procs = Hashtbl.create 64;
     nprocs = 0;
@@ -139,11 +256,22 @@ let create ?(config = default_config) engine rng =
     fault_tap = None;
     fault_drops = 0;
     tracer = None;
-    next_tid = 0 }
+    next_tid = 0;
+    dummy_proc;
+    dummy_conn = new_conn ();
+    all = [||];
+    n_all = 0;
+    free = [||];
+    n_free = 0 }
 
 let engine t = t.engine
 let config t = t.cfg
 let now t = Sim.Engine.now t.engine
+let mode t : mode = if t.pooled then `Pooled else `Boxed
+
+(* Current tick, truncating like [Sim.Engine.ticks_of_time]: events fired
+   on the grid read their own tick back exactly. *)
+let[@inline] now_tk t = int_of_float (Array.unsafe_get t.cell 0 *. tick_scale)
 
 let add_node ?(cpu_factor = 1.0) ?(lat_factor = 1.0) t name =
   let id = List.length t.nodes in
@@ -229,6 +357,7 @@ let switch_drops t = t.mc_drops
 let mcast_packets t = t.mc_packets
 let cpu_busy n = Resource.busy n.cpu
 let is_alive p = p.alive
+let sent_at (m : msg) = float_of_int m.sent_tk *. tick_width
 
 let wire_size t size =
   let payload_per_frame = t.cfg.mtu - 48 in
@@ -236,210 +365,523 @@ let wire_size t size =
   let frames = if frames < 1 then 1 else frames in
   size + (frames * t.cfg.frame_overhead)
 
-let trans_time t size = float_of_int (wire_size t size) *. 8.0 /. t.cfg.bandwidth
+(* Serialisation time of [size] payload bytes, in ticks (rounded to
+   nearest).  The float arithmetic is local, so nothing boxes. *)
+let[@inline] trans_tk t size =
+  let secs = float_of_int (wire_size t size) *. 8.0 /. t.cfg.bandwidth in
+  let x = (secs *. tick_scale) +. 0.5 in
+  if x <= 0.0 then 0 else int_of_float x
 
-let prop_delay t src dst =
+(* Propagation delay in ticks.  The jitter draw is skipped when the config
+   disables jitter, which keeps the zero-jitter fast path free of the boxed
+   float [Rng.float] returns; both message-path modes share this function,
+   so their RNG streams stay identical. *)
+let[@inline] prop_tk t src dst =
   let base = t.cfg.latency *. 0.5 *. (src.p_node.lat_factor +. dst.p_node.lat_factor) in
-  base *. (1.0 +. Sim.Rng.float t.rng t.cfg.latency_jitter)
-
-(* Charge the sender CPU and the outgoing link; returns when the last bit
-   leaves the sender NIC.  Each resource acquisition splits into queueing
-   (start - request) and service time; the tracer records both. *)
-let sender_side t ~tid src size =
-  let c = src.p_costs in
-  let at = now t in
-  let cpu_dur =
-    (c.send_per_msg +. (c.send_per_byte *. float_of_int size)) *. src.p_node.cpu_factor
+  let d =
+    if t.cfg.latency_jitter = 0.0 then base
+    else base *. (1.0 +. Sim.Rng.float t.rng t.cfg.latency_jitter)
   in
-  let cpu_start, cpu_done = Resource.acquire src.p_node.cpu ~at ~dur:cpu_dur in
-  let tx_dur = trans_time t size in
-  let tx_start, tx_done = Resource.acquire src.p_node.nic_out ~at:cpu_done ~dur:tx_dur in
-  Sim.Stats.Rate.add src.p_sent ~now:at ~bytes:size;
-  (match t.tracer with
-  | None -> ()
-  | Some tr ->
-      let pid = src.p_id in
-      if cpu_start > at then
-        Trace.span tr ~id:tid ~pid ~cat:"queue" ~name:"send-cpu-wait" ~ts:at
-          ~dur:(cpu_start -. at);
-      Trace.span tr ~id:tid ~pid ~cat:"cpu" ~name:"send-cpu" ~ts:cpu_start ~dur:cpu_dur;
-      if tx_start > cpu_done then
-        Trace.span tr ~id:tid ~pid ~cat:"queue" ~name:"nic-out-wait" ~ts:cpu_done
-          ~dur:(tx_start -. cpu_done);
-      Trace.span tr ~id:tid ~pid ~cat:"wire" ~name:"nic-out" ~ts:tx_start ~dur:tx_dur);
-  tx_done
-
-(* Deliver [m] to [dst]: occupy the incoming link, then the receiver CPU,
-   then invoke the handler.  [on_consumed] fires when the handler returns
-   (used to open the TCP window).  UDP messages are dropped when the socket
-   buffer cannot hold them. *)
-let receiver_side_raw t ~udp ~arrival dst (m : msg) ~on_consumed =
-  let eng = t.engine in
-  ignore
-    (Sim.Engine.at eng ~time:arrival (fun () ->
-         if not dst.alive then begin
-           dst.p_drops <- dst.p_drops + 1;
-           on_consumed ()
-         end
-         else begin
-           let rx_dur = trans_time t m.size in
-           let rx_start, rx_done = Resource.acquire dst.p_node.nic_in ~at:arrival ~dur:rx_dur in
-           (match t.tracer with
-           | None -> ()
-           | Some tr ->
-               let pid = dst.p_id in
-               if rx_start > arrival then
-                 Trace.span tr ~id:m.tid ~pid ~cat:"queue" ~name:"nic-in-wait" ~ts:arrival
-                   ~dur:(rx_start -. arrival);
-               Trace.span tr ~id:m.tid ~pid ~cat:"wire" ~name:"nic-in" ~ts:rx_start ~dur:rx_dur);
-           ignore
-             (Sim.Engine.at eng ~time:rx_done (fun () ->
-                  if not dst.alive then begin
-                    dst.p_drops <- dst.p_drops + 1;
-                    on_consumed ()
-                  end
-                  else if udp && dst.rcvbuf_used + m.size > dst.rcvbuf_cap then begin
-                    dst.p_drops <- dst.p_drops + 1;
-                    (match t.tracer with
-                    | Some tr ->
-                        Trace.instant tr ~id:m.tid ~pid:dst.p_id ~cat:"proto"
-                          ~name:"rcvbuf-drop" ~ts:rx_done
-                    | None -> ());
-                    on_consumed ()
-                  end
-                  else begin
-                    dst.rcvbuf_used <- dst.rcvbuf_used + m.size;
-                    (* [recover] zeroes the buffer and bumps the epoch; a
-                       delivery accepted before the crash must not credit
-                       the fresh buffer back at its (post-recovery) service
-                       time. *)
-                    let epoch = dst.rcvbuf_epoch in
-                    (match t.tracer with
-                    | Some tr ->
-                        Trace.counter tr ~pid:dst.p_id ~name:"rcvbuf" ~ts:rx_done
-                          dst.rcvbuf_used
-                    | None -> ());
-                    let c = dst.p_costs in
-                    let cpu_dur =
-                      (c.recv_per_msg +. (c.recv_per_byte *. float_of_int m.size))
-                      *. dst.p_node.cpu_factor
-                    in
-                    let cpu_start, served =
-                      Resource.acquire dst.p_node.cpu ~at:rx_done ~dur:cpu_dur
-                    in
-                    (match t.tracer with
-                    | None -> ()
-                    | Some tr ->
-                        let pid = dst.p_id in
-                        if cpu_start > rx_done then
-                          Trace.span tr ~id:m.tid ~pid ~cat:"queue" ~name:"recv-cpu-wait"
-                            ~ts:rx_done ~dur:(cpu_start -. rx_done);
-                        Trace.span tr ~id:m.tid ~pid ~cat:"cpu" ~name:"recv-cpu" ~ts:cpu_start
-                          ~dur:cpu_dur);
-                    ignore
-                      (Sim.Engine.at eng ~time:served (fun () ->
-                           if dst.rcvbuf_epoch = epoch then
-                             dst.rcvbuf_used <- dst.rcvbuf_used - m.size;
-                           if dst.alive then begin
-                             Sim.Stats.Rate.add dst.p_recv ~now:served ~bytes:m.size;
-                             dst.handler m
-                           end
-                           else dst.p_drops <- dst.p_drops + 1;
-                           on_consumed ()))
-                  end))
-         end))
-
-(* Every unicast, UDP and multicast delivery funnels through here; the fault
-   tap (when installed) rules on each (message, destination) pair.  A [Drop]
-   must still fire [on_consumed] at the would-be arrival time, otherwise the
-   sender's TCP window accounting leaks [in_flight] bytes and the connection
-   wedges; a [Duplicate] copy uses a no-op [on_consumed] so the window is
-   credited exactly once. *)
-let receiver_side t ~udp ~arrival dst (m : msg) ~on_consumed =
-  match t.fault_tap with
-  | None -> receiver_side_raw t ~udp ~arrival dst m ~on_consumed
-  | Some tap -> (
-      match tap m ~dst with
-      | Deliver -> receiver_side_raw t ~udp ~arrival dst m ~on_consumed
-      | Drop ->
-          t.fault_drops <- t.fault_drops + 1;
-          dst.p_drops <- dst.p_drops + 1;
-          ignore (Sim.Engine.at t.engine ~time:arrival (fun () -> on_consumed ()))
-      | Delay d ->
-          receiver_side_raw t ~udp ~arrival:(arrival +. Float.max 0.0 d) dst m ~on_consumed
-      | Duplicate d ->
-          receiver_side_raw t ~udp ~arrival dst m ~on_consumed;
-          receiver_side_raw t ~udp
-            ~arrival:(arrival +. Float.max 0.0 d)
-            dst m
-            ~on_consumed:(fun () -> ()))
+  let x = (d *. tick_scale) +. 0.5 in
+  if x <= 0.0 then 0 else int_of_float x
 
 let set_fault_tap t tap = t.fault_tap <- tap
 let fault_drops t = t.fault_drops
 let set_cpu_factor n f = n.cpu_factor <- f
 let node_cpu_factor n = n.cpu_factor
 
+(* Connections are keyed by a packed pid pair (20 bits each), so lookup
+   hashes an immediate int and allocates nothing. *)
+let[@inline] conn_key src dst = (src lsl 20) lor (dst land 0xFFFFF)
+
 let conn_of t src dst =
-  let key = (src.p_id, dst.p_id) in
-  match Hashtbl.find_opt t.conns key with
-  | Some c -> c
-  | None ->
-      let c = { in_flight = 0; backlog = Queue.create (); c_epoch = 0 } in
+  let key = conn_key src.p_id dst.p_id in
+  match Hashtbl.find t.conns key with
+  | c -> c
+  | exception Not_found ->
+      let c = new_conn () in
       Hashtbl.add t.conns key c;
       c
 
-let trace_wire t ~tid src ~tx_done ~arrival =
+(* Backlog ring: push may grow (doubling, compacting to index 0); pop is
+   from the head.  Payload slots are cleared on pop/clear so the ring never
+   roots dead payloads. *)
+let ring_push conn ~size ~payload ~sent_tk ~tid =
+  let cap = Array.length conn.b_size in
+  if conn.b_len = cap then begin
+    let ncap = cap * 2 in
+    let ns = Array.make ncap 0
+    and nn = Array.make ncap 0
+    and nt = Array.make ncap 0
+    and np = Array.make ncap Noop in
+    for i = 0 to conn.b_len - 1 do
+      let j = (conn.b_head + i) land (cap - 1) in
+      ns.(i) <- conn.b_size.(j);
+      nn.(i) <- conn.b_sent.(j);
+      nt.(i) <- conn.b_tid.(j);
+      np.(i) <- conn.b_pay.(j)
+    done;
+    conn.b_size <- ns;
+    conn.b_sent <- nn;
+    conn.b_tid <- nt;
+    conn.b_pay <- np;
+    conn.b_head <- 0
+  end;
+  let mask = Array.length conn.b_size - 1 in
+  let idx = (conn.b_head + conn.b_len) land mask in
+  Array.unsafe_set conn.b_size idx size;
+  Array.unsafe_set conn.b_sent idx sent_tk;
+  Array.unsafe_set conn.b_tid idx tid;
+  conn.b_pay.(idx) <- payload;
+  conn.b_len <- conn.b_len + 1
+
+let clear_backlog conn =
+  let mask = Array.length conn.b_size - 1 in
+  for i = 0 to conn.b_len - 1 do
+    conn.b_pay.((conn.b_head + i) land mask) <- Noop
+  done;
+  conn.b_head <- 0;
+  conn.b_len <- 0;
+  Queue.clear conn.b_queue
+
+(* Wire-propagation span, emitted at send time in both modes (also for
+   messages a fault tap later drops or delays, like the pre-tap model). *)
+let trace_prop t ~tid src ~tx_done_tk ~arr_tk =
   match t.tracer with
   | None -> ()
-  | Some tr ->
-      Trace.span tr ~id:tid ~pid:src.p_id ~cat:"wire" ~name:"prop" ~ts:tx_done
-        ~dur:(arrival -. tx_done)
+  | Some tr when Trace.enabled tr ->
+      Trace.span tr ~id:tid ~pid:src.p_id ~cat:"wire" ~name:"prop" ~ts:(tf tx_done_tk)
+        ~dur:(tf (arr_tk - tx_done_tk))
+  | Some _ -> ()
 
-let rec tcp_transmit t src dst size payload sent_at tid =
-  let tx_done = sender_side t ~tid src size in
-  let arrival = tx_done +. prop_delay t src dst in
-  trace_wire t ~tid src ~tx_done ~arrival;
-  let m = { src = src.p_id; dst = dst.p_id; size; payload; sent_at; tid } in
-  let conn = conn_of t src dst in
-  let epoch = conn.c_epoch in
-  receiver_side t ~udp:false ~arrival dst m ~on_consumed:(fun () ->
-      if conn.c_epoch = epoch then begin
-        conn.in_flight <- conn.in_flight - size;
-        tcp_drain t src dst conn
-      end)
+(* Charge the sender CPU and the outgoing link; returns the tick when the
+   last bit leaves the sender NIC.  Each resource acquisition splits into
+   queueing (start - request) and service time; the tracer records both.
+   The first wait span is measured from the true (possibly off-grid) clock
+   so trace output is identical across modes and unchanged by quantization
+   of later hops. *)
+let sender_side_tk t ~tid src size =
+  let c = src.p_costs in
+  let now_f = Array.unsafe_get t.cell 0 in
+  let at_tk = now_tk t in
+  let cpu_tk =
+    let d = (c.send_per_msg +. (c.send_per_byte *. float_of_int size)) *. src.p_node.cpu_factor in
+    let x = (d *. tick_scale) +. 0.5 in
+    if x <= 0.0 then 0 else int_of_float x
+  in
+  (* Boxed mode books the identical slot through the legacy float
+     [Resource.acquire]: every input is an exact grid float, so the booking
+     and busy accounting match [acquire_tk] bit for bit — only the tuple
+     and boxed floats it allocates differ, which is the reference cost the
+     benchmarks measure. *)
+  let cpu_done_tk, cpu_start_tk =
+    if t.pooled then begin
+      let f = Resource.acquire_tk src.p_node.cpu ~at_tk ~dur_tk:cpu_tk in
+      (f, Resource.last_start_tk src.p_node.cpu)
+    end
+    else begin
+      let s, f = Resource.acquire src.p_node.cpu ~at:(tf at_tk) ~dur:(tf cpu_tk) in
+      (int_of_float (f *. tick_scale), int_of_float (s *. tick_scale))
+    end
+  in
+  let tx_tk = trans_tk t size in
+  let tx_done_tk, tx_start_tk =
+    if t.pooled then begin
+      let f = Resource.acquire_tk src.p_node.nic_out ~at_tk:cpu_done_tk ~dur_tk:tx_tk in
+      (f, Resource.last_start_tk src.p_node.nic_out)
+    end
+    else begin
+      let s, f = Resource.acquire src.p_node.nic_out ~at:(tf cpu_done_tk) ~dur:(tf tx_tk) in
+      (int_of_float (f *. tick_scale), int_of_float (s *. tick_scale))
+    end
+  in
+  (* identical accounting either way; the boxed reference keeps the
+     legacy float entry point (the [~now] argument boxes at the call) *)
+  if t.pooled then Sim.Stats.Rate.add_cell src.p_sent ~now_cell:t.cell ~bytes:size
+  else Sim.Stats.Rate.add src.p_sent ~now:(Array.unsafe_get t.cell 0) ~bytes:size;
+  (match t.tracer with
+  | None -> ()
+  | Some tr when Trace.enabled tr ->
+      let pid = src.p_id in
+      let cpu_start = tf cpu_start_tk in
+      if cpu_start > now_f then
+        Trace.span tr ~id:tid ~pid ~cat:"queue" ~name:"send-cpu-wait" ~ts:now_f
+          ~dur:(cpu_start -. now_f);
+      Trace.span tr ~id:tid ~pid ~cat:"cpu" ~name:"send-cpu" ~ts:cpu_start ~dur:(tf cpu_tk);
+      let cpu_done = tf cpu_done_tk in
+      let tx_start = tf tx_start_tk in
+      if tx_start > cpu_done then
+        Trace.span tr ~id:tid ~pid ~cat:"queue" ~name:"nic-out-wait" ~ts:cpu_done
+          ~dur:(tx_start -. cpu_done);
+      Trace.span tr ~id:tid ~pid ~cat:"wire" ~name:"nic-out" ~ts:tx_start ~dur:(tf tx_tk)
+  | Some _ -> ());
+  tx_done_tk
 
-and tcp_drain t src dst conn =
-  let window = dst.rcvbuf_cap in
-  let continue = ref true in
-  while !continue do
-    match Queue.peek_opt conn.backlog with
-    | Some (size, _, _, _) when conn.in_flight + size <= window || conn.in_flight = 0 ->
-        let size, payload, sent_at, tid = Queue.pop conn.backlog in
-        conn.in_flight <- conn.in_flight + size;
-        tcp_transmit t src dst size payload sent_at tid
-    | _ -> continue := false
-  done
+(* ------------------------------------------------------------------ *)
+(* The message path.  One pipeline, two scheduling disciplines:       *)
+(* pooled mode arms the record's preallocated continuations with      *)
+(* [Engine.at_ticks]; boxed mode builds a fresh closure per hop and   *)
+(* schedules it at the same absolute grid time with [Engine.at].      *)
+(* Both make identical engine insertions (times, order), consume the  *)
+(* RNG identically and emit identical trace records.                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec stage_arrival t m =
+  let i = m.m_i in
+  let dst = i.dstp in
+  if not dst.alive then begin
+    dst.p_drops <- dst.p_drops + 1;
+    finish_msg t m
+  end
+  else begin
+    let at_tk = now_tk t in
+    let rx_tk = trans_tk t m.size in
+    let rx_done_tk, rx_start_tk =
+      if t.pooled then begin
+        let f = Resource.acquire_tk dst.p_node.nic_in ~at_tk ~dur_tk:rx_tk in
+        (f, Resource.last_start_tk dst.p_node.nic_in)
+      end
+      else begin
+        let s, f = Resource.acquire dst.p_node.nic_in ~at:(tf at_tk) ~dur:(tf rx_tk) in
+        (int_of_float (f *. tick_scale), int_of_float (s *. tick_scale))
+      end
+    in
+    (match t.tracer with
+    | None -> ()
+    | Some tr when Trace.enabled tr ->
+        let pid = dst.p_id in
+        let arrival = Array.unsafe_get t.cell 0 in
+        let rx_start = tf rx_start_tk in
+        if rx_start > arrival then
+          Trace.span tr ~id:m.tid ~pid ~cat:"queue" ~name:"nic-in-wait" ~ts:arrival
+            ~dur:(rx_start -. arrival);
+        Trace.span tr ~id:m.tid ~pid ~cat:"wire" ~name:"nic-in" ~ts:rx_start ~dur:(tf rx_tk)
+    | Some _ -> ());
+    if t.pooled then ignore (Sim.Engine.at_ticks t.engine ~tick:rx_done_tk i.k2)
+    else ignore (Sim.Engine.at t.engine ~time:(tf rx_done_tk) (fun () -> stage_rxdone t m))
+  end
+
+and stage_rxdone t m =
+  let i = m.m_i in
+  let dst = i.dstp in
+  if not dst.alive then begin
+    dst.p_drops <- dst.p_drops + 1;
+    finish_msg t m
+  end
+  else if i.udp && dst.rcvbuf_used + m.size > dst.rcvbuf_cap then begin
+    dst.p_drops <- dst.p_drops + 1;
+    (match t.tracer with
+    | Some tr when Trace.enabled tr ->
+        Trace.instant tr ~id:m.tid ~pid:dst.p_id ~cat:"proto" ~name:"rcvbuf-drop"
+          ~ts:(Array.unsafe_get t.cell 0)
+    | _ -> ());
+    finish_msg t m
+  end
+  else begin
+    dst.rcvbuf_used <- dst.rcvbuf_used + m.size;
+    (* [recover] zeroes the buffer and bumps the epoch; a delivery accepted
+       before the crash must not credit the fresh buffer back at its
+       (post-recovery) service time. *)
+    i.bufep <- dst.rcvbuf_epoch;
+    (match t.tracer with
+    | Some tr when Trace.enabled tr ->
+        Trace.counter tr ~pid:dst.p_id ~name:"rcvbuf" ~ts:(Array.unsafe_get t.cell 0)
+          dst.rcvbuf_used
+    | _ -> ());
+    let c = dst.p_costs in
+    let at_tk = now_tk t in
+    let cpu_tk =
+      let d = (c.recv_per_msg +. (c.recv_per_byte *. float_of_int m.size)) *. dst.p_node.cpu_factor in
+      let x = (d *. tick_scale) +. 0.5 in
+      if x <= 0.0 then 0 else int_of_float x
+    in
+    let served_tk, cpu_start_tk =
+      if t.pooled then begin
+        let f = Resource.acquire_tk dst.p_node.cpu ~at_tk ~dur_tk:cpu_tk in
+        (f, Resource.last_start_tk dst.p_node.cpu)
+      end
+      else begin
+        let s, f = Resource.acquire dst.p_node.cpu ~at:(tf at_tk) ~dur:(tf cpu_tk) in
+        (int_of_float (f *. tick_scale), int_of_float (s *. tick_scale))
+      end
+    in
+    (match t.tracer with
+    | None -> ()
+    | Some tr when Trace.enabled tr ->
+        let pid = dst.p_id in
+        let rx_done = Array.unsafe_get t.cell 0 in
+        let cpu_start = tf cpu_start_tk in
+        if cpu_start > rx_done then
+          Trace.span tr ~id:m.tid ~pid ~cat:"queue" ~name:"recv-cpu-wait" ~ts:rx_done
+            ~dur:(cpu_start -. rx_done);
+        Trace.span tr ~id:m.tid ~pid ~cat:"cpu" ~name:"recv-cpu" ~ts:cpu_start ~dur:(tf cpu_tk)
+    | Some _ -> ());
+    if t.pooled then ignore (Sim.Engine.at_ticks t.engine ~tick:served_tk i.k3)
+    else ignore (Sim.Engine.at t.engine ~time:(tf served_tk) (fun () -> stage_served t m))
+  end
+
+and stage_served t m =
+  let i = m.m_i in
+  let dst = i.dstp in
+  if dst.rcvbuf_epoch = i.bufep then dst.rcvbuf_used <- dst.rcvbuf_used - m.size;
+  if dst.alive then begin
+    if t.pooled then Sim.Stats.Rate.add_cell dst.p_recv ~now_cell:t.cell ~bytes:m.size
+    else Sim.Stats.Rate.add dst.p_recv ~now:(Array.unsafe_get t.cell 0) ~bytes:m.size;
+    dst.handler m
+  end
+  else dst.p_drops <- dst.p_drops + 1;
+  finish_msg t m
+
+(* Every terminal point of a message's life funnels here: credit the TCP
+   window (unless the connection epoch moved), reclaim the record, then
+   drain the sender's backlog.  The reclaim happens before the drain so a
+   freed slot can carry the very next transmission. *)
+and finish_msg t m =
+  let i = m.m_i in
+  let cn = i.cn in
+  let srcp = i.srcp in
+  let dstp = i.dstp in
+  let size = m.size in
+  let credit = i.credit && cn.c_epoch = i.cepoch in
+  release_msg t m;
+  if credit then begin
+    cn.in_flight <- cn.in_flight - size;
+    tcp_drain t srcp dstp cn
+  end
+
+and release_msg t m =
+  let i = m.m_i in
+  if i.slot >= 0 then begin
+    if i.rc <= 0 then invalid_arg "Simnet: message released twice";
+    i.rc <- i.rc - 1;
+    if i.rc = 0 then begin
+      i.gen <- i.gen + 1;
+      m.payload <- Noop;
+      i.srcp <- t.dummy_proc;
+      i.dstp <- t.dummy_proc;
+      i.cn <- t.dummy_conn;
+      push_free t m
+    end
+  end
+
+and push_free t m =
+  let cap = Array.length t.free in
+  if t.n_free = cap then begin
+    let nf = Array.make (if cap = 0 then 64 else cap * 2) m in
+    Array.blit t.free 0 nf 0 t.n_free;
+    t.free <- nf
+  end;
+  Array.unsafe_set t.free t.n_free m;
+  t.n_free <- t.n_free + 1
+
+and register_msg t m =
+  let cap = Array.length t.all in
+  if t.n_all = cap then begin
+    let na = Array.make (if cap = 0 then 64 else cap * 2) m in
+    Array.blit t.all 0 na 0 t.n_all;
+    t.all <- na
+  end;
+  t.all.(t.n_all) <- m;
+  t.n_all <- t.n_all + 1
+
+(* Birth of a pooled record: the hop continuations capture the record once
+   and are reused for its whole life across recycles. *)
+and birth t =
+  let i =
+    { slot = t.n_all;
+      gen = 0;
+      rc = 0;
+      udp = false;
+      credit = false;
+      srcp = t.dummy_proc;
+      dstp = t.dummy_proc;
+      cn = t.dummy_conn;
+      cepoch = 0;
+      bufep = 0;
+      arr_tk = 0;
+      k1 = nop;
+      k2 = nop;
+      k3 = nop;
+      kc = nop }
+  in
+  let m = { src = 0; dst = 0; size = 0; payload = Noop; sent_tk = 0; tid = 0; m_i = i } in
+  i.k1 <- (fun () -> stage_arrival t m);
+  i.k2 <- (fun () -> stage_rxdone t m);
+  i.k3 <- (fun () -> stage_served t m);
+  i.kc <- (fun () -> finish_msg t m);
+  register_msg t m;
+  m
+
+and acquire_msg t =
+  if not t.pooled then begin
+    (* Boxed reference mode: a fresh record per message, reclaimed by the
+       GC; the hop continuations stay [nop] (fresh closures are built at
+       each scheduling point instead, reproducing the legacy shape). *)
+    let i =
+      { slot = -1;
+        gen = 0;
+        rc = 1;
+        udp = false;
+        credit = false;
+        srcp = t.dummy_proc;
+        dstp = t.dummy_proc;
+        cn = t.dummy_conn;
+        cepoch = 0;
+        bufep = 0;
+        arr_tk = 0;
+        k1 = nop;
+        k2 = nop;
+        k3 = nop;
+        kc = nop }
+    in
+    { src = 0; dst = 0; size = 0; payload = Noop; sent_tk = 0; tid = 0; m_i = i }
+  end
+  else begin
+    if t.n_free = 0 then push_free t (birth t);
+    t.n_free <- t.n_free - 1;
+    let m = Array.unsafe_get t.free t.n_free in
+    m.m_i.rc <- 1;
+    m
+  end
+
+(* Fault-tap dispatch for one (message, destination) pair, then scheduling
+   of the arrival hop.  A [Drop] still runs the consume hop at the would-be
+   arrival time, otherwise the sender's TCP window accounting leaks
+   [in_flight] bytes and the connection wedges; a [Duplicate] copy carries
+   no window credit so the window is credited exactly once. *)
+and transmit t m ~arrival_tk =
+  let i = m.m_i in
+  match t.fault_tap with
+  | None ->
+      i.arr_tk <- arrival_tk;
+      sched_arrival t m
+  | Some tap -> (
+      match tap m ~dst:i.dstp with
+      | Deliver ->
+          i.arr_tk <- arrival_tk;
+          sched_arrival t m
+      | Drop ->
+          t.fault_drops <- t.fault_drops + 1;
+          i.dstp.p_drops <- i.dstp.p_drops + 1;
+          if t.pooled then ignore (Sim.Engine.at_ticks t.engine ~tick:arrival_tk i.kc)
+          else ignore (Sim.Engine.at t.engine ~time:(tf arrival_tk) (fun () -> finish_msg t m))
+      | Delay d ->
+          i.arr_tk <- arrival_tk + tk_of_dur (Float.max 0.0 d);
+          sched_arrival t m
+      | Duplicate d ->
+          i.arr_tk <- arrival_tk;
+          sched_arrival t m;
+          let dup = acquire_msg t in
+          let di = dup.m_i in
+          dup.src <- m.src;
+          dup.dst <- m.dst;
+          dup.size <- m.size;
+          dup.payload <- m.payload;
+          dup.sent_tk <- m.sent_tk;
+          dup.tid <- m.tid;
+          di.udp <- i.udp;
+          di.credit <- false;
+          di.srcp <- i.srcp;
+          di.dstp <- i.dstp;
+          di.cn <- t.dummy_conn;
+          di.cepoch <- 0;
+          di.arr_tk <- arrival_tk + tk_of_dur (Float.max 0.0 d);
+          sched_arrival t dup)
+
+and sched_arrival t m =
+  let i = m.m_i in
+  if t.pooled then ignore (Sim.Engine.at_ticks t.engine ~tick:i.arr_tk i.k1)
+  else ignore (Sim.Engine.at t.engine ~time:(tf i.arr_tk) (fun () -> stage_arrival t m))
+
+and tcp_transmit t srcp dstp cn size payload sent_tk tid =
+  let tx_done_tk = sender_side_tk t ~tid srcp size in
+  let arr_tk = tx_done_tk + prop_tk t srcp dstp in
+  trace_prop t ~tid srcp ~tx_done_tk ~arr_tk;
+  let m = acquire_msg t in
+  let i = m.m_i in
+  m.src <- srcp.p_id;
+  m.dst <- dstp.p_id;
+  m.size <- size;
+  m.payload <- payload;
+  m.sent_tk <- sent_tk;
+  m.tid <- tid;
+  i.udp <- false;
+  i.credit <- true;
+  i.srcp <- srcp;
+  i.dstp <- dstp;
+  i.cn <- cn;
+  i.cepoch <- cn.c_epoch;
+  transmit t m ~arrival_tk:arr_tk
+
+and tcp_drain t srcp dstp cn =
+  let window = dstp.rcvbuf_cap in
+  if t.pooled then begin
+    let continue = ref true in
+    while !continue && cn.b_len > 0 do
+      let head = cn.b_head in
+      let size = Array.unsafe_get cn.b_size head in
+      if cn.in_flight + size <= window || cn.in_flight = 0 then begin
+        let payload = cn.b_pay.(head) in
+        let sent_tk = Array.unsafe_get cn.b_sent head in
+        let tid = Array.unsafe_get cn.b_tid head in
+        cn.b_pay.(head) <- Noop;
+        cn.b_head <- (head + 1) land (Array.length cn.b_size - 1);
+        cn.b_len <- cn.b_len - 1;
+        cn.in_flight <- cn.in_flight + size;
+        tcp_transmit t srcp dstp cn size payload sent_tk tid
+      end
+      else continue := false
+    done
+  end
+  else begin
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt cn.b_queue with
+      | Some (size, _, _, _) when cn.in_flight + size <= window || cn.in_flight = 0 ->
+          let size, payload, sent_tk, tid = Queue.pop cn.b_queue in
+          cn.in_flight <- cn.in_flight + size;
+          tcp_transmit t srcp dstp cn size payload sent_tk tid
+      | _ -> continue := false
+    done
+  end
 
 let send ?tid t ~src ~dst ~size payload =
   let tid = match tid with Some x -> x | None -> alloc_tid t in
-  let conn = conn_of t src dst in
+  let cn = conn_of t src dst in
   let window = dst.rcvbuf_cap in
-  if Queue.is_empty conn.backlog && (conn.in_flight + size <= window || conn.in_flight = 0)
-  then begin
-    conn.in_flight <- conn.in_flight + size;
-    tcp_transmit t src dst size payload (now t) tid
+  let backlog_empty = if t.pooled then cn.b_len = 0 else Queue.is_empty cn.b_queue in
+  if backlog_empty && (cn.in_flight + size <= window || cn.in_flight = 0) then begin
+    cn.in_flight <- cn.in_flight + size;
+    tcp_transmit t src dst cn size payload (now_tk t) tid
   end
-  else Queue.push (size, payload, now t, tid) conn.backlog
+  else if t.pooled then ring_push cn ~size ~payload ~sent_tk:(now_tk t) ~tid
+  else Queue.push (size, payload, now_tk t, tid) cn.b_queue
 
 let udp ?tid t ~src ~dst ~size payload =
   let tid = match tid with Some x -> x | None -> alloc_tid t in
-  if Sim.Rng.bool t.rng t.cfg.udp_base_loss then dst.p_drops <- dst.p_drops + 1
+  (* The base-loss draw is skipped when the config disables it (shared by
+     both modes, so RNG streams stay identical). *)
+  if t.cfg.udp_base_loss > 0.0 && Sim.Rng.bool t.rng t.cfg.udp_base_loss then
+    dst.p_drops <- dst.p_drops + 1
   else begin
-    let tx_done = sender_side t ~tid src size in
-    let arrival = tx_done +. prop_delay t src dst in
-    trace_wire t ~tid src ~tx_done ~arrival;
-    let m = { src = src.p_id; dst = dst.p_id; size; payload; sent_at = now t; tid } in
-    receiver_side t ~udp:true ~arrival dst m ~on_consumed:(fun () -> ())
+    let tx_done_tk = sender_side_tk t ~tid src size in
+    let arr_tk = tx_done_tk + prop_tk t src dst in
+    trace_prop t ~tid src ~tx_done_tk ~arr_tk;
+    let m = acquire_msg t in
+    let i = m.m_i in
+    m.src <- src.p_id;
+    m.dst <- dst.p_id;
+    m.size <- size;
+    m.payload <- payload;
+    m.sent_tk <- now_tk t;
+    m.tid <- tid;
+    i.udp <- true;
+    i.credit <- false;
+    i.srcp <- src;
+    i.dstp <- dst;
+    i.cn <- t.dummy_conn;
+    i.cepoch <- 0;
+    transmit t m ~arrival_tk:arr_tk
   end
 
 let new_group t name =
@@ -493,16 +935,22 @@ let mc_loss_prob t g =
     let p = (g.g_rate -. thr) /. (0.25 *. cap) in
     Float.min 0.30 (Float.max t.cfg.udp_base_loss p)
 
+(* Egress-port overrun threshold: 20 ms of booked backlog (truncated to the
+   grid; every nic_in booking is tick-aligned so the comparison is exact). *)
+let overrun_tk = int_of_float (0.02 *. tick_scale)
+
 let mcast ?(loopback = false) ?tid t ~src g ~size payload =
   if not t.cfg.multicast_available then
     failwith "Simnet.mcast: ip-multicast unavailable in this deployment";
   let tid = match tid with Some x -> x | None -> alloc_tid t in
-  let sent_at = now t in
-  let tx_done = sender_side t ~tid src size in
+  let sent_tk = now_tk t in
+  let tx_done_tk = sender_side_tk t ~tid src size in
   (* The switch sees the packet when the NIC has finished serialising it, so
-     back-to-back bursts are paced at line rate before the loss model runs. *)
+     back-to-back bursts are paced at line rate before the loss model runs.
+     The switch closure is per-call in both modes (fan-out is not the
+     zero-allocation path; the per-destination records still pool). *)
   ignore
-    (Sim.Engine.at t.engine ~time:tx_done (fun () ->
+    (Sim.Engine.at_ticks t.engine ~tick:tx_done_tk (fun () ->
          t.mc_packets <- t.mc_packets + 1;
          mc_update t g src (float_of_int (wire_size t size) *. 8.0);
          let p_loss = mc_loss_prob t g in
@@ -511,26 +959,57 @@ let mcast ?(loopback = false) ?tid t ~src g ~size payload =
              if dst != src || loopback then begin
                (* An egress port whose queue has run away also sheds the
                   packet (switch egress buffering is finite). *)
-               let port_overrun = Resource.backlog dst.p_node.nic_in ~now:tx_done > 0.02 in
-               if port_overrun || Sim.Rng.bool t.rng p_loss then begin
+               let port_overrun =
+                 Resource.backlog_gt dst.p_node.nic_in ~now_tk:tx_done_tk ~limit_tk:overrun_tk
+               in
+               if port_overrun || (p_loss > 0.0 && Sim.Rng.bool t.rng p_loss) then begin
                  dst.p_drops <- dst.p_drops + 1;
                  t.mc_drops <- t.mc_drops + 1;
                  match t.tracer with
-                 | Some tr ->
+                 | Some tr when Trace.enabled tr ->
                      Trace.instant tr ~id:tid ~pid:dst.p_id ~cat:"proto" ~name:"switch-drop"
-                       ~ts:tx_done
-                 | None -> ()
+                       ~ts:(Array.unsafe_get t.cell 0)
+                 | _ -> ()
                end
                else begin
-                 let arrival = tx_done +. prop_delay t src dst in
-                 trace_wire t ~tid src ~tx_done ~arrival;
-                 let m = { src = src.p_id; dst = -1; size; payload; sent_at; tid } in
-                 receiver_side t ~udp:true ~arrival dst m ~on_consumed:(fun () -> ())
+                 let arr_tk = tx_done_tk + prop_tk t src dst in
+                 trace_prop t ~tid src ~tx_done_tk ~arr_tk;
+                 let m = acquire_msg t in
+                 let i = m.m_i in
+                 m.src <- src.p_id;
+                 m.dst <- -1;
+                 m.size <- size;
+                 m.payload <- payload;
+                 m.sent_tk <- sent_tk;
+                 m.tid <- tid;
+                 i.udp <- true;
+                 i.credit <- false;
+                 i.srcp <- src;
+                 i.dstp <- dst;
+                 i.cn <- t.dummy_conn;
+                 i.cepoch <- 0;
+                 transmit t m ~arrival_tk:arr_tk
                end
              end)
            g.g_members))
 
+(* {1 Message-pool public API} *)
+
+let retain _t m =
+  let i = m.m_i in
+  if i.slot >= 0 then i.rc <- i.rc + 1
+
+let release t m = release_msg t m
+let msg_generation m = m.m_i.gen
+let msg_refcount m = m.m_i.rc
+let pool_allocated t = t.n_all
+let pool_free t = t.n_free
+
+(* {1 Timers} *)
+
 let after t delay f = Sim.Engine.schedule t.engine ~delay f
+
+let after_tk t ~ticks f = Sim.Engine.schedule_ticks t.engine ~ticks f
 
 let cancel t h = Sim.Engine.cancel t.engine h
 
@@ -545,6 +1024,20 @@ let every t ~period f =
   ignore (Sim.Engine.schedule t.engine ~delay:period tick);
   fun () -> stopped := true
 
+(* Tick-period variant: the recurring closure is allocated once and each
+   re-arm passes an integer, so periodic protocol timers (heartbeats,
+   batch flushes) run allocation-free. *)
+let every_tk t ~ticks f =
+  let stopped = ref false in
+  let rec tick () =
+    if not !stopped then begin
+      f ();
+      ignore (Sim.Engine.schedule_ticks t.engine ~ticks tick)
+    end
+  in
+  ignore (Sim.Engine.schedule_ticks t.engine ~ticks tick);
+  fun () -> stopped := true
+
 let charge_cpu t p dur =
   if dur > 0.0 then
     ignore (Resource.acquire p.p_node.cpu ~at:(now t) ~dur:(dur *. p.p_node.cpu_factor))
@@ -555,34 +1048,36 @@ let exec t p ~dur k =
   let start, finish = Resource.acquire p.p_node.cpu ~at ~dur in
   (match t.tracer with
   | None -> ()
-  | Some tr ->
+  | Some tr when Trace.enabled tr ->
       if start > at then
         Trace.span tr ~pid:p.p_id ~cat:"queue" ~name:"exec-wait" ~ts:at ~dur:(start -. at);
-      Trace.span tr ~pid:p.p_id ~cat:"exec" ~name:"exec" ~ts:start ~dur);
+      Trace.span tr ~pid:p.p_id ~cat:"exec" ~name:"exec" ~ts:start ~dur
+  | Some _ -> ());
   ignore (Sim.Engine.at t.engine ~time:finish (fun () -> if p.alive then k ()))
 
 let kill t p =
   p.alive <- false;
   Hashtbl.iter
-    (fun (src, dst) conn ->
+    (fun key conn ->
+      let src = key lsr 20 and dst = key land 0xFFFFF in
       (* Connection state to a crashed process is reset so a later recovery
          starts from a clean window; the epoch bump stops in-flight window
          credits from the old incarnation reaching the fresh counter. *)
       if dst = p.p_id then begin
         conn.in_flight <- 0;
-        Queue.clear conn.backlog;
+        clear_backlog conn;
         conn.c_epoch <- conn.c_epoch + 1
       end
       (* The crashed process's own un-transmitted sends are volatile state:
          they must not resurrect and transmit after recovery (bytes already
          accepted in flight stay accounted — they are on the wire, and
          their deliveries drain [in_flight] normally). *)
-      else if src = p.p_id then Queue.clear conn.backlog)
+      else if src = p.p_id then clear_backlog conn)
     t.conns
 
 let recover _t p =
   p.alive <- true;
   p.rcvbuf_used <- 0;
   (* Deliveries accepted before the crash still hold credits against the
-     old buffer; the epoch bump voids them (see [receiver_side_raw]). *)
+     old buffer; the epoch bump voids them (see [stage_served]). *)
   p.rcvbuf_epoch <- p.rcvbuf_epoch + 1

@@ -10,29 +10,48 @@
 
     Protocols attach payloads by extending {!payload} and pattern-matching
     in their handlers; the network treats payloads as opaque and sizes are
-    declared explicitly by the sender. *)
+    declared explicitly by the sender.
+
+    {2 Message lifetime}
+
+    Message records are pooled (in the default {!mode}): the record passed
+    to a handler is {e borrowed} — it is valid until the handler returns,
+    after which the network reclaims and reuses it.  A protocol that needs
+    the record beyond the handler must {!retain} it (and {!release} it
+    later); copying the fields out is usually simpler.  Payloads are NOT
+    pooled: the payload value a handler extracts stays valid forever. *)
 
 (** Extensible message payload; each protocol adds its own constructors. *)
 type payload = ..
 
 type payload += Noop
 
-type msg = {
-  src : int;  (** sender pid *)
-  dst : int;  (** receiver pid, [-1] when delivered via multicast *)
-  size : int;  (** application payload bytes *)
-  payload : payload;
-  sent_at : float;  (** simulation time of the send call *)
-  tid : int;
-      (** causal trace id: allocated per send (deterministic counter)
-          unless the sender threads one through, so a command can be
-          followed across protocol hops in a {!Trace.t} export *)
-}
-
 type node
 type proc
 type group
+type conn
 type t
+
+(** Simnet-internal pooling and routing state carried by each message. *)
+type minternal
+
+type msg = private {
+  mutable src : int;  (** sender pid *)
+  mutable dst : int;  (** receiver pid, [-1] when delivered via multicast *)
+  mutable size : int;  (** application payload bytes *)
+  mutable payload : payload;
+  mutable sent_tk : int;
+      (** simulation time of the send call, in engine ticks
+          (2^20 ticks/second); {!sent_at} converts to seconds *)
+  mutable tid : int;
+      (** causal trace id: allocated per send (deterministic counter)
+          unless the sender threads one through, so a command can be
+          followed across protocol hops in a {!Trace.t} export *)
+  m_i : minternal;  (** internal; opaque to protocols *)
+}
+
+(** [sent_at m] is the send time in seconds (quantized to the tick grid). *)
+val sent_at : msg -> float
 
 (** Per-process CPU cost model (seconds); all fields mutable so experiments
     can calibrate individual roles. *)
@@ -58,11 +77,41 @@ type config = {
 
 val default_config : config
 
-val create : ?config:config -> Sim.Engine.t -> Sim.Rng.t -> t
+(** {1 Message-path modes}
+
+    Two implementations of the message path share every computation that
+    affects timing, randomness, statistics and tracing, so a seeded run is
+    byte-identical across modes.  [`Pooled] (the default) recycles message
+    records through a freelist, schedules each hop through continuations
+    preallocated at record birth and parks window-limited sends in a ring
+    of parallel arrays — the steady-state unicast path allocates nothing.
+    [`Boxed] allocates a fresh record and fresh hop closures per message
+    and queues backlogged sends as tuples: the pre-pooling reference that
+    equivalence tests and benchmarks compare against. *)
+
+type mode = [ `Pooled | `Boxed ]
+
+(** Process-wide default mode for subsequent {!create} calls (the
+    experiment harness sets this from [--simnet <pooled|boxed>]). *)
+val set_default_mode : mode -> unit
+
+val get_default_mode : unit -> mode
+
+(** @raise Invalid_argument on anything but ["pooled"] or ["boxed"]. *)
+val mode_of_string : string -> mode
+
+val mode : t -> mode
+
+val create : ?config:config -> ?mode:mode -> Sim.Engine.t -> Sim.Rng.t -> t
 
 val engine : t -> Sim.Engine.t
 val config : t -> config
 val now : t -> float
+
+(** [now_tk t] is the current time in engine ticks (truncating, like
+    {!Sim.Engine.ticks_of_time}).  Int result: reading the clock on a hot
+    path allocates nothing. *)
+val now_tk : t -> int
 
 (** {1 Topology} *)
 
@@ -111,9 +160,40 @@ val members : group -> proc list
 val mcast :
   ?loopback:bool -> ?tid:int -> t -> src:proc -> group -> size:int -> payload -> unit
 
+(** {1 Message pool}
+
+    No-ops in [`Boxed] mode (records are ordinary GC values there). *)
+
+(** [retain t m] extends [m]'s lifetime past the handler return; the
+    record stays valid until a matching {!release}. *)
+val retain : t -> msg -> unit
+
+(** [release t m] returns a retained record to the pool.
+    @raise Invalid_argument on a double release (refcount already zero). *)
+val release : t -> msg -> unit
+
+(** Generation stamp of the record's pool slot, bumped each time the slot
+    is recycled — lets a test detect that a stale reference now names a
+    different message. *)
+val msg_generation : msg -> int
+
+val msg_refcount : msg -> int
+
+(** Records ever created by the pool (high-water mark of concurrently
+    live messages, since records recycle). *)
+val pool_allocated : t -> int
+
+(** Records currently sitting in the freelist. *)
+val pool_free : t -> int
+
 (** {1 Timers} *)
 
 val after : t -> float -> (unit -> unit) -> Sim.Engine.handle
+
+(** [after_tk t ~ticks f] runs [f] in [ticks] engine ticks
+    ({!Sim.Engine.ticks_per_second} = 2^20/s).  Integer delay: arming a
+    timeout allocates nothing. *)
+val after_tk : t -> ticks:int -> (unit -> unit) -> Sim.Engine.handle
 
 (** [cancel t h] revokes a timer returned by {!after}.  Idempotent and
     safe after the timer has fired (handles are generation-stamped, so a
@@ -123,6 +203,10 @@ val cancel : t -> Sim.Engine.handle -> unit
 (** [every t ~period f] runs [f] every [period] seconds until the returned
     thunk is called. *)
 val every : t -> period:float -> (unit -> unit) -> unit -> unit
+
+(** [every_tk t ~ticks f] is {!every} on the tick grid; each re-arm reuses
+    one closure, so periodic timers run allocation-free. *)
+val every_tk : t -> ticks:int -> (unit -> unit) -> unit -> unit
 
 (** [charge_cpu t p dur] books [dur] seconds of CPU work on the process's
     machine without a completion callback (protocol calibration knob). *)

@@ -93,16 +93,17 @@ let seal t key =
 
 let timer_armed t = t.armed
 
-(* The seal timer cannot be cancelled (Simnet.after returns no handle), so
-   each timer captures the epoch at arming time and fires only if no
-   [clear] intervened; otherwise a timeout armed before a coordinator
-   re-election would seal from the reset batcher. *)
+(* The seal timer cannot be cancelled (Simnet.after_tk returns a handle we
+   deliberately drop), so each timer captures the epoch at arming time and
+   fires only if no [clear] intervened; otherwise a timeout armed before a
+   coordinator re-election would seal from the reset batcher.  The delay is
+   armed on the tick grid: no float crosses into the engine. *)
 let arm_timeout t net ~timeout f =
   if t.pending > 0 && not t.armed then begin
     t.armed <- true;
     let epoch = t.epoch in
     ignore
-      (Simnet.after net timeout (fun () ->
+      (Simnet.after_tk net ~ticks:(Sim.Engine.ticks_of_duration timeout) (fun () ->
            if t.epoch = epoch then begin
              t.armed <- false;
              (match Simnet.tracer net with

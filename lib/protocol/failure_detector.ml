@@ -1,7 +1,10 @@
+(* Heartbeat times live on the engine tick grid (2^20/s): the [last] table
+   maps peer -> int tick, so the per-message [heartbeat] path replaces an
+   immediate int instead of boxing a float, and [stale] compares ints. *)
 type t = {
   net : Simnet.t;
-  hb_timeout : float;
-  last : (int, float) Hashtbl.t;
+  hb_timeout_tk : int;
+  last : (int, int) Hashtbl.t;
   mutable stopped : bool;
   mutable epoch : int;
   mutable members : (int, unit) Hashtbl.t option;
@@ -15,10 +18,12 @@ let heartbeat ?epoch t peer =
      removed (or demoted) by reconfiguration keep masking real silence. *)
   match epoch with
   | Some e when e < t.epoch -> ()
-  | _ -> Hashtbl.replace t.last peer (Simnet.now t.net)
+  | _ -> Hashtbl.replace t.last peer (Simnet.now_tk t.net)
 
-let last_heartbeat t peer =
-  match Hashtbl.find_opt t.last peer with Some x -> x | None -> 0.0
+let last_heartbeat_tk t peer =
+  match Hashtbl.find t.last peer with x -> x | exception Not_found -> 0
+
+let last_heartbeat t peer = Sim.Engine.time_of_ticks (last_heartbeat_tk t peer)
 
 let is_member t peer =
   match t.members with None -> true | Some m -> Hashtbl.mem m peer
@@ -26,7 +31,7 @@ let is_member t peer =
 let stale t peer =
   (* A peer outside the current membership can never be suspected: its
      staleness describes a role the reconfiguration already revoked. *)
-  is_member t peer && Simnet.now t.net -. last_heartbeat t peer > t.hb_timeout
+  is_member t peer && Simnet.now_tk t.net - last_heartbeat_tk t peer > t.hb_timeout_tk
 
 let epoch t = t.epoch
 
@@ -40,7 +45,7 @@ let set_epoch t ~epoch ~members =
        new one: removed peers lose their entries entirely, surviving
        members get a fresh grace period (the new coordinator has not
        heartbeaten anyone yet). *)
-    let now = Simnet.now t.net in
+    let now = Simnet.now_tk t.net in
     let doomed =
       Hashtbl.fold (fun p _ acc -> if Hashtbl.mem m p then acc else p :: acc) t.last []
     in
@@ -50,10 +55,15 @@ let set_epoch t ~epoch ~members =
 
 let create net ~hb_period ~hb_timeout ~leader ~emit ~on_suspect =
   let t =
-    { net; hb_timeout; last = Hashtbl.create 16; stopped = false; epoch = 0; members = None }
+    { net;
+      hb_timeout_tk = Sim.Engine.ticks_of_duration hb_timeout;
+      last = Hashtbl.create 16;
+      stopped = false;
+      epoch = 0;
+      members = None }
   in
   let (_stop : unit -> unit) =
-    Simnet.every net ~period:hb_period (fun () ->
+    Simnet.every_tk net ~ticks:(Sim.Engine.ticks_of_duration hb_period) (fun () ->
         if not t.stopped then
           if leader () then emit () else on_suspect ~stale:(stale t))
   in

@@ -16,23 +16,27 @@ let every ?counters net ~name ~period f =
     | None -> ());
     tick ()
   in
-  { r_name = name; r_stop = Simnet.every net ~period tick }
+  { r_name = name; r_stop = Simnet.every_tk net ~ticks:(Sim.Engine.ticks_of_duration period) tick }
 
 let name t = t.r_name
 let stop t = t.r_stop ()
 
+(* Deadline stamps are engine ticks (int), not floats: [touch] on the
+   per-message ack path then replaces an immediate value instead of boxing
+   a float per call.  The float [~now] arguments are converted at the API
+   boundary (truncating, like [Sim.Engine.ticks_of_time]). *)
 type ('k, 'v) tracker = {
   tbl : ('k, 'v) Hashtbl.t;
-  last : ('k, float) Hashtbl.t;
+  last : ('k, int) Hashtbl.t;
 }
 
 let tracker () = { tbl = Hashtbl.create 256; last = Hashtbl.create 256 }
 
 let watch tr ~now key v =
   Hashtbl.replace tr.tbl key v;
-  Hashtbl.replace tr.last key now
+  Hashtbl.replace tr.last key (Sim.Engine.ticks_of_time now)
 
-let touch tr ~now key = Hashtbl.replace tr.last key now
+let touch tr ~now key = Hashtbl.replace tr.last key (Sim.Engine.ticks_of_time now)
 
 let ack tr key =
   match Hashtbl.find_opt tr.tbl key with
@@ -56,17 +60,19 @@ let clear tr =
    unspecified behaviour per the Hashtbl contract.  An entry acked by an
    earlier callback in the same sweep must not fire. *)
 let iter_due tr ~now ~older_than f =
+  let now_tk = Sim.Engine.ticks_of_time now in
+  let older_tk = Sim.Engine.ticks_of_duration older_than in
   let due =
     Hashtbl.fold
       (fun key v acc ->
-        let last = match Hashtbl.find_opt tr.last key with Some x -> x | None -> 0.0 in
-        if now -. last > older_than then (key, v) :: acc else acc)
+        let last = match Hashtbl.find_opt tr.last key with Some x -> x | None -> 0 in
+        if now_tk - last > older_tk then (key, v) :: acc else acc)
       tr.tbl []
   in
   List.iter
     (fun (key, v) ->
       if Hashtbl.mem tr.tbl key then begin
-        Hashtbl.replace tr.last key now;
+        Hashtbl.replace tr.last key now_tk;
         f key v
       end)
     due

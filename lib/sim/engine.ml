@@ -51,7 +51,27 @@ let backend t = match t.q with Qwheel _ -> `Wheel | Qheap _ -> `Heap
 
 let now t = t.now_cell.(0)
 
+(* Read-only exposure of the clock cell: hot callers (simnet) read the
+   current time without the boxed float that [now] returns. *)
+let now_cell t = t.now_cell
+
 let ticks_per_second = Wheel.ticks_per_second
+
+let tick_scale = float_of_int ticks_per_second
+let tick_width = 1.0 /. tick_scale
+
+(* Duration -> ticks, rounded to nearest so quantization error stays
+   within half a tick (~0.48 us) in both directions. *)
+let ticks_of_duration d =
+  let x = (d *. tick_scale) +. 0.5 in
+  if x <= 0.0 then 0 else int_of_float x
+
+(* Absolute time -> tick grid, truncating: the tick whose window contains
+   [ts].  Grid-aligned times (every event fired through the tick path)
+   round-trip exactly. *)
+let ticks_of_time ts = if ts <= 0.0 then 0 else int_of_float (ts *. tick_scale)
+
+let time_of_ticks tk = float_of_int tk *. tick_width
 
 let heap_add hs ~time ~order f =
   let ev = { ht = time; horder = order; hcancelled = false; haction = f } in
@@ -82,6 +102,16 @@ let schedule_ticks t ~ticks f =
         Array.unsafe_get t.now_cell 0
         +. (float_of_int ticks /. float_of_int ticks_per_second)
       in
+      heap_add hs ~time ~order:t.seq f
+
+let at_ticks t ~tick f =
+  t.seq <- t.seq + 1;
+  match t.q with
+  | Qwheel w -> Wheel.add_abs w ~now:t.now_cell ~tick ~order:t.seq f
+  | Qheap hs ->
+      let nw = Array.unsafe_get t.now_cell 0 in
+      let time = float_of_int tick *. tick_width in
+      let time = if time < nw then nw else time in
       heap_add hs ~time ~order:t.seq f
 
 let cancel t h =

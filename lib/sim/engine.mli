@@ -50,6 +50,30 @@ val ticks_per_second : int
     timers with zero allocation. *)
 val schedule_ticks : t -> ticks:int -> (unit -> unit) -> handle
 
+(** [at_ticks t ~tick f] runs [f] at absolute engine tick [tick]
+    ([tick /. ticks_per_second] seconds, clamped to [now t] when past).
+    Zero-allocation like {!schedule_ticks}, but the event lands exactly
+    on the tick grid even when the clock currently sits off-grid — the
+    simnet hot path schedules every hop this way so both its
+    implementations produce identical event times. *)
+val at_ticks : t -> tick:int -> (unit -> unit) -> handle
+
+(** [ticks_of_duration d] is [d] seconds in engine ticks, rounded to
+    nearest (error at most half a tick, ~0.48 us); never negative. *)
+val ticks_of_duration : float -> int
+
+(** [ticks_of_time ts] is the tick whose window contains absolute time
+    [ts] (truncating); grid-aligned times round-trip exactly. *)
+val ticks_of_time : float -> int
+
+(** [time_of_ticks tk] is the absolute time of tick [tk], in seconds. *)
+val time_of_ticks : int -> float
+
+(** [now_cell t] is the engine clock as a 1-element float array — the
+    cell the firing loop writes — so hot paths can read the time without
+    the boxed float {!now} returns.  Read-only for callers. *)
+val now_cell : t -> float array
+
 (** [at t ~time f] runs [f] at absolute [time] (clamped to [now t]). *)
 val at : t -> time:float -> (unit -> unit) -> handle
 

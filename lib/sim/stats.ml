@@ -35,18 +35,20 @@ module Ring = struct
   let bucket t time = Stdlib.max 0 (bucket_index ~width:t.width time)
 
   (* Make bucket [b] addressable, recycling (via [clear]) any slots whose
-     previous tenants fall off the horizon.  [None] means [b] is older
+     previous tenants fall off the horizon.  [-1] means [b] is older
      than the retained window: the caller should drop the per-bucket part
-     (lifetime totals are kept separately). *)
-  let locate t b ~clear =
+     (lifetime totals are kept separately).  Returns a bare int (not an
+     option) so the per-sample path allocates nothing; callers pass a
+     preallocated [clear] closure for the same reason. *)
+  let locate_i t b ~clear =
     if t.last < 0 then begin
       t.first <- b;
       t.last <- b;
       let s = slot t b in
       clear s;
-      Some s
+      s
     end
-    else if b < t.first then None
+    else if b < t.first then -1
     else begin
       if b > t.last then begin
         let lo = Stdlib.max (t.last + 1) (b - t.cap + 1) in
@@ -56,7 +58,7 @@ module Ring = struct
         t.last <- b;
         if b - t.first >= t.cap then t.first <- b - t.cap + 1
       end;
-      Some (slot t b)
+      slot t b
     end
 
   (* [fold_window t ~from ~till f acc] folds [f acc slot covered_fraction]
@@ -91,29 +93,51 @@ module Rate = struct
     by : int array; (* bytes per retained bucket *)
     mutable events : int;
     mutable bytes : int;
+    (* Preallocated slot-recycling closure: [Ring.locate_i] takes it on
+       every sample, so building it per call would put one closure per
+       packet on the minor heap. *)
+    clear : int -> unit;
   }
 
   let create ?(bucket_width = default_bucket_width) ?(buckets = default_buckets) () =
     let cap = Stdlib.max 1 buckets in
+    let ev = Array.make cap 0 in
+    let by = Array.make cap 0 in
     { ring = Ring.create ~width:bucket_width ~cap;
-      ev = Array.make cap 0;
-      by = Array.make cap 0;
+      ev;
+      by;
       events = 0;
-      bytes = 0 }
+      bytes = 0;
+      clear =
+        (fun s ->
+          ev.(s) <- 0;
+          by.(s) <- 0) }
 
   let add t ~now ~bytes =
     t.events <- t.events + 1;
     t.bytes <- t.bytes + bytes;
     let b = Ring.bucket t.ring now in
-    match
-      Ring.locate t.ring b ~clear:(fun s ->
-          t.ev.(s) <- 0;
-          t.by.(s) <- 0)
-    with
-    | None -> () (* older than the retained horizon: lifetime totals only *)
-    | Some s ->
-        t.ev.(s) <- t.ev.(s) + 1;
-        t.by.(s) <- t.by.(s) + bytes
+    (* -1 = older than the retained horizon: lifetime totals only *)
+    let s = Ring.locate_i t.ring b ~clear:t.clear in
+    if s >= 0 then begin
+      t.ev.(s) <- t.ev.(s) + 1;
+      t.by.(s) <- t.by.(s) + bytes
+    end
+
+  (* Same accounting as [add], with the timestamp read out of the engine
+     clock cell: an unboxed load, so the packet path records rates with
+     zero allocation. *)
+  let add_cell t ~now_cell ~bytes =
+    t.events <- t.events + 1;
+    t.bytes <- t.bytes + bytes;
+    let now = Array.unsafe_get (now_cell : float array) 0 in
+    let b = bucket_index ~width:t.ring.Ring.width now in
+    let b = if b < 0 then 0 else b in
+    let s = Ring.locate_i t.ring b ~clear:t.clear in
+    if s >= 0 then begin
+      t.ev.(s) <- t.ev.(s) + 1;
+      t.by.(s) <- t.by.(s) + bytes
+    end
 
   let events t = t.events
   let bytes t = t.bytes
@@ -255,27 +279,40 @@ module Latency = struct
 end
 
 module Busy = struct
+  (* The float scalars live in a flat float array rather than mutable
+     record fields: in a mixed record every write to a mutable float
+     field boxes, and [add] runs per resource acquisition on the packet
+     path. Slots: 0 total, 1 cursor (assumed start of the next
+     un-timestamped add), 2 window_start, 3 window_busy, 4-5 the
+     (start, dur) arguments of the pending [record_span] call. *)
   type t = {
     ring : Ring.t;
     per_bucket : float array; (* busy seconds per retained bucket *)
-    mutable total : float;
-    mutable cursor : float; (* assumed start time of the next un-timestamped add *)
-    mutable window_start : float;
-    mutable window_busy : float;
+    fl : float array;
+    clear : int -> unit; (* preallocated, see {!Rate.t} *)
   }
+
+  let total_i = 0
+  let cursor_i = 1
+  let wstart_i = 2
+  let wbusy_i = 3
+  let span_start_i = 4
+  let span_dur_i = 5
 
   let create ?(bucket_width = default_bucket_width) ?(buckets = default_buckets) () =
     let cap = Stdlib.max 1 buckets in
+    let per_bucket = Array.make cap 0.0 in
     { ring = Ring.create ~width:bucket_width ~cap;
-      per_bucket = Array.make cap 0.0;
-      total = 0.0;
-      cursor = 0.0;
-      window_start = 0.0;
-      window_busy = 0.0 }
+      per_bucket;
+      fl = Array.make 6 0.0;
+      clear = (fun s -> per_bucket.(s) <- 0.0) }
 
-  (* Record the busy interval [start, start +. dur), split exactly across
-     the buckets it spans. *)
-  let record t start dur =
+  (* Record the busy interval [fl.(4), fl.(4) +. fl.(5)), split exactly
+     across the buckets it spans.  The interval arrives through the
+     scratch slots of [fl] so no boxed float crosses the call. *)
+  let record_span t =
+    let start = Array.unsafe_get t.fl span_start_i in
+    let dur = Array.unsafe_get t.fl span_dur_i in
     let fin = start +. dur in
     let b0 = Ring.bucket t.ring start in
     let b1 = Ring.bucket t.ring fin in
@@ -283,25 +320,75 @@ module Busy = struct
       let bs = float_of_int b *. t.ring.Ring.width in
       let be = bs +. t.ring.Ring.width in
       let lo = Stdlib.max start bs and hi = Stdlib.min fin be in
-      if hi > lo then
-        match Ring.locate t.ring b ~clear:(fun s -> t.per_bucket.(s) <- 0.0) with
-        | None -> ()
-        | Some s -> t.per_bucket.(s) <- t.per_bucket.(s) +. (hi -. lo)
+      if hi > lo then begin
+        let s = Ring.locate_i t.ring b ~clear:t.clear in
+        if s >= 0 then t.per_bucket.(s) <- t.per_bucket.(s) +. (hi -. lo)
+      end
+    done
+
+  (* [record_span] for the tick path, with [Ring.bucket] inlined by hand
+     and monomorphic float compares: a float argument crossing a function
+     boundary is boxed without flambda, and [Stdlib.max]/[min] box both
+     arguments through the polymorphic call.  Runs once per resource
+     acquisition on the packet path, so it must not allocate.  The float
+     [record_span] above stays as-is: it serves the boxed reference mode
+     and the unquantized [charge_cpu]/[exec] bookings, and computes
+     identical bucket sums. *)
+  let record_span_tk t =
+    let start = Array.unsafe_get t.fl span_start_i in
+    let dur = Array.unsafe_get t.fl span_dur_i in
+    let fin = start +. dur in
+    let width = t.ring.Ring.width in
+    let b0 = int_of_float (floor ((start /. width) +. 1e-9)) in
+    let b0 = if b0 < 0 then 0 else b0 in
+    let b1 = int_of_float (floor ((fin /. width) +. 1e-9)) in
+    let b1 = if b1 < 0 then 0 else b1 in
+    for b = b0 to b1 do
+      let bs = float_of_int b *. width in
+      let be = bs +. width in
+      let lo = if start > bs then start else bs
+      and hi = if fin < be then fin else be in
+      if hi > lo then begin
+        let s = Ring.locate_i t.ring b ~clear:t.clear in
+        if s >= 0 then t.per_bucket.(s) <- t.per_bucket.(s) +. (hi -. lo)
+      end
     done
 
   let add ?at t dur =
-    t.total <- t.total +. dur;
-    t.window_busy <- t.window_busy +. dur;
+    t.fl.(total_i) <- t.fl.(total_i) +. dur;
+    t.fl.(wbusy_i) <- t.fl.(wbusy_i) +. dur;
     if dur > 0.0 then begin
-      let start = match at with Some s -> s | None -> t.cursor in
-      record t start dur;
+      let start = match at with Some s -> s | None -> t.fl.(cursor_i) in
+      t.fl.(span_start_i) <- start;
+      t.fl.(span_dur_i) <- dur;
+      record_span t;
       let fin = start +. dur in
-      if fin > t.cursor then t.cursor <- fin
+      if fin > t.fl.(cursor_i) then t.fl.(cursor_i) <- fin
     end
 
   let add_at t ~now dur = add ~at:now t dur
 
-  let total t = t.total
+  (* Tick-grid variant with an int-only signature: identical accounting
+     to [add ~at:(start_tk / tps) (dur_tk / tps)], with every float a
+     local or an array slot, so resource acquisition on the packet path
+     records busy time with zero allocation. *)
+  let ticks_per_second_f = float_of_int Wheel.ticks_per_second
+
+  let add_tk t ~start_tk ~dur_tk =
+    let start = float_of_int start_tk /. ticks_per_second_f in
+    let dur = float_of_int dur_tk /. ticks_per_second_f in
+    let fl = t.fl in
+    Array.unsafe_set fl total_i (Array.unsafe_get fl total_i +. dur);
+    Array.unsafe_set fl wbusy_i (Array.unsafe_get fl wbusy_i +. dur);
+    if dur > 0.0 then begin
+      Array.unsafe_set fl span_start_i start;
+      Array.unsafe_set fl span_dur_i dur;
+      record_span_tk t;
+      let fin = start +. dur in
+      if fin > Array.unsafe_get fl cursor_i then Array.unsafe_set fl cursor_i fin
+    end
+
+  let total t = t.fl.(total_i)
 
   let busy_in t ~from ~till =
     Ring.fold_window t.ring ~from ~till
@@ -316,13 +403,13 @@ module Busy = struct
       Stdlib.min 100.0 (Stdlib.max 0.0 pct)
 
   let reset_window t ~now =
-    t.window_start <- now;
-    t.window_busy <- 0.0
+    t.fl.(wstart_i) <- now;
+    t.fl.(wbusy_i) <- 0.0
 
   let window_utilization t ~now =
-    let span = now -. t.window_start in
+    let span = now -. t.fl.(wstart_i) in
     if span <= 0.0 then 0.0
-    else Stdlib.min 100.0 (Stdlib.max 0.0 (t.window_busy /. span *. 100.0))
+    else Stdlib.min 100.0 (Stdlib.max 0.0 (t.fl.(wbusy_i) /. span *. 100.0))
 end
 
 module Snapshot = struct

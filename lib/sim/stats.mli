@@ -26,6 +26,12 @@ module Rate : sig
   (** [add t ~now ~bytes] records one event of [bytes] payload at time [now]. *)
   val add : t -> now:float -> bytes:int -> unit
 
+  (** [add_cell t ~now_cell ~bytes] is [add] with the timestamp read from
+      the engine clock cell ({!Sim.Engine.now_cell}): no boxed float
+      crosses the call, so the simnet packet path records rates with zero
+      allocation.  Accounting is identical to [add ~now:now_cell.(0)]. *)
+  val add_cell : t -> now_cell:float array -> bytes:int -> unit
+
   val events : t -> int
   val bytes : t -> int
 
@@ -99,6 +105,13 @@ module Busy : sig
 
   (** [add_at t ~now dur] is [add ~at:now t dur]. *)
   val add_at : t -> now:float -> float -> unit
+
+  (** [add_tk t ~start_tk ~dur_tk] accounts the busy interval starting at
+      engine tick [start_tk] lasting [dur_tk] ticks (2^20 ticks/second).
+      Identical accounting to {!add} over the equivalent floats, with an
+      int-only signature so tick-grid resource acquisitions allocate
+      nothing. *)
+  val add_tk : t -> start_tk:int -> dur_tk:int -> unit
 
   val total : t -> float
 

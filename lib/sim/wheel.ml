@@ -246,6 +246,26 @@ let add_ticks t ~now ~ticks ~order f =
   add_at_tick t idx tick;
   (idx lsl 31) lor t.p_gen.(idx)
 
+(* Absolute-tick entry point: the event lands exactly on the tick grid
+   (time = tick * 2^-20 s), clamped to the clock when the tick is in the
+   past, like [Engine.at].  Tick-grid floats below 2^52 round-trip
+   exactly through [int_of_float (time *. tick_scale)], so the stored
+   tick equals the argument whenever no clamping happened. *)
+let add_abs t ~now ~tick ~order f =
+  let idx = alloc_idx t in
+  let nw = Array.unsafe_get now 0 in
+  let time = float_of_int tick *. tick_width in
+  let time = if time < nw then nw else time in
+  t.p_time.(idx) <- time;
+  t.p_order.(idx) <- order;
+  t.p_action.(idx) <- f;
+  t.p_state.(idx) <- 1;
+  let tick = if time >= horizon_s then max_tick else int_of_float (time *. tick_scale) in
+  t.p_tick.(idx) <- tick;
+  t.n_live <- t.n_live + 1;
+  add_at_tick t idx tick;
+  (idx lsl 31) lor t.p_gen.(idx)
+
 (* ---------- purge of cancelled records ---------- *)
 
 let ih_compact t h =

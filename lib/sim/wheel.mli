@@ -43,6 +43,14 @@ val add : t -> time:float -> order:int -> (unit -> unit) -> int
     this entry point allocates nothing at all. *)
 val add_ticks : t -> now:float array -> ticks:int -> order:int -> (unit -> unit) -> int
 
+(** [add_abs t ~now ~tick ~order f] queues [f] at absolute engine tick
+    [tick] (i.e. [tick /. ticks_per_second] seconds), clamped to the
+    clock when the tick is already past.  Like {!add_ticks} every float
+    stays unboxed, so scheduling allocates nothing; unlike it the event
+    lands exactly on the tick grid regardless of where the clock
+    currently sits. *)
+val add_abs : t -> now:float array -> tick:int -> order:int -> (unit -> unit) -> int
+
 (** [cancel t h] prevents the event from firing.  Returns [true] when the
     handle named a live pending event (stale and duplicate handles are
     rejected by the generation stamp).  May trigger a lazy purge. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "hpsmr"
     [ ("sim", Test_sim.suite);
       ("net", Test_net.suite);
+      ("pool", Test_pool.suite);
       ("paxos", Test_paxos.suite);
       ("ringpaxos", Test_ringpaxos.suite);
       ("abcast", Test_abcast.suite);
