@@ -52,7 +52,10 @@ let experiments : (string * string * (unit -> unit)) list =
     ("fig7.7", "Libpaxos+ under failures", Fig7.fig7_7);
     ("micro", "bechamel micro-benchmarks", Micro.run);
     ("engine", "event-engine microbench, wheel vs heap (emits BENCH_engine.json)",
-     Engine_bench.run) ]
+     Engine_bench.run);
+    ("psmr",
+     "parallel-executor sweep, conflict rate x workers (emits BENCH_psmr.json)",
+     Psmr_bench.run) ]
 
 let list_experiments () =
   Printf.printf "%-10s %s\n" "id" "description";

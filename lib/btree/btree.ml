@@ -333,3 +333,56 @@ let populate t ~n ~key_range ~seed =
     let k = if k < 0 then -k else k in
     if insert t k k = None then incr inserted
   done
+
+(* --- key-set conflict predicate --------------------------------------------- *)
+
+module Keyset = struct
+  (* Sorted, disjoint, inclusive key ranges.  Normalisation at construction
+     makes [overlaps] a linear merge-walk, so the parallel executor's
+     conflict checks cost O(ranges) per candidate pair. *)
+  type t = (int * int) array
+
+  let empty : t = [||]
+  let full : t = [| (min_int, max_int) |]
+  let is_empty (t : t) = Array.length t = 0
+  let singleton k : t = [| (k, k) |]
+  let range ~lo ~hi : t = if hi < lo then empty else [| (lo, hi) |]
+  let ranges (t : t) = Array.to_list t
+
+  let of_ranges l =
+    let l = List.filter (fun (lo, hi) -> lo <= hi) l in
+    let l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+    match l with
+    | [] -> empty
+    | (lo0, hi0) :: rest ->
+        let acc = ref [] and lo = ref lo0 and hi = ref hi0 in
+        List.iter
+          (fun (l', h') ->
+            (* Merge overlapping or adjacent ranges. *)
+            if !hi < max_int && l' > !hi + 1 then begin
+              acc := (!lo, !hi) :: !acc;
+              lo := l';
+              hi := h'
+            end
+            else if h' > !hi then hi := h')
+          rest;
+        acc := (!lo, !hi) :: !acc;
+        Array.of_list (List.rev !acc)
+
+  let overlaps (a : t) (b : t) =
+    let na = Array.length a and nb = Array.length b in
+    let rec go i j =
+      if i >= na || j >= nb then false
+      else
+        let alo, ahi = a.(i) and blo, bhi = b.(j) in
+        if ahi < blo then go (i + 1) j
+        else if bhi < alo then go i (j + 1)
+        else true
+    in
+    go 0 0
+
+  (* Two commands conflict when one's writes intersect the other's reads or
+     writes (read-read sharing is always safe). *)
+  let conflict ~r1 ~w1 ~r2 ~w2 =
+    overlaps w1 w2 || overlaps w1 r2 || overlaps r1 w2
+end

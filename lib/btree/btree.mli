@@ -43,3 +43,36 @@ val check : t -> unit
 (** [populate t ~n ~key_range ~seed] inserts [n] distinct random keys
     (value = key), for experiment setup. *)
 val populate : t -> n:int -> key_range:int -> seed:int -> unit
+
+(** Key-set conflict predicate for parallel executors: normalised sets of
+    inclusive key ranges with a linear-merge overlap test.  Two commands
+    conflict when either's write set intersects the other's read or write
+    set; read-read sharing is always safe. *)
+module Keyset : sig
+  type t
+
+  val empty : t
+
+  (** The whole key space ([min_int, max_int]): a command that conflicts
+      with everything, e.g. a multi-object update of unknown footprint. *)
+  val full : t
+
+  val is_empty : t -> bool
+  val singleton : int -> t
+
+  (** [range ~lo ~hi] is empty when [hi < lo]. *)
+  val range : lo:int -> hi:int -> t
+
+  (** [of_ranges l] sorts, de-duplicates and merges overlapping or
+      adjacent ranges; empty ranges are dropped. *)
+  val of_ranges : (int * int) list -> t
+
+  (** The normalised ranges, ascending and disjoint. *)
+  val ranges : t -> (int * int) list
+
+  val overlaps : t -> t -> bool
+
+  (** [conflict ~r1 ~w1 ~r2 ~w2] — command 1 reads [r1] / writes [w1],
+      command 2 reads [r2] / writes [w2]. *)
+  val conflict : r1:t -> w1:t -> r2:t -> w2:t -> bool
+end

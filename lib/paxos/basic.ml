@@ -134,7 +134,7 @@ let announce_decision t c inst (v : Value.t) =
 let ack_items t c (v : Value.t) =
   List.iter
     (fun (it : Value.item) ->
-      let origin = it.uid land 0xff in
+      let origin = Value.uid_origin it.uid in
       if origin < Array.length t.props then
         Simnet.send t.net ~src:c.c_proc ~dst:t.props.(origin).p_proc ~size:hdr (Ack { uid = it.uid }))
     v.items
@@ -519,9 +519,9 @@ let submit t ~proposer ~size app =
   if p.p_unacked_bytes + size > p.p_buffer then -1
   else begin
     t.next_uid <- t.next_uid + 1;
-    (* The low byte of the uid encodes the originating proposer so the
-       coordinator can route acknowledgments without extra fields. *)
-    let uid = (t.next_uid * 256) lor (proposer land 0xff) in
+    (* The uid encodes the originating proposer so the coordinator can
+       route acknowledgments without extra fields (see Value.make_uid). *)
+    let uid = Value.make_uid ~seq:t.next_uid ~origin:proposer in
     let item = { Value.uid; isize = size; app; born = Simnet.now t.net } in
     Hashtbl.replace p.p_unacked uid item;
     p.p_unacked_bytes <- p.p_unacked_bytes + size;

@@ -18,6 +18,24 @@ type t = {
   items : item list;
 }
 
+(** {1 Item uid layout}
+
+    Uids pack a per-protocol sequence number above the originating
+    proposer id (ring position for U-Ring Paxos): [uid = seq lsl
+    origin_bits lor origin].  All encoders and decoders must go through
+    these helpers so the field width stays consistent; [origin_bits] is
+    20, supporting ~1M proposers. *)
+
+val origin_bits : int
+
+val make_uid : seq:int -> origin:int -> int
+
+(** The originating proposer id packed into a uid. *)
+val uid_origin : int -> int
+
+(** The monotone sequence number packed into a uid. *)
+val uid_seq : int -> int
+
 (** [make ~vid items] computes the size from the items. *)
 val make : vid:int -> item list -> t
 

@@ -1,9 +1,18 @@
-type approach = Sequential | Pipelined | Sdpe | Psmr
+module Executor = Executor
+
+type approach = Sequential | Pipelined | Sdpe | Psmr | Depaware | Optimistic
 
 type command = {
   obj : int;
   dependent : bool;
   size : int;
+}
+
+type kv_command = {
+  kv_op : Simnet.payload;
+  kv_reads : Btree.Keyset.t;
+  kv_writes : Btree.Keyset.t;
+  kv_size : int;
 }
 
 type config = {
@@ -16,6 +25,8 @@ type config = {
   merge_m : int;
   exec_cost : float;
   sched_cost : float;
+  initial_keys : int;
+  key_range : int;
 }
 
 let default_config =
@@ -27,10 +38,13 @@ let default_config =
     delta = 1.0e-3;
     merge_m = 8;
     exec_cost = 8.0e-6;
-    sched_cost = 2.0e-6 }
+    sched_cost = 2.0e-6;
+    initial_keys = 10_000;
+    key_range = 1_000_000 }
 
 type Simnet.payload +=
   | PCmd of { obj : int; dependent : bool }
+  | PKv of { op : Simnet.payload; reads : Btree.Keyset.t; writes : Btree.Keyset.t }
   | PResp of { uid : int }
 
 type barrier = {
@@ -49,6 +63,8 @@ type replica = {
   mutable sched_free : float;
   mutable exec_count : int;
   mutable barrier_count : int;
+  mutable exec : Executor.t option;  (* Depaware/Optimistic executor *)
+  mutable kv : Smr.Btree_service.t option;  (* its replicated state *)
 }
 
 type client = {
@@ -64,20 +80,28 @@ type t = {
   replicas : replica array;
   clients : client array;
   gen : int -> command;
+  kv_gen : int -> kv_command;
   metrics : Smr.Metrics.t;
+  ol_inflight : (int, float) Hashtbl.t;  (* open-loop uid -> born *)
+  mutable ol_drops : int;
+  mutable ol_rr : int;  (* open-loop proposer round-robin *)
 }
 
 let the_mr t = match t.mring with Some m -> m | None -> assert false
 
 let all_group t = t.cfg.n_workers (* group id subscribed by every worker *)
 
-let responder_replica t uid = (uid lsr 8) mod t.cfg.n_replicas
+let uses_executor = function Depaware | Optimistic -> true | _ -> false
+
+let responder_replica t uid = Paxos.Value.uid_seq uid mod t.cfg.n_replicas
 
 let respond t rep ~learner ~uid ~at =
   if responder_replica t uid = rep.rep_idx then begin
     (* Ring-proposer 0 is the skip controller, so application client c is
-       ring proposer c+1. *)
-    let client = (uid land 0xff) - 1 in
+       ring proposer c+1.  The uid carries the full proposer id (see
+       Value.make_uid) — the old 8-bit decode wrapped past 255 clients and
+       responses went to the wrong proposer, wedging the closed loop. *)
+    let client = Paxos.Value.uid_origin uid - 1 in
     if client >= 0 && client < Array.length t.clients then
       ignore
         (Sim.Engine.at (Simnet.engine t.net) ~time:at (fun () ->
@@ -99,7 +123,51 @@ let barrier_of t rep uid =
       Hashtbl.add rep.barriers uid b;
       b
 
-let rec pump t rep w =
+(* All workers joined [uid]'s barrier: the lowest-numbered worker executes
+   (§6.3.3).  A worker's queue head is normally the barrier entry itself,
+   but a same-tick interleave (e.g. a batched sink delivery) can leave an
+   independent command ahead of it — those were delivered first, so drain
+   them (execute, respond) before popping the barrier entry, and fold the
+   drained work into the barrier's ready time.  The previous code asserted
+   the head was the barrier entry and crashed on any interleave. *)
+let rec complete_barrier t rep ~uid b =
+  let ready = ref b.b_ready in
+  for i = 0 to t.cfg.n_workers - 1 do
+    let rec drain () =
+      match Queue.peek_opt rep.queues.(i) with
+      | Some (arrived, g, it') when g < t.cfg.n_workers ->
+          ignore (Queue.pop rep.queues.(i));
+          let start = Stdlib.max arrived rep.workers.(i) in
+          let fin = start +. t.cfg.exec_cost in
+          rep.workers.(i) <- fin;
+          Sim.Stats.Busy.add ~at:start rep.busy t.cfg.exec_cost;
+          rep.exec_count <- rep.exec_count + 1;
+          respond t rep ~learner:((rep.rep_idx * t.cfg.n_workers) + i)
+            ~uid:it'.Paxos.Value.uid ~at:fin;
+          drain ()
+      | Some (_, g, it') when g = all_group t && it'.Paxos.Value.uid = uid ->
+          ignore (Queue.pop rep.queues.(i))
+      | _ ->
+          (* A worker counted as arrived must hold the barrier entry. *)
+          assert false
+    in
+    drain ();
+    ready := Stdlib.max !ready rep.workers.(i)
+  done;
+  let fin = !ready +. t.cfg.exec_cost in
+  for i = 0 to t.cfg.n_workers - 1 do
+    rep.workers.(i) <- fin
+  done;
+  Sim.Stats.Busy.add ~at:!ready rep.busy t.cfg.exec_cost;
+  rep.exec_count <- rep.exec_count + 1;
+  rep.barrier_count <- rep.barrier_count + 1;
+  Hashtbl.remove rep.barriers uid;
+  respond t rep ~learner:(rep.rep_idx * t.cfg.n_workers) ~uid ~at:fin;
+  for i = 0 to t.cfg.n_workers - 1 do
+    pump t rep i
+  done
+
+and pump t rep w =
   match Queue.peek_opt rep.queues.(w) with
   | None -> ()
   | Some (arrived, group, it) ->
@@ -116,31 +184,14 @@ let rec pump t rep w =
         pump t rep w
       end
       else begin
-        (* Dependent command: all workers synchronise on a barrier; the
-           lowest-numbered worker executes (§6.3.3). *)
+        (* Dependent command: all workers synchronise on a barrier. *)
         let b = barrier_of t rep it.Paxos.Value.uid in
         if not b.b_joined.(w) then begin
           b.b_joined.(w) <- true;
           b.b_arrived <- b.b_arrived + 1;
           b.b_ready <- Stdlib.max b.b_ready (Stdlib.max arrived rep.workers.(w));
-          if b.b_arrived = t.cfg.n_workers then begin
-            let fin = b.b_ready +. t.cfg.exec_cost in
-            for i = 0 to t.cfg.n_workers - 1 do
-              (match Queue.peek_opt rep.queues.(i) with
-              | Some (_, g, it') when g = all_group t && it'.Paxos.Value.uid = it.uid ->
-                  ignore (Queue.pop rep.queues.(i))
-              | _ -> assert false);
-              rep.workers.(i) <- fin
-            done;
-            Sim.Stats.Busy.add ~at:b.b_ready rep.busy t.cfg.exec_cost;
-            rep.exec_count <- rep.exec_count + 1;
-            rep.barrier_count <- rep.barrier_count + 1;
-            Hashtbl.remove rep.barriers it.uid;
-            respond t rep ~learner:(rep.rep_idx * t.cfg.n_workers) ~uid:it.uid ~at:fin;
-            for i = 0 to t.cfg.n_workers - 1 do
-              pump t rep i
-            done
-          end
+          if b.b_arrived = t.cfg.n_workers then
+            complete_barrier t rep ~uid:it.Paxos.Value.uid b
         end
       end
 
@@ -149,6 +200,24 @@ let psmr_deliver t ~learner ~group it =
   let w = learner mod t.cfg.n_workers in
   Queue.push (Simnet.now t.net, group, it) rep.queues.(w);
   pump t rep w
+
+(* --- dependency-aware parallel executor (Depaware / Optimistic) --------------- *)
+
+let kv_deliver t ~learner (it : Paxos.Value.item) =
+  let rep = t.replicas.(learner) in
+  match it.app with
+  | PKv { op; reads; writes } ->
+      let ex = match rep.exec with Some e -> e | None -> assert false in
+      let r =
+        Executor.submit ex ~now:(Simnet.now t.net) ~uid:it.uid ~reads ~writes op
+      in
+      rep.exec_count <- rep.exec_count + 1;
+      if r.Executor.r_rollbacks > 0 then begin
+        Smr.Metrics.note_rollbacks t.metrics r.Executor.r_rollbacks;
+        Smr.Metrics.note_conflicts t.metrics r.Executor.r_rollbacks
+      end;
+      respond t rep ~learner ~uid:it.uid ~at:r.Executor.r_commit
+  | _ -> ()
 
 (* --- single-stream approaches -------------------------------------------------- *)
 
@@ -212,19 +281,40 @@ let sequential_deliver t ~learner (it : Paxos.Value.item) =
 let group_of t cmd = if cmd.dependent then all_group t else cmd.obj mod t.cfg.n_workers
 
 let rec submit_next t c =
-  let cmd = t.gen c.cl_idx in
-  let group = match t.cfg.approach with Psmr -> group_of t cmd | _ -> 0 in
-  let uid =
-    Multiring.multicast (the_mr t) ~group ~proposer:c.cl_idx ~size:cmd.size
-      (PCmd { obj = cmd.obj; dependent = cmd.dependent })
+  let group, size, payload =
+    if uses_executor t.cfg.approach then begin
+      let kv = t.kv_gen c.cl_idx in
+      (0, kv.kv_size, PKv { op = kv.kv_op; reads = kv.kv_reads; writes = kv.kv_writes })
+    end
+    else begin
+      let cmd = t.gen c.cl_idx in
+      let group = match t.cfg.approach with Psmr -> group_of t cmd | _ -> 0 in
+      (group, cmd.size, PCmd { obj = cmd.obj; dependent = cmd.dependent })
+    end
   in
+  let uid = Multiring.multicast (the_mr t) ~group ~proposer:c.cl_idx ~size payload in
   if uid < 0 then ignore (Simnet.after t.net 1.0e-3 (fun () -> submit_next t c))
   else begin
     c.cl_uid <- uid;
     c.cl_born <- Simnet.now t.net
   end
 
-let create net cfg ~n_clients ~gen =
+(* Default key-set mapping when no [kv_gen] is given: an independent
+   command is a read-modify-write of the single key its object names; a
+   dependent command declares the whole key space. *)
+let kv_of_command cmd =
+  if cmd.dependent then
+    { kv_op = Smr.Btree_service.Batch [];
+      kv_reads = Btree.Keyset.full;
+      kv_writes = Btree.Keyset.full;
+      kv_size = cmd.size }
+  else
+    { kv_op = Smr.Btree_service.Insert { key = cmd.obj + 1; value = cmd.obj };
+      kv_reads = Btree.Keyset.singleton (cmd.obj + 1);
+      kv_writes = Btree.Keyset.singleton (cmd.obj + 1);
+      kv_size = cmd.size }
+
+let create ?kv_gen net cfg ~n_clients ~gen =
   let metrics = Smr.Metrics.create (Simnet.engine net) in
   let replicas =
     Array.init cfg.n_replicas (fun r ->
@@ -236,12 +326,20 @@ let create net cfg ~n_clients ~gen =
           obj_last = Hashtbl.create 1024;
           sched_free = 0.0;
           exec_count = 0;
-          barrier_count = 0 })
+          barrier_count = 0;
+          exec = None;
+          kv = None })
   in
   let clients =
     Array.init n_clients (fun i -> { cl_idx = i; cl_uid = -1; cl_born = 0.0 })
   in
-  let t = { net; cfg; mring = None; replicas; clients; gen; metrics } in
+  let kv_gen =
+    match kv_gen with Some f -> f | None -> fun i -> kv_of_command (gen i)
+  in
+  let t =
+    { net; cfg; mring = None; replicas; clients; gen; kv_gen; metrics;
+      ol_inflight = Hashtbl.create 4096; ol_drops = 0; ol_rr = 0 }
+  in
   let n_rings, n_learners, subs, nodes =
     match cfg.approach with
     | Psmr ->
@@ -270,6 +368,7 @@ let create net cfg ~n_clients ~gen =
   let deliver ~learner ~group it =
     match cfg.approach with
     | Psmr -> psmr_deliver t ~learner ~group it
+    | Depaware | Optimistic -> kv_deliver t ~learner it
     | Sdpe -> sdpe_deliver t ~learner it
     | Pipelined -> serial_deliver t ~learner it
     | Sequential -> sequential_deliver t ~learner it
@@ -279,6 +378,29 @@ let create net cfg ~n_clients ~gen =
       ~proposers_per_ring:n_clients ~deliver
   in
   t.mring <- Some mr;
+  if uses_executor cfg.approach then begin
+    let mode =
+      match cfg.approach with
+      | Optimistic -> Executor.Optimistic
+      | _ -> Executor.Pessimistic
+    in
+    Array.iter
+      (fun rep ->
+        (* Every replica holds its own btree, populated from the same seed
+           so the replicated state starts identical. *)
+        let svc =
+          Smr.Btree_service.create ~initial_keys:cfg.initial_keys
+            ~key_range:cfg.key_range ~seed:1 ()
+        in
+        rep.kv <- Some svc;
+        rep.exec <-
+          Some
+            (Executor.create
+               ?tracer:(Simnet.tracer net)
+               ~pid:(Simnet.pid (Multiring.learner_proc mr rep.rep_idx))
+               ~mode ~n_workers:cfg.n_workers svc.Smr.Btree_service.service))
+      replicas
+  end;
   (* Client response handling on the ring-0 proposer processes. *)
   Array.iter
     (fun c ->
@@ -289,6 +411,11 @@ let create net cfg ~n_clients ~gen =
           | PResp { uid } when uid = c.cl_uid ->
               Smr.Metrics.command t.metrics ~born:c.cl_born ~bytes:m.size;
               submit_next t c
+          | PResp { uid } when Hashtbl.mem t.ol_inflight uid ->
+              (* Open-loop commands: latency measured from generation. *)
+              let born = Hashtbl.find t.ol_inflight uid in
+              Hashtbl.remove t.ol_inflight uid;
+              Smr.Metrics.command t.metrics ~born ~bytes:m.size
           | _ -> prev m))
     clients;
   t
@@ -301,14 +428,82 @@ let start t =
              submit_next t c)))
     t.clients
 
+(* Open-loop driving: arrivals come from the workload generator (which
+   stands in for an unbounded client population), paced by its rate curve;
+   nothing waits for responses.  Commands are multicast round-robin across
+   the client proposers; a proposer whose window is full drops the arrival
+   (counted in [open_drops]) — the overload signal of an open loop. *)
+let start_open t wl ~until =
+  let n = Array.length t.clients in
+  if n = 0 then invalid_arg "Psmr.start_open: no client proposers";
+  let engine = Simnet.engine t.net in
+  let rec arm () =
+    let a = Smr.Workload.Open_loop.next wl in
+    if a.Smr.Workload.Open_loop.at <= until then
+      ignore
+        (Sim.Engine.at engine ~time:a.at (fun () ->
+             let c = t.clients.(t.ol_rr mod n) in
+             t.ol_rr <- t.ol_rr + 1;
+             let uid =
+               Multiring.multicast (the_mr t) ~group:0 ~proposer:c.cl_idx
+                 ~size:a.size
+                 (PKv { op = a.op; reads = a.reads; writes = a.writes })
+             in
+             if uid < 0 then t.ol_drops <- t.ol_drops + 1
+             else Hashtbl.replace t.ol_inflight uid (Simnet.now t.net);
+             arm ()))
+  in
+  arm ()
+
+let open_drops t = t.ol_drops
+
 let metrics t = t.metrics
-let barriers t = t.replicas.(0).barrier_count
-let executed t = t.replicas.(0).exec_count
+
+(* --- per-replica and aggregated counters ----------------------------------------
+   These used to read only replica 0, silently reporting one replica's
+   counters as the system's on multi-replica runs. *)
+
+let barriers_at t r = t.replicas.(r).barrier_count
+let executed_at t r = t.replicas.(r).exec_count
+
+let barriers t =
+  Array.fold_left (fun acc r -> acc + r.barrier_count) 0 t.replicas
+
+let executed t = Array.fold_left (fun acc r -> acc + r.exec_count) 0 t.replicas
+
+let worker_utilization_at t r ~from ~till =
+  let rep = t.replicas.(r) in
+  match rep.exec with
+  | Some e -> Executor.utilization e ~from ~till
+  | None ->
+      Sim.Stats.Busy.utilization rep.busy ~from ~till
+      /. float_of_int (Stdlib.max 1 t.cfg.n_workers)
 
 let worker_utilization t ~from ~till =
-  let r = t.replicas.(0) in
-  Sim.Stats.Busy.utilization r.busy ~from ~till
-  /. float_of_int (Stdlib.max 1 t.cfg.n_workers)
+  let sum = ref 0.0 in
+  Array.iter
+    (fun r -> sum := !sum +. worker_utilization_at t r.rep_idx ~from ~till)
+    t.replicas;
+  !sum /. float_of_int (Stdlib.max 1 t.cfg.n_replicas)
+
+let rollbacks t =
+  Array.fold_left
+    (fun acc r -> match r.exec with Some e -> acc + Executor.rollbacks e | None -> acc)
+    0 t.replicas
+
+let conflicts t =
+  Array.fold_left
+    (fun acc r -> match r.exec with Some e -> acc + Executor.conflicts e | None -> acc)
+    0 t.replicas
+
+let conflict_rate t =
+  let ex = executed t in
+  if ex = 0 then 0.0 else float_of_int (conflicts t) /. float_of_int ex
+
+let state_fingerprint_at t r =
+  match t.replicas.(r).kv with
+  | Some svc -> Smr.Btree_service.fingerprint svc
+  | None -> 0
 
 let table_6_1 =
   [ ("Sequential SMR", "total order", "sequential", "none");
@@ -327,3 +522,34 @@ let render_table_6_1 () =
       Buffer.add_string buf (Printf.sprintf "%-22s %-27s %-12s %s\n" a o e m))
     table_6_1;
   Buffer.contents buf
+
+(* --- white-box testing hooks ------------------------------------------------------ *)
+
+module Testing = struct
+  let enqueue t ~replica ~worker ~group ~uid =
+    let rep = t.replicas.(replica) in
+    let it =
+      { Paxos.Value.uid; isize = 0; app = Simnet.Noop; born = Simnet.now t.net }
+    in
+    Queue.push (Simnet.now t.net, group, it) rep.queues.(worker)
+
+  let pump t ~replica ~worker = pump t t.replicas.(replica) worker
+
+  let join t ~replica ~worker ~uid =
+    let rep = t.replicas.(replica) in
+    let b = barrier_of t rep uid in
+    if not b.b_joined.(worker) then begin
+      b.b_joined.(worker) <- true;
+      b.b_arrived <- b.b_arrived + 1;
+      b.b_ready <- Stdlib.max b.b_ready rep.workers.(worker);
+      if b.b_arrived = t.cfg.n_workers then complete_barrier t rep ~uid b
+    end
+
+  let queue_length t ~replica ~worker =
+    Queue.length t.replicas.(replica).queues.(worker)
+
+  (* The response-routing decode used by [respond]: which client index a
+     response for [uid] goes to, and which replica sends it. *)
+  let responder_client _t ~uid = Paxos.Value.uid_origin uid - 1
+  let responder_replica t ~uid = responder_replica t uid
+end

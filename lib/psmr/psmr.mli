@@ -1,6 +1,6 @@
 (** Parallel State-Machine Replication — Chapter 6.
 
-    Four execution models over the same client interface (Fig. 6.1):
+    Six execution models over the same client interface (Fig. 6.1):
 
     - [Sequential]: classic SMR; ordering and execution share the replica's
       single thread.
@@ -15,17 +15,39 @@
       independent commands to a single worker's group and dependent
       commands to the all-workers group, where execution synchronises on a
       barrier — no replica-side scheduler at all.
+    - [Depaware]: a single totally ordered stream of commands carrying
+      read/write key-sets over the replicated btree; a dependency tracker
+      ({!Executor}, after arXiv 1311.6183) dispatches each command as soon
+      as its conflicting predecessors finish — no all-workers barrier for
+      multi-key commands.
+    - [Optimistic]: same stream, but commands execute speculatively and
+      are validated at commit; read-write conflicts roll the command back
+      and re-execute it (arXiv 1404.6721).
 
-    Commands name an abstract object; two commands conflict when they touch
-    the same object and at least one writes ([dependent] marks commands
-    that conflict with everything, e.g. multi-object updates). *)
+    For [Sequential]/[Pipelined]/[Sdpe]/[Psmr], commands name an abstract
+    object; two commands conflict when they touch the same object and at
+    least one writes ([dependent] marks commands that conflict with
+    everything).  For [Depaware]/[Optimistic], commands are btree
+    operations with declared {!Btree.Keyset} footprints ({!kv_command}). *)
 
-type approach = Sequential | Pipelined | Sdpe | Psmr
+(** The dependency-aware parallel executor itself, usable standalone. *)
+module Executor = Executor
+
+type approach = Sequential | Pipelined | Sdpe | Psmr | Depaware | Optimistic
 
 type command = {
   obj : int;  (** object the command accesses *)
   dependent : bool;  (** conflicts with every other command *)
   size : int;
+}
+
+(** A btree command with its declared conflict footprint, for the
+    [Depaware]/[Optimistic] executor approaches. *)
+type kv_command = {
+  kv_op : Simnet.payload;  (** a {!Smr.Btree_service} operation *)
+  kv_reads : Btree.Keyset.t;
+  kv_writes : Btree.Keyset.t;
+  kv_size : int;
 }
 
 type config = {
@@ -38,26 +60,96 @@ type config = {
   merge_m : int;
   exec_cost : float;  (** service time per command, seconds *)
   sched_cost : float;  (** SDPE scheduler cost per command, seconds *)
+  initial_keys : int;  (** btree preload for executor approaches *)
+  key_range : int;  (** btree key space for executor approaches *)
 }
 
 val default_config : config
 
 type t
 
-val create : Simnet.t -> config -> n_clients:int -> gen:(int -> command) -> t
+(** [create net cfg ~n_clients ~gen] builds the system.  [kv_gen]
+    generates commands for the executor approaches; when absent one is
+    derived from [gen] (independent commands become single-key
+    read-modify-writes, dependent commands declare the full key space). *)
+val create :
+  ?kv_gen:(int -> kv_command) ->
+  Simnet.t ->
+  config ->
+  n_clients:int ->
+  gen:(int -> command) ->
+  t
+
+(** Start the closed-loop clients (each resubmits on response). *)
 val start : t -> unit
+
+(** [start_open t wl ~until] drives the system from an open-loop workload
+    generator instead of closed-loop clients: arrivals are multicast
+    round-robin over the client proposers as they are generated, without
+    waiting for responses, until the virtual time bound.  Executor
+    approaches only (arrivals are {!kv_command}s). *)
+val start_open : t -> Smr.Workload.Open_loop.t -> until:float -> unit
+
+(** Open-loop arrivals dropped because the proposer's window was full. *)
+val open_drops : t -> int
+
 val metrics : t -> Smr.Metrics.t
 
-(** Barriers executed (dependent commands) at replica 0. *)
+(** Barriers executed (dependent commands), summed across replicas. *)
 val barriers : t -> int
 
-(** Total commands executed at replica 0 across its workers. *)
+(** Commands executed, summed across replicas and workers. *)
 val executed : t -> int
 
-(** Worker-thread utilisation at replica 0 over a window, percent. *)
+(** Mean worker-thread utilisation across replicas over a window,
+    percent. *)
 val worker_utilization : t -> from:float -> till:float -> float
+
+(** Per-replica variants of the aggregated counters above. *)
+
+val barriers_at : t -> int -> int
+val executed_at : t -> int -> int
+val worker_utilization_at : t -> int -> from:float -> till:float -> float
+
+(** Executor-approach counters, summed across replicas (zero otherwise). *)
+
+val rollbacks : t -> int
+val conflicts : t -> int
+
+(** [conflicts / executed]. *)
+val conflict_rate : t -> float
+
+(** Fingerprint of a replica's btree state (executor approaches; 0
+    otherwise).  Replicas executing the same stream must agree. *)
+val state_fingerprint_at : t -> int -> int
 
 (** The qualitative comparison of Table 6.1. *)
 val table_6_1 : (string * string * string * string) list
 
 val render_table_6_1 : unit -> string
+
+(** White-box hooks for the barrier regression tests: construct worker
+    queue states directly (bypassing delivery) and drive the pump/join
+    logic on them.  Not for production use. *)
+module Testing : sig
+  (** Enqueue a synthetic item on one worker's queue without pumping.
+      [group = n_workers] marks a dependent (all-workers) entry. *)
+  val enqueue : t -> replica:int -> worker:int -> group:int -> uid:int -> unit
+
+  (** Run the worker's pump loop (what delivery does after enqueueing). *)
+  val pump : t -> replica:int -> worker:int -> unit
+
+  (** Force a worker to join [uid]'s barrier regardless of its queue head,
+      modelling a join that raced an interleaved independent delivery. *)
+  val join : t -> replica:int -> worker:int -> uid:int -> unit
+
+  val queue_length : t -> replica:int -> worker:int -> int
+
+  (** The response-routing decode used internally: the client index a
+      response for [uid] is sent to, and the replica that sends it.  The
+      former must survive client indexes past 255 (the old 8-bit uid
+      origin field wrapped). *)
+  val responder_client : t -> uid:int -> int
+
+  val responder_replica : t -> uid:int -> int
+end

@@ -1507,7 +1507,7 @@ let submit t ~proposer ?(parts = [ 0 ]) ~size app =
   if p.p_unacked_bytes + size > p.p_buffer then -1
   else begin
     t.next_uid <- t.next_uid + 1;
-    let uid = (t.next_uid * 256) lor (proposer land 0xff) in
+    let uid = Paxos.Value.make_uid ~seq:t.next_uid ~origin:proposer in
     let item = { Paxos.Value.uid; isize = size; app; born = Simnet.now t.net } in
     Retry.watch p.p_pending ~now:(Simnet.now t.net) uid (item, parts);
     p.p_unacked_bytes <- p.p_unacked_bytes + size;

@@ -231,7 +231,7 @@ let unseen_bytes t next inst (v : Paxos.Value.t) =
     let k = ring_rank t next.m_pos in
     List.fold_left
       (fun acc (it : Paxos.Value.item) ->
-        let origin_rank = ring_rank t (it.uid land 0xff) in
+        let origin_rank = ring_rank t (Paxos.Value.uid_origin it.uid) in
         if origin_rank >= 0 && k > origin_rank then acc else acc + it.isize)
       0 v.items
   end
@@ -573,10 +573,10 @@ let submit t ~proposer ~size app =
   if m.p_unacked_bytes + size > m.p_buffer then -1
   else begin
     t.next_uid <- t.next_uid + 1;
-    (* The low byte encodes the originating ring position, so forwarding can
+    (* The uid encodes the originating ring position, so forwarding can
        tell which processes already saw an item on its way to the
        coordinator (the value crosses each link exactly once, §3.3.3). *)
-    let uid = (t.next_uid * 256) lor (m.m_pos land 0xff) in
+    let uid = Paxos.Value.make_uid ~seq:t.next_uid ~origin:m.m_pos in
     let item = { Paxos.Value.uid; isize = size; app; born = Simnet.now t.net } in
     Protocol.Retry.watch m.p_pending ~now:(Simnet.now t.net) uid item;
     m.p_unacked_bytes <- m.p_unacked_bytes + size;

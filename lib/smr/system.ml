@@ -70,14 +70,17 @@ let run_items t r (v : Paxos.Value.t) =
   let resps = ref [] and undos = ref [] and cost = ref 0.0 in
   List.iter
     (fun (it : Paxos.Value.item) ->
-      let responder = (it.uid lsr 8) mod t.cfg.replicas_per_partition = r.rp_slot in
+      let responder =
+        Paxos.Value.uid_seq it.uid mod t.cfg.replicas_per_partition = r.rp_slot
+      in
       let read_only = t.cfg.read_only it.app in
       if (not read_only) || responder then begin
         let o = r.rp_service.execute it.app in
         r.rp_executed <- r.rp_executed + 1;
         cost := !cost +. o.cost;
         (match o.undo with Some u -> undos := u :: !undos | None -> ());
-        if responder then resps := (it.uid land 0xff, o.resp_size, it.uid) :: !resps
+        if responder then
+          resps := (Paxos.Value.uid_origin it.uid, o.resp_size, it.uid) :: !resps
       end)
     v.items;
   (List.rev !resps, !undos, !cost)

@@ -77,3 +77,117 @@ let next t =
             else Btree_service.Delete { key })
       in
       { op = Btree_service.Batch ops; parts = [ p ]; size = cmd_size }
+
+(* --- open-loop generation ----------------------------------------------------- *)
+
+module Open_loop = struct
+  type curve =
+    | Constant of float
+    | Ramp of { from_rate : float; to_rate : float; over : float }
+    | Diurnal of { base : float; peak : float; period : float }
+    | Storm of { base : float; peak : float; at : float; len : float }
+
+  type arrival = {
+    at : float;
+    op : Simnet.payload;
+    reads : Btree.Keyset.t;
+    writes : Btree.Keyset.t;
+    size : int;
+  }
+
+  type t = {
+    ol_rng : Sim.Rng.t;
+    ol_key_range : int;
+    ol_read_pct : int;
+    ol_span : int;
+    ol_rate : curve;
+    ol_zipf : Sim.Rng.Zipf.gen option;
+    ol_hot : (float * float * int) option;  (* start, len, pct from hot 1% *)
+    mutable ol_clock : float;
+    mutable ol_generated : int;
+  }
+
+  let pi = 4.0 *. atan 1.0
+
+  let rate_at t now =
+    match t.ol_rate with
+    | Constant r -> r
+    | Ramp { from_rate; to_rate; over } ->
+        if now >= over then to_rate
+        else from_rate +. ((to_rate -. from_rate) *. now /. over)
+    | Diurnal { base; peak; period } ->
+        (* Sinusoidal day: base at the trough, peak at the crest. *)
+        let phase = sin (2.0 *. pi *. now /. period) in
+        base +. ((peak -. base) *. (0.5 *. (1.0 +. phase)))
+    | Storm { base; peak; at; len } ->
+        if now >= at && now < at +. len then peak else base
+
+  let create ?(zipf_s = 0.0) ?(read_pct = 50) ?(query_span = 100) ?hot_storm rng
+      ~key_range ~rate =
+    let zipf =
+      if zipf_s > 0.0 then
+        Some (Sim.Rng.Zipf.create rng ~n:key_range ~s:zipf_s)
+      else None
+    in
+    { ol_rng = rng;
+      ol_key_range = key_range;
+      ol_read_pct = read_pct;
+      ol_span = query_span;
+      ol_rate = rate;
+      ol_zipf = zipf;
+      ol_hot = hot_storm;
+      ol_clock = 0.0;
+      ol_generated = 0 }
+
+  let draw_key t =
+    let hot_now =
+      match t.ol_hot with
+      | Some (start, len, pct) ->
+          t.ol_clock >= start
+          && t.ol_clock < start +. len
+          && Sim.Rng.int t.ol_rng 100 < pct
+      | None -> false
+    in
+    if hot_now then
+      (* Hot-partition storm: hammer the bottom 1% of the key space. *)
+      1 + Sim.Rng.int t.ol_rng (Stdlib.max 1 (t.ol_key_range / 100))
+    else
+      match t.ol_zipf with
+      | Some z -> 1 + Sim.Rng.Zipf.draw z
+      | None -> 1 + Sim.Rng.int t.ol_rng t.ol_key_range
+
+  let next t =
+    (* Poisson arrivals at the instantaneous rate: open loop, nothing waits
+       for a response, so the generator stands in for an unbounded client
+       population (a rate of 1e6/s models a million closed-loop clients at
+       one command per second each). *)
+    let rate = Stdlib.max 1e-9 (rate_at t t.ol_clock) in
+    let dt = Sim.Rng.exponential t.ol_rng ~mean:(1.0 /. rate) in
+    t.ol_clock <- t.ol_clock +. dt;
+    t.ol_generated <- t.ol_generated + 1;
+    let key = draw_key t in
+    if Sim.Rng.int t.ol_rng 100 < t.ol_read_pct then begin
+      let hi = Stdlib.min t.ol_key_range (key + t.ol_span - 1) in
+      { at = t.ol_clock;
+        op = Btree_service.Query { lo = key; hi };
+        reads = Btree.Keyset.range ~lo:key ~hi;
+        writes = Btree.Keyset.empty;
+        size = cmd_size }
+    end
+    else begin
+      let op =
+        if Sim.Rng.bool t.ol_rng 0.5 then Btree_service.Insert { key; value = key }
+        else Btree_service.Delete { key }
+      in
+      (* Updates read the key they overwrite (insert/delete return the old
+         value), so they are read-modify-write for conflict purposes. *)
+      { at = t.ol_clock;
+        op;
+        reads = Btree.Keyset.singleton key;
+        writes = Btree.Keyset.singleton key;
+        size = cmd_size }
+    end
+
+  let generated t = t.ol_generated
+  let clock t = t.ol_clock
+end

@@ -32,3 +32,56 @@ val next : t -> command
 
 (** [partition_of ~key_range ~n_partitions key] is the owning partition. *)
 val partition_of : key_range:int -> n_partitions:int -> int -> int
+
+(** Open-loop workload generation for the parallel-executor experiments:
+    Poisson arrivals at a time-varying rate (nothing waits for responses,
+    so the generator stands in for millions of closed-loop clients),
+    zipf-skewed or uniform keys, a read/write mix, and optional
+    hot-partition storms.  Every arrival carries the read/write key-sets
+    the dependency-aware executor schedules by. *)
+module Open_loop : sig
+  (** Instantaneous arrival rate as a function of time. *)
+  type curve =
+    | Constant of float
+    | Ramp of { from_rate : float; to_rate : float; over : float }
+    | Diurnal of { base : float; peak : float; period : float }
+        (** sinusoidal day: [base] at the trough, [peak] at the crest *)
+    | Storm of { base : float; peak : float; at : float; len : float }
+        (** [peak] arrivals during [\[at, at+len)], [base] otherwise *)
+
+  type arrival = {
+    at : float;  (** arrival time (monotone across calls) *)
+    op : Simnet.payload;  (** a {!Btree_service} operation *)
+    reads : Btree.Keyset.t;
+    writes : Btree.Keyset.t;
+    size : int;  (** request bytes *)
+  }
+
+  type t
+
+  (** [create rng ~key_range ~rate] — [zipf_s] > 0 skews keys (0 =
+      uniform); [read_pct] of commands are range queries of [query_span]
+      keys, the rest single-key inserts/deletes (read-modify-write);
+      [hot_storm = (start, len, pct)] redirects [pct]% of keys drawn in
+      [\[start, start+len)] to the bottom 1% of the key space. *)
+  val create :
+    ?zipf_s:float ->
+    ?read_pct:int ->
+    ?query_span:int ->
+    ?hot_storm:float * float * int ->
+    Sim.Rng.t ->
+    key_range:int ->
+    rate:curve ->
+    t
+
+  (** [next t] draws the next arrival; advances the generator clock. *)
+  val next : t -> arrival
+
+  (** The rate the curve prescribes at a given time. *)
+  val rate_at : t -> float -> float
+
+  val generated : t -> int
+
+  (** Time of the last arrival generated. *)
+  val clock : t -> float
+end

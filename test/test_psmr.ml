@@ -138,3 +138,274 @@ let suite =
   suite
   @ [ Alcotest.test_case "pipelined >= sequential" `Quick
         test_pipelined_beats_sequential_at_high_exec_cost ]
+
+(* --- uid widening (>255 clients) -------------------------------------------- *)
+
+let test_uid_roundtrip_wide_origins () =
+  (* The old uid layout kept 8 bits for the origin: proposer 256 wrapped to
+     0 and responses went to the wrong client. *)
+  List.iter
+    (fun origin ->
+      List.iter
+        (fun seq ->
+          let uid = Paxos.Value.make_uid ~seq ~origin in
+          Alcotest.(check int) "origin survives" origin (Paxos.Value.uid_origin uid);
+          Alcotest.(check int) "seq survives" seq (Paxos.Value.uid_seq uid))
+        [ 0; 1; 255; 256; 100_000 ])
+    [ 0; 1; 255; 256; 300; 1_000; 999_999 ]
+
+let test_response_routing_past_255_clients () =
+  let config = { Psmr.default_config with approach = Psmr.Sequential } in
+  let _engine, sys = make ~config ~n_clients:300 () in
+  (* Ring proposer c+1 is application client c; client 279 is past the old
+     8-bit wrap point. *)
+  let uid = Paxos.Value.make_uid ~seq:7 ~origin:280 in
+  Alcotest.(check int) "client decode survives >255" 279
+    (Psmr.Testing.responder_client sys ~uid);
+  Alcotest.(check int) "responder replica from seq" (7 mod 2)
+    (Psmr.Testing.responder_replica sys ~uid);
+  (* And the wrapped decode would have picked client (280 land 0xff) - 1. *)
+  Alcotest.(check bool) "differs from the wrapped decode" true
+    (Psmr.Testing.responder_client sys ~uid <> (280 land 0xff) - 1)
+
+let test_closed_loop_past_255_clients () =
+  (* Liveness with a client population the old encoding could not address:
+     all 300 closed-loop clients keep cycling. *)
+  let config = { Psmr.default_config with approach = Psmr.Sequential } in
+  let engine, sys = make ~config ~n_clients:300 () in
+  ignore (run_kcps ~until:0.6 engine sys);
+  Alcotest.(check bool) "hundreds of clients complete commands" true
+    (Smr.Metrics.completed (Psmr.metrics sys) > 600)
+
+(* --- per-replica metrics aggregation ----------------------------------------- *)
+
+let test_metrics_aggregate_across_replicas () =
+  let config = { Psmr.default_config with n_workers = 4 } in
+  let engine, sys = make ~config ~dep_pct:50 ~n_clients:32 () in
+  ignore (run_kcps ~until:0.5 engine sys);
+  let per_replica_exec =
+    List.init config.n_replicas (fun r -> Psmr.executed_at sys r)
+  in
+  let per_replica_barriers =
+    List.init config.n_replicas (fun r -> Psmr.barriers_at sys r)
+  in
+  Alcotest.(check int) "executed is the sum over replicas"
+    (List.fold_left ( + ) 0 per_replica_exec)
+    (Psmr.executed sys);
+  Alcotest.(check int) "barriers is the sum over replicas"
+    (List.fold_left ( + ) 0 per_replica_barriers)
+    (Psmr.barriers sys);
+  (* Replicas execute the same stream: each must have done real work (the
+     old accessors read replica 0 only, hiding the rest). *)
+  List.iter
+    (fun e -> Alcotest.(check bool) "every replica executed" true (e > 50))
+    per_replica_exec;
+  let u0 = Psmr.worker_utilization_at sys 0 ~from:0.1 ~till:0.5 in
+  let u1 = Psmr.worker_utilization_at sys 1 ~from:0.1 ~till:0.5 in
+  let agg = Psmr.worker_utilization sys ~from:0.1 ~till:0.5 in
+  Alcotest.(check (float 1e-6)) "aggregate utilization is the mean"
+    ((u0 +. u1) /. 2.0) agg
+
+(* --- barrier completion tolerates interleaved independent heads --------------- *)
+
+let test_barrier_drains_interleaved_heads () =
+  (* Worker 1 has an independent command queued ahead of the barrier entry
+     when the barrier completes.  The old completion scan asserted every
+     joined worker's queue head was the barrier entry and crashed
+     (Assert_failure) on this state; the fix drains the independent head
+     first.  Built via Testing hooks because the current delivery
+     discipline only produces the interleave under batched sinks. *)
+  let config =
+    { Psmr.default_config with approach = Psmr.Psmr; n_workers = 2; n_replicas = 1 }
+  in
+  let _engine, sys = make ~config ~n_clients:2 () in
+  let barrier_uid = Paxos.Value.make_uid ~seq:1 ~origin:0 in
+  let indep_uid = Paxos.Value.make_uid ~seq:2 ~origin:0 in
+  let all = config.n_workers in
+  (* Worker 0: barrier entry at head; pump makes it join. *)
+  Psmr.Testing.enqueue sys ~replica:0 ~worker:0 ~group:all ~uid:barrier_uid;
+  Psmr.Testing.pump sys ~replica:0 ~worker:0;
+  Alcotest.(check int) "nothing executed yet" 0 (Psmr.executed sys);
+  (* Worker 1: an independent entry is interleaved ahead of the barrier. *)
+  Psmr.Testing.enqueue sys ~replica:0 ~worker:1 ~group:0 ~uid:indep_uid;
+  Psmr.Testing.enqueue sys ~replica:0 ~worker:1 ~group:all ~uid:barrier_uid;
+  (* Worker 1 joins with a foreign head: completes the barrier. *)
+  Psmr.Testing.join sys ~replica:0 ~worker:1 ~uid:barrier_uid;
+  Alcotest.(check int) "barrier executed" 1 (Psmr.barriers sys);
+  Alcotest.(check int) "independent head drained and executed" 2
+    (Psmr.executed sys);
+  Alcotest.(check int) "worker 0 queue empty" 0
+    (Psmr.Testing.queue_length sys ~replica:0 ~worker:0);
+  Alcotest.(check int) "worker 1 queue empty" 0
+    (Psmr.Testing.queue_length sys ~replica:0 ~worker:1)
+
+(* --- dependency-aware executor ------------------------------------------------ *)
+
+module Ex = Psmr.Executor
+
+let exec_stream ?(n_workers = 4) ?(window = 32) ~mode keys =
+  (* Self-clocked feed of single-key read-modify-writes; returns the
+     executor, its service and the per-command reports. *)
+  let svc = Smr.Btree_service.create ~initial_keys:100 ~key_range:100_000 ~seed:1 () in
+  let ex = Ex.create ~mode ~n_workers svc.Smr.Btree_service.service in
+  let n = Array.length keys in
+  let commits = Array.make n 0.0 in
+  let reports =
+    Array.mapi
+      (fun i key ->
+        let now = if i < window then 0.0 else commits.(i - window) in
+        let ks = Btree.Keyset.singleton key in
+        let r =
+          Ex.submit ex ~now ~uid:i ~reads:ks ~writes:ks
+            (Smr.Btree_service.Insert { key; value = i })
+        in
+        commits.(i) <- r.Ex.r_commit;
+        r)
+      keys
+  in
+  (ex, svc, reports)
+
+let hot_stream ?(n = 400) ?(hot_pct = 30) ?(n_hot = 4) seed =
+  let rng = Sim.Rng.create seed in
+  Array.init n (fun i ->
+      if Sim.Rng.int rng 100 < hot_pct then 1 + Sim.Rng.int rng n_hot
+      else 100 + i)
+
+let sequential_fingerprint keys =
+  let _, svc, _ = exec_stream ~n_workers:1 ~mode:Ex.Pessimistic keys in
+  Smr.Btree_service.fingerprint svc
+
+let test_executor_conflict_serialization () =
+  (* Pessimistic mode: conflicting commands (same key) never overlap in
+     simulated time, and the final tree equals the sequential reference. *)
+  let keys = hot_stream 7 in
+  let _, svc, reports = exec_stream ~mode:Ex.Pessimistic keys in
+  let n = Array.length keys in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if keys.(i) = keys.(j) then begin
+        let ri = reports.(i) and rj = reports.(j) in
+        if not (ri.Ex.r_fin <= rj.Ex.r_start || rj.Ex.r_fin <= ri.Ex.r_start)
+        then
+          Alcotest.failf "conflicting %d and %d overlap: [%f,%f) vs [%f,%f)" i
+            j ri.Ex.r_start ri.Ex.r_fin rj.Ex.r_start rj.Ex.r_fin
+      end
+    done
+  done;
+  Alcotest.(check int) "state equals sequential reference"
+    (sequential_fingerprint keys)
+    (Smr.Btree_service.fingerprint svc)
+
+let test_executor_commits_in_log_order () =
+  let keys = hot_stream 8 in
+  List.iter
+    (fun mode ->
+      let _, _, reports = exec_stream ~mode keys in
+      Array.iteri
+        (fun i r ->
+          if i > 0 && r.Ex.r_commit < reports.(i - 1).Ex.r_commit then
+            Alcotest.failf "command %d committed before its predecessor" i)
+        reports)
+    [ Ex.Pessimistic; Ex.Optimistic ]
+
+let test_executor_rollback_safety () =
+  (* Optimistic mode on a hot stream must roll back, and rolled-back
+     writes must never be observable: the final tree still equals the
+     sequential reference. *)
+  let keys = hot_stream ~hot_pct:60 9 in
+  let ex, svc, reports = exec_stream ~mode:Ex.Optimistic keys in
+  Alcotest.(check bool) "rollbacks happened" true (Ex.rollbacks ex > 0);
+  Alcotest.(check bool) "conflicts detected" true (Ex.conflicts ex > 0);
+  Alcotest.(check int) "reports count rollbacks too" (Ex.rollbacks ex)
+    (Array.fold_left (fun a r -> a + r.Ex.r_rollbacks) 0 reports);
+  Alcotest.(check int) "state equals sequential reference despite rollbacks"
+    (sequential_fingerprint keys)
+    (Smr.Btree_service.fingerprint svc)
+
+let test_executor_rollback_determinism () =
+  (* Same seed, same stream: identical rollback counts and state. *)
+  List.iter
+    (fun seed ->
+      let keys = hot_stream ~hot_pct:50 seed in
+      let ex1, svc1, _ = exec_stream ~mode:Ex.Optimistic keys in
+      let ex2, svc2, _ = exec_stream ~mode:Ex.Optimistic keys in
+      Alcotest.(check int) "rollback count deterministic" (Ex.rollbacks ex1)
+        (Ex.rollbacks ex2);
+      Alcotest.(check int) "state deterministic"
+        (Smr.Btree_service.fingerprint svc1)
+        (Smr.Btree_service.fingerprint svc2))
+    [ 3; 4; 5 ]
+
+let prop_executor_modes_agree =
+  (* Random key streams: optimistic, pessimistic and sequential execution
+     all end in the same tree. *)
+  QCheck.Test.make ~name:"executor: optimistic = pessimistic = sequential"
+    ~count:40
+    QCheck.(list_of_size Gen.(int_range 1 120) (int_range 1 16))
+    (fun keys ->
+      let keys = Array.of_list keys in
+      let seq = sequential_fingerprint keys in
+      let _, p, _ = exec_stream ~mode:Ex.Pessimistic keys in
+      let _, o, _ = exec_stream ~mode:Ex.Optimistic keys in
+      Smr.Btree_service.fingerprint p = seq
+      && Smr.Btree_service.fingerprint o = seq)
+
+(* --- executor approaches end to end ------------------------------------------- *)
+
+let test_executor_approaches_end_to_end () =
+  List.iter
+    (fun approach ->
+      let config = { Psmr.default_config with approach } in
+      let engine, sys = make ~config ~dep_pct:5 ~n_clients:16 () in
+      let kcps = run_kcps ~until:0.5 engine sys in
+      Alcotest.(check bool) "completes" true (kcps > 0.05);
+      Alcotest.(check int) "replicas agree on final state"
+        (Psmr.state_fingerprint_at sys 0)
+        (Psmr.state_fingerprint_at sys 1);
+      if approach = Psmr.Optimistic then
+        Alcotest.(check bool) "rollbacks surface in metrics" true
+          (Smr.Metrics.rollbacks (Psmr.metrics sys) > 0
+          = (Psmr.rollbacks sys > 0)))
+    [ Psmr.Depaware; Psmr.Optimistic ]
+
+let test_open_loop_drive () =
+  (* Open-loop driving: arrivals are paced by the generator's rate curve,
+     not by responses; commands complete and latency is recorded. *)
+  let config = { Psmr.default_config with approach = Psmr.Depaware } in
+  let engine, sys = make ~config ~n_clients:16 () in
+  let wl =
+    Smr.Workload.Open_loop.create (Sim.Rng.create 5) ~key_range:100_000
+      ~rate:(Smr.Workload.Open_loop.Constant 10_000.0)
+  in
+  Psmr.start_open sys wl ~until:0.4;
+  Sim.Engine.run engine ~until:0.5;
+  let done_ = Smr.Metrics.completed (Psmr.metrics sys) in
+  Alcotest.(check bool)
+    (Printf.sprintf "open-loop commands complete (%d)" done_)
+    true
+    (done_ > 2_000 && done_ + Psmr.open_drops sys <= Smr.Workload.Open_loop.generated wl)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "uid roundtrip, wide origins" `Quick
+        test_uid_roundtrip_wide_origins;
+      Alcotest.test_case "response routing past 255 clients" `Quick
+        test_response_routing_past_255_clients;
+      Alcotest.test_case "closed loop with 300 clients" `Quick
+        test_closed_loop_past_255_clients;
+      Alcotest.test_case "metrics aggregate across replicas" `Quick
+        test_metrics_aggregate_across_replicas;
+      Alcotest.test_case "barrier drains interleaved heads" `Quick
+        test_barrier_drains_interleaved_heads;
+      Alcotest.test_case "executor: conflict serialization" `Quick
+        test_executor_conflict_serialization;
+      Alcotest.test_case "executor: commits in log order" `Quick
+        test_executor_commits_in_log_order;
+      Alcotest.test_case "executor: rollback safety" `Quick
+        test_executor_rollback_safety;
+      Alcotest.test_case "executor: rollback determinism" `Quick
+        test_executor_rollback_determinism;
+      QCheck_alcotest.to_alcotest prop_executor_modes_agree;
+      Alcotest.test_case "executor approaches end to end" `Quick
+        test_executor_approaches_end_to_end;
+      Alcotest.test_case "open-loop drive" `Quick test_open_loop_drive ]

@@ -345,3 +345,113 @@ let suite =
   @ [ Alcotest.test_case "batch undo restores tree" `Quick test_batch_undo_restores_tree;
       Alcotest.test_case "batch workload partition containment" `Quick
         test_workload_batch_single_partition ]
+
+(* --- open-loop workload generator --------------------------------------------- *)
+
+module OL = W.Open_loop
+
+let test_open_loop_arrivals_monotone_and_paced () =
+  let wl = OL.create (Sim.Rng.create 3) ~key_range:10_000 ~rate:(OL.Constant 10_000.0) in
+  let last = ref 0.0 and n = ref 0 in
+  while OL.clock wl < 1.0 do
+    let a = OL.next wl in
+    Alcotest.(check bool) "arrival times monotone" true (a.OL.at >= !last);
+    last := a.OL.at;
+    incr n
+  done;
+  Alcotest.(check int) "generated counter" !n (OL.generated wl);
+  (* Poisson with rate 10k over 1s: well within 20% of the mean. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rate in the ballpark (%d arrivals)" !n)
+    true
+    (!n > 8_000 && !n < 12_000)
+
+let test_open_loop_keysets_match_ops () =
+  let wl =
+    OL.create ~read_pct:40 (Sim.Rng.create 4) ~key_range:10_000
+      ~rate:(OL.Constant 5_000.0)
+  in
+  for _ = 1 to 2_000 do
+    let a = OL.next wl in
+    match a.OL.op with
+    | BS.Insert { key; _ } | BS.Delete { key } ->
+        (* Read-modify-write: both sets cover exactly the touched key. *)
+        Alcotest.(check bool) "write set covers the key" true
+          (Btree.Keyset.overlaps a.OL.writes (Btree.Keyset.singleton key));
+        Alcotest.(check bool) "read set covers the key" true
+          (Btree.Keyset.overlaps a.OL.reads (Btree.Keyset.singleton key))
+    | BS.Query { lo; hi } ->
+        Alcotest.(check bool) "queries write nothing" true
+          (Btree.Keyset.is_empty a.OL.writes);
+        Alcotest.(check bool) "read set covers the range" true
+          (Btree.Keyset.overlaps a.OL.reads (Btree.Keyset.range ~lo ~hi))
+    | _ -> Alcotest.fail "unexpected op"
+  done
+
+let test_open_loop_zipf_skew () =
+  (* With zipf skew the bottom 1% of the key space absorbs far more than
+     its uniform share of updates. *)
+  let updates_in_hot_1pct ~zipf_s =
+    let wl =
+      OL.create ~zipf_s ~read_pct:0 (Sim.Rng.create 5) ~key_range:100_000
+        ~rate:(OL.Constant 10_000.0)
+    in
+    let hot = ref 0 and total = ref 0 in
+    for _ = 1 to 10_000 do
+      match (OL.next wl).OL.op with
+      | BS.Insert { key; _ } | BS.Delete { key } ->
+          incr total;
+          if key <= 1_000 then incr hot
+      | _ -> ()
+    done;
+    float_of_int !hot /. float_of_int !total
+  in
+  let uniform = updates_in_hot_1pct ~zipf_s:0.0 in
+  let skewed = updates_in_hot_1pct ~zipf_s:1.2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "uniform ~1%% (%.3f), zipf much more (%.3f)" uniform skewed)
+    true
+    (uniform < 0.05 && skewed > 10.0 *. uniform)
+
+let test_open_loop_storm_and_rate_curve () =
+  (* A hot-partition storm redirects keys to the bottom 1% during its
+     window, and the Storm curve raises the arrival rate there. *)
+  let wl =
+    OL.create ~read_pct:0 ~hot_storm:(0.4, 0.2, 80) (Sim.Rng.create 6)
+      ~key_range:100_000
+      ~rate:(OL.Storm { base = 5_000.0; peak = 20_000.0; at = 0.4; len = 0.2 })
+  in
+  Alcotest.(check bool) "rate follows the curve" true
+    (OL.rate_at wl 0.1 = 5_000.0 && OL.rate_at wl 0.5 = 20_000.0);
+  let in_hot = ref 0 and in_total = ref 0 in
+  let out_hot = ref 0 and out_total = ref 0 in
+  while OL.clock wl < 1.0 do
+    let a = OL.next wl in
+    match a.OL.op with
+    | BS.Insert { key; _ } | BS.Delete { key } ->
+        let stormy = a.OL.at >= 0.4 && a.OL.at < 0.6 in
+        if stormy then incr in_total else incr out_total;
+        if key <= 1_000 then if stormy then incr in_hot else incr out_hot
+    | _ -> ()
+  done;
+  let frac h t = float_of_int !h /. float_of_int (max 1 !t) in
+  Alcotest.(check bool)
+    (Printf.sprintf "storm concentrates keys (%.2f in, %.2f out)"
+       (frac in_hot in_total) (frac out_hot out_total))
+    true
+    (frac in_hot in_total > 0.5 && frac out_hot out_total < 0.05);
+  (* The storm window also saw ~4x the arrivals of an equal quiet window. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "storm raises arrival rate (%d vs %d)" !in_total !out_total)
+    true
+    (float_of_int !in_total > 2.0 *. (float_of_int !out_total /. 4.0))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "open loop: monotone, Poisson-paced" `Quick
+        test_open_loop_arrivals_monotone_and_paced;
+      Alcotest.test_case "open loop: keysets match ops" `Quick
+        test_open_loop_keysets_match_ops;
+      Alcotest.test_case "open loop: zipf skew" `Quick test_open_loop_zipf_skew;
+      Alcotest.test_case "open loop: storm + rate curve" `Quick
+        test_open_loop_storm_and_rate_curve ]
