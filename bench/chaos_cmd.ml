@@ -6,7 +6,7 @@
 let usage () =
   prerr_endline
     "usage: chaos [--seeds N] [--protocol P] [--duration S]\n\
-     protocols: all | mring | uring | multiring | spaxos | lcr | smr";
+     protocols: all | mring | uring | multiring | spaxos | lcr | smr | kv-lease";
   exit 1
 
 let run args =

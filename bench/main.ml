@@ -55,7 +55,10 @@ let experiments : (string * string * (unit -> unit)) list =
      Engine_bench.run);
     ("psmr",
      "parallel-executor sweep, conflict rate x workers (emits BENCH_psmr.json)",
-     Psmr_bench.run) ]
+     Psmr_bench.run);
+    ("kv",
+     "replicated KV + lease read tier, YCSB presets (emits BENCH_kv.json)",
+     Kv_bench.run) ]
 
 let list_experiments () =
   Printf.printf "%-10s %s\n" "id" "description";

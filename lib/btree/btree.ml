@@ -381,6 +381,22 @@ module Keyset = struct
     in
     go 0 0
 
+  (* [subset a b]: every key of [a] lies in [b].  Since both sides are
+     sorted and disjoint, each range of [a] must fit inside a single range
+     of [b] (a range spanning a gap of [b] covers keys outside it), so one
+     merge-walk suffices.  The empty set is a subset of everything. *)
+  let subset (a : t) (b : t) =
+    let na = Array.length a and nb = Array.length b in
+    let rec go i j =
+      if i >= na then true
+      else if j >= nb then false
+      else
+        let alo, ahi = a.(i) and blo, bhi = b.(j) in
+        if bhi < alo then go i (j + 1)
+        else blo <= alo && ahi <= bhi && go (i + 1) j
+    in
+    go 0 0
+
   (* Two commands conflict when one's writes intersect the other's reads or
      writes (read-read sharing is always safe). *)
   let conflict ~r1 ~w1 ~r2 ~w2 =

@@ -72,6 +72,10 @@ module Keyset : sig
 
   val overlaps : t -> t -> bool
 
+  (** [subset a b] — every key of [a] lies in [b] (the lease read tier
+      asks whether a read's key-set is covered by a held lease). *)
+  val subset : t -> t -> bool
+
   (** [conflict ~r1 ~w1 ~r2 ~w2] — command 1 reads [r1] / writes [w1],
       command 2 reads [r2] / writes [w2]. *)
   val conflict : r1:t -> w1:t -> r2:t -> w2:t -> bool

@@ -20,7 +20,7 @@ type outcome = {
 
 let protocols =
   [ "mring"; "mring-pressure"; "mring-reconfig"; "mring-join"; "uring"; "multiring";
-    "multiring-reconfig"; "spaxos"; "lcr"; "smr" ]
+    "multiring-reconfig"; "spaxos"; "lcr"; "smr"; "kv-lease" ]
 
 let mk_env seed =
   let engine = Sim.Engine.create () in
@@ -749,6 +749,133 @@ let run_smr ~seed ~duration () =
     violations = (if lin then [] else [ "smr: history is not linearizable" ]);
     events = Injector.events inj }
 
+(* --- replicated KV with the lease read tier -------------------------------- *)
+
+(* The lease tier's dangerous windows, under chaos:
+
+   1. the current {e lease holders} are partitioned away mid-lease, so
+      conflicting writes cannot collect their acknowledgements and must
+      respond through the lease-expiry deadline;
+   2. a revocation window where the acknowledgements themselves are lost
+      (KWAck drop episode), again forcing the deadline path;
+   3. a light multicast chaos episode over the ordered log.
+
+   All faults heal by 80 % of the run.  The verdict layers the ordered-log
+   auditor (agreement / no-dup / no-creation over KOp + KGrant uids,
+   deliveries filtered to broadcast uids because learners also see skip
+   items) with the KV-level oracles: the recorded read/write history must
+   be linearizable — local lease reads included — replicas must converge
+   to identical trees, and every deferred write response must have drained
+   by the horizon. *)
+let run_kv_lease ~seed ~duration () =
+  let _engine, net = mk_env seed in
+  let n_replicas = 3 and n_clients = 2 in
+  let cfg =
+    { Kv.default_config with
+      n_replicas;
+      leases = true;
+      lease_dur = 0.1;
+      lease_backoff = 0.05;
+      read_timeout = 0.05;
+      initial_keys = 0;
+      key_range = 64;
+      record_history = true }
+  in
+  let aud = Safety.create ~name:"kv-lease" ~n_learners:n_replicas in
+  let known = Hashtbl.create 1024 in
+  let sys =
+    Kv.create net cfg ~n_clients
+      ~on_broadcast:(fun ~uid ->
+        Hashtbl.replace known uid ();
+        Safety.broadcast aud uid)
+      ~on_deliver:(fun ~replica ~uid ->
+        if Hashtbl.mem known uid then Safety.delivered aud ~learner:replica uid)
+  in
+  let inj = Injector.create net ~seed:((seed * 7919) + 267) in
+  let rng = Injector.sched_rng inj in
+  let wl =
+    Smr.Workload.Open_loop.create
+      ~ops:[ (Smr.Workload.Open_loop.Read, 50); (Smr.Workload.Open_loop.Update, 50) ]
+      ~dist:(Smr.Workload.Open_loop.Zipf 0.99)
+      (Sim.Rng.create (0xCAFE + seed))
+      ~key_range:cfg.Kv.key_range
+      ~rate:(Smr.Workload.Open_loop.Constant 250.0)
+  in
+  Kv.start_open sys wl ~until:(0.6 *. duration);
+  let t0 = 0.15 *. duration and t1 = 0.55 *. duration in
+  (* 1. cut a lease holder off mid-lease (its reads and their responses
+     still route, so clients see timeouts, not silence); healed well
+     before quiescence so gap repair catches the replica up. *)
+  let victim = Sim.Rng.int rng n_replicas in
+  let vpid = Simnet.pid (Kv.replica_proc sys victim) in
+  let rest =
+    List.filter
+      (fun p -> p <> vpid)
+      (List.concat
+         [ List.init n_replicas (fun r -> Simnet.pid (Kv.replica_proc sys r));
+           List.init n_clients (fun c -> Simnet.pid (Kv.client_proc sys c)) ])
+  in
+  Injector.partition inj
+    ~at:(pick rng t0 (0.35 *. duration))
+    ~dur:(pick rng (0.1 *. duration) (0.2 *. duration))
+    ~group_a:[ vpid ] ~group_b:rest
+    (Printf.sprintf "lease-holder%d" victim);
+  (* 2. lose the revocation acknowledgements themselves for a window:
+     every deferred write in it must fall back to the lease deadline. *)
+  Injector.rule inj
+    ~at:(pick rng t0 t1)
+    ~dur:(pick rng (0.1 *. duration) (0.2 *. duration))
+    ~drop:1.0
+    ~applies:(fun (m : Simnet.msg) ~dst:_ ->
+      match m.payload with Kv.KWAck _ -> true | _ -> false)
+    "wack-loss";
+  (* 3. light multicast chaos over the ordered log. *)
+  Injector.rule inj
+    ~at:(pick rng t0 t1)
+    ~dur:(pick rng 0.2 0.4)
+    ~drop:(pick rng 0.02 0.06)
+    ~dup:0.02 ~jitter:2.0e-4 ~applies:mcast_only "mcast-chaos";
+  Sim.Engine.run (Simnet.engine net) ~until:duration;
+  let verdict = Safety.verdict aud in
+  let fingerprint_violations =
+    let f0 = Kv.state_fingerprint_at sys 0 in
+    List.concat_map
+      (fun r ->
+        if Kv.state_fingerprint_at sys r <> f0 then
+          [ Printf.sprintf "kv-lease: replica %d diverged from replica 0" r ]
+        else [])
+      (List.init (n_replicas - 1) (fun i -> i + 1))
+  in
+  let kv_violations =
+    List.concat
+      [ (if Kv.check_history sys then []
+         else [ "kv-lease: history is not linearizable" ]);
+        fingerprint_violations;
+        (if Kv.pending_writes sys > 0 then
+           [ Printf.sprintf "kv-lease: %d write responses never drained"
+               (Kv.pending_writes sys) ]
+         else []);
+        (if Kv.counter sys "kv_lease_grants" = 0 then
+           [ "kv-lease: no lease grants flowed" ]
+         else []);
+        (if Kv.counter sys "kv_local_reads" + Kv.counter sys "kv_local_nacks" = 0
+         then [ "kv-lease: lease read tier never exercised" ]
+         else []) ]
+  in
+  let o =
+    finish ~protocol:"kv-lease" ~seed ~verdict ~events:(Injector.events inj)
+      ~extra:
+        (Printf.sprintf " local=%d nack=%d deadline=%d grants=%d lin=%b"
+           (Kv.counter sys "kv_local_reads")
+           (Kv.counter sys "kv_local_nacks")
+           (Kv.counter sys "kv_deadline_responses")
+           (Kv.counter sys "kv_lease_grants")
+           (Kv.check_history sys))
+  in
+  { o with
+    ok = o.ok && kv_violations = [];
+    violations = o.violations @ kv_violations }
+
 (* --- dispatch --------------------------------------------------------------- *)
 
 let run_one ~protocol ~seed ~duration () =
@@ -763,6 +890,7 @@ let run_one ~protocol ~seed ~duration () =
   | "spaxos" -> run_spaxos ~seed ~duration ()
   | "lcr" -> run_lcr ~seed ~duration ()
   | "smr" -> run_smr ~seed ~duration ()
+  | "kv-lease" -> run_kv_lease ~seed ~duration ()
   | p -> invalid_arg ("Chaos.run_one: unknown protocol " ^ p)
 
 let pp_events events =

@@ -25,7 +25,14 @@ type outcome = {
 
 (** Scenario names accepted by {!run_one}: ["mring"; "mring-pressure";
     "mring-reconfig"; "mring-join"; "uring"; "multiring";
-    "multiring-reconfig"; "spaxos"; "lcr"; "smr"].  The reconfiguration
+    "multiring-reconfig"; "spaxos"; "lcr"; "smr"; "kv-lease"].
+    ["kv-lease"] runs the replicated KV service with its lease read tier
+    under chaos — a lease-holding replica partitioned mid-lease, a window
+    where revocation acknowledgements are lost (forcing the lease-expiry
+    deadline path), multicast chaos over the log — and layers
+    {!Smr.Linearizability.Kv} (local reads included), replica-state
+    convergence and write-response drain checks on top of the
+    atomic-broadcast auditor.  The reconfiguration
     scenarios exercise dynamic membership: ["mring-reconfig"] retires a
     founding member and crashes the founding coordinator inside the
     handoff window, then elects the newcomer while activating a staged

@@ -84,6 +84,7 @@ type t = {
   metrics : Smr.Metrics.t;
   ol_inflight : (int, float) Hashtbl.t;  (* open-loop uid -> born *)
   mutable ol_drops : int;
+  mutable ol_issued : int;  (* open-loop commands accepted by a proposer *)
   mutable ol_rr : int;  (* open-loop proposer round-robin *)
 }
 
@@ -338,7 +339,8 @@ let create ?kv_gen net cfg ~n_clients ~gen =
   in
   let t =
     { net; cfg; mring = None; replicas; clients; gen; kv_gen; metrics;
-      ol_inflight = Hashtbl.create 4096; ol_drops = 0; ol_rr = 0 }
+      ol_inflight = Hashtbl.create 4096; ol_drops = 0; ol_issued = 0;
+      ol_rr = 0 }
   in
   let n_rings, n_learners, subs, nodes =
     match cfg.approach with
@@ -438,8 +440,12 @@ let start_open t wl ~until =
   if n = 0 then invalid_arg "Psmr.start_open: no client proposers";
   let engine = Simnet.engine t.net in
   let rec arm () =
-    let a = Smr.Workload.Open_loop.next wl in
-    if a.Smr.Workload.Open_loop.at <= until then
+    (* Peek, don't consume: the first arrival past the horizon stays in the
+       generator, so [Open_loop.generated] counts exactly the commands this
+       driver issued or dropped — not a discarded lookahead. *)
+    let a = Smr.Workload.Open_loop.peek wl in
+    if a.Smr.Workload.Open_loop.at <= until then begin
+      ignore (Smr.Workload.Open_loop.next wl);
       ignore
         (Sim.Engine.at engine ~time:a.at (fun () ->
              let c = t.clients.(t.ol_rr mod n) in
@@ -449,13 +455,22 @@ let start_open t wl ~until =
                  ~size:a.size
                  (PKv { op = a.op; reads = a.reads; writes = a.writes })
              in
+             (* A full proposer window drops the arrival: overload shows up
+                in [open_drops], never in the latency meters (no inflight
+                entry, so no response is ever matched) nor the issued-ops
+                denominator ([open_issued] counts successes only). *)
              if uid < 0 then t.ol_drops <- t.ol_drops + 1
-             else Hashtbl.replace t.ol_inflight uid (Simnet.now t.net);
+             else begin
+               t.ol_issued <- t.ol_issued + 1;
+               Hashtbl.replace t.ol_inflight uid (Simnet.now t.net)
+             end;
              arm ()))
+    end
   in
   arm ()
 
 let open_drops t = t.ol_drops
+let open_issued t = t.ol_issued
 
 let metrics t = t.metrics
 

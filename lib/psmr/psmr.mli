@@ -90,8 +90,14 @@ val start : t -> unit
     approaches only (arrivals are {!kv_command}s). *)
 val start_open : t -> Smr.Workload.Open_loop.t -> until:float -> unit
 
-(** Open-loop arrivals dropped because the proposer's window was full. *)
+(** Open-loop arrivals dropped because the proposer's window was full.
+    Drops never enter the latency meters or the issued-ops denominator:
+    [Workload.Open_loop.generated wl = open_issued t + open_drops t] holds
+    once the drive completes. *)
 val open_drops : t -> int
+
+(** Open-loop arrivals accepted by a proposer (issued into the ring). *)
+val open_issued : t -> int
 
 val metrics : t -> Smr.Metrics.t
 

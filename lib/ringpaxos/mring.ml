@@ -19,6 +19,10 @@ type config = {
       (** a membership change decided at instance [i] activates at
           [i + reconfig_alpha] (the paper's alpha parameter for
           log-ordered reconfiguration) *)
+  proposer_buffer : int;
+      (** per-proposer unacknowledged-bytes bound; [submit] returns -1
+          (drop) once exceeded.  Small values force open-loop overflow for
+          drop-accounting tests. *)
 }
 
 let default_config =
@@ -36,7 +40,8 @@ let default_config =
     gc_period = 0.1;
     partitions = 1;
     send_rate = 0.85e9;
-    reconfig_alpha = 64 }
+    reconfig_alpha = 64;
+    proposer_buffer = 16 * 1024 * 1024 }
 
 let hdr = 64
 
@@ -1449,7 +1454,7 @@ let create ?speculative ?learner_nodes net cfg ~n_proposers ~n_learners ~learner
           p_idx = i;
           p_pending = Retry.tracker ();
           p_unacked_bytes = 0;
-          p_buffer = 16 * 1024 * 1024 })
+          p_buffer = cfg.proposer_buffer })
   in
   (* Initial ring: acceptors 0..f-1 then f as coordinator. *)
   let ring = List.init (cfg.f + 1) Fun.id in

@@ -40,6 +40,10 @@ type config = {
       (** a membership change decided at instance [i] activates at
           [i + reconfig_alpha] — the activation lag of log-ordered
           reconfiguration *)
+  proposer_buffer : int;
+      (** per-proposer unacknowledged-bytes bound; {!submit} returns -1
+          once exceeded (16 MB default).  Shrink it to force open-loop
+          window-overflow drops in tests. *)
 }
 
 val default_config : config

@@ -4,32 +4,30 @@ type op = {
   res : float;
 }
 
-let applies state = function
-  | `Write _ -> true
-  | `Read v -> v = state
-
-let apply state = function `Write v -> Some v | `Read _ -> state
-
-(* Exhaustive search: at each step, an operation may be linearized next only
-   if no remaining operation responded before it was invoked. *)
-let check ~init history =
-  let arr = Array.of_list history in
-  let n = Array.length arr in
+(* Exhaustive Wing-Gong search over one object, generic in the operation
+   alphabet: at each step, an operation may be linearized next only if no
+   remaining operation responded before it was invoked.  [applies state k]
+   says whether [k] can legally fire in [state]; [apply] is its sequential
+   semantics.  Both register and key-value instantiations below share this
+   core. *)
+let search ~applies ~apply ~init (ops : ('k * float * float) array) =
+  let n = Array.length ops in
   let used = Array.make n false in
   let rec go state placed =
     if placed = n then true
     else begin
       let min_res = ref infinity in
       for i = 0 to n - 1 do
-        if (not used.(i)) && arr.(i).res < !min_res then min_res := arr.(i).res
+        let _, _, res = ops.(i) in
+        if (not used.(i)) && res < !min_res then min_res := res
       done;
       let ok = ref false in
       let i = ref 0 in
       while (not !ok) && !i < n do
-        let op = arr.(!i) in
-        if (not used.(!i)) && op.inv <= !min_res && applies state op.kind then begin
+        let kind, inv, _ = ops.(!i) in
+        if (not used.(!i)) && inv <= !min_res && applies state kind then begin
           used.(!i) <- true;
-          if go (apply state op.kind) (placed + 1) then ok := true
+          if go (apply state kind) (placed + 1) then ok := true
           else used.(!i) <- false
         end;
         incr i
@@ -38,6 +36,56 @@ let check ~init history =
     end
   in
   go init 0
+
+let applies state = function
+  | `Write _ -> true
+  | `Read v -> v = state
+
+let apply state = function `Write v -> Some v | `Read _ -> state
+
+let check ~init history =
+  let arr =
+    Array.of_list (List.map (fun o -> (o.kind, o.inv, o.res)) history)
+  in
+  search ~applies ~apply ~init arr
+
+module Kv = struct
+  type op = {
+    key : int;
+    kind : [ `Read of int option | `Write of int option ];
+    inv : float;
+    res : float;
+  }
+
+  (* Linearizability is compositional (local): a history over many keys is
+     linearizable iff each key's sub-history is, so the exhaustive search
+     runs per key.  A key's register holds [int option]: [`Write (Some v)]
+     is an insert/update, [`Write None] a delete, and a read observes the
+     stored value or [None] when absent.  (Multi-key atomic scans are out
+     of scope for this checker: record only their single-key reads.) *)
+  let kv_applies state = function
+    | `Write _ -> true
+    | `Read v -> v = state
+
+  let kv_apply state = function `Write v -> v | `Read _ -> state
+
+  let check ~init history =
+    let by_key : (int, (_ * float * float) list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    List.iter
+      (fun o ->
+        match Hashtbl.find_opt by_key o.key with
+        | Some l -> l := (o.kind, o.inv, o.res) :: !l
+        | None -> Hashtbl.add by_key o.key (ref [ (o.kind, o.inv, o.res) ]))
+      history;
+    Hashtbl.fold
+      (fun key ops ok ->
+        ok
+        && search ~applies:kv_applies ~apply:kv_apply ~init:(init key)
+             (Array.of_list !ops))
+      by_key true
+end
 
 let sequentially_consistent ~init histories =
   (* Search for an interleaving that respects each process's program order

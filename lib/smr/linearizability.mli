@@ -15,6 +15,26 @@ type op = {
     reordered to respect both register semantics and real time. *)
 val check : init:int option -> op list -> bool
 
+(** Multi-key histories, for the replicated KV service (lease-served local
+    reads included).  Linearizability is compositional, so the exhaustive
+    search runs independently per key; a stale read served off an expired
+    or unrevoked lease after a conflicting write committed shows up as an
+    unlinearizable sub-history for that key. *)
+module Kv : sig
+  type op = {
+    key : int;
+    kind :
+      [ `Read of int option  (** observed value; [None] = key absent *)
+      | `Write of int option  (** [Some v] insert/update, [None] delete *) ];
+    inv : float;  (** invocation time *)
+    res : float;  (** response time *)
+  }
+
+  (** [check ~init history] — [init key] is the value stored at [key]
+      before the history began ([None] if absent). *)
+  val check : init:(int -> int option) -> op list -> bool
+end
+
 (** [sequentially_consistent ~init histories] checks the weaker condition of
     §2.2.5: per-process order only.  [histories] groups ops by process. *)
 val sequentially_consistent : init:int option -> op list list -> bool

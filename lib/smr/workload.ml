@@ -86,6 +86,11 @@ module Open_loop = struct
     | Ramp of { from_rate : float; to_rate : float; over : float }
     | Diurnal of { base : float; peak : float; period : float }
     | Storm of { base : float; peak : float; at : float; len : float }
+    | Seq of (curve * float) list
+
+  type op_kind = Read | Update | Insert | Scan | Rmw
+
+  type key_dist = Uniform | Zipf of float | Latest of float
 
   type arrival = {
     at : float;
@@ -103,14 +108,24 @@ module Open_loop = struct
     ol_rate : curve;
     ol_zipf : Sim.Rng.Zipf.gen option;
     ol_hot : (float * float * int) option;  (* start, len, pct from hot 1% *)
+    ol_ops : (op_kind * int) list option;  (* weighted mix; None = legacy *)
+    ol_dist : key_dist;
+    mutable ol_max_key : int;  (* highest key Insert has allocated *)
+    mutable ol_fresh : int;  (* unique write values *)
+    mutable ol_pending : arrival option;  (* one-slot lookahead for peek *)
     mutable ol_clock : float;
     mutable ol_generated : int;
   }
 
   let pi = 4.0 *. atan 1.0
 
-  let rate_at t now =
-    match t.ol_rate with
+  (* Segments of a [Seq] are half-open [start, start + dur): an instant
+     landing exactly on a boundary belongs to the next segment only, so a
+     boundary tick is never evaluated (or issued) under both curves.  The
+     last segment keeps running on its local clock forever.  Inner curves
+     see segment-local time, so Ramp/Storm offsets compose naturally. *)
+  let rec rate_of curve now =
+    match curve with
     | Constant r -> r
     | Ramp { from_rate; to_rate; over } ->
         if now >= over then to_rate
@@ -121,13 +136,29 @@ module Open_loop = struct
         base +. ((peak -. base) *. (0.5 *. (1.0 +. phase)))
     | Storm { base; peak; at; len } ->
         if now >= at && now < at +. len then peak else base
+    | Seq segs ->
+        let rec walk start = function
+          | [] -> 0.0
+          | [ (c, _) ] -> rate_of c (now -. start)
+          | (c, d) :: rest ->
+              if now < start +. d then rate_of c (now -. start)
+              else walk (start +. d) rest
+        in
+        walk 0.0 segs
 
-  let create ?(zipf_s = 0.0) ?(read_pct = 50) ?(query_span = 100) ?hot_storm rng
-      ~key_range ~rate =
+  let rate_at t now = rate_of t.ol_rate now
+
+  let create ?(zipf_s = 0.0) ?(read_pct = 50) ?(query_span = 100) ?hot_storm
+      ?ops ?dist rng ~key_range ~rate =
+    let dist =
+      match dist with
+      | Some d -> d
+      | None -> if zipf_s > 0.0 then Zipf zipf_s else Uniform
+    in
     let zipf =
-      if zipf_s > 0.0 then
-        Some (Sim.Rng.Zipf.create rng ~n:key_range ~s:zipf_s)
-      else None
+      match dist with
+      | Zipf s | Latest s -> Some (Sim.Rng.Zipf.create rng ~n:key_range ~s)
+      | Uniform -> None
     in
     { ol_rng = rng;
       ol_key_range = key_range;
@@ -136,6 +167,11 @@ module Open_loop = struct
       ol_rate = rate;
       ol_zipf = zipf;
       ol_hot = hot_storm;
+      ol_ops = ops;
+      ol_dist = dist;
+      ol_max_key = key_range;
+      ol_fresh = 0;
+      ol_pending = None;
       ol_clock = 0.0;
       ol_generated = 0 }
 
@@ -152,11 +188,75 @@ module Open_loop = struct
       (* Hot-partition storm: hammer the bottom 1% of the key space. *)
       1 + Sim.Rng.int t.ol_rng (Stdlib.max 1 (t.ol_key_range / 100))
     else
-      match t.ol_zipf with
-      | Some z -> 1 + Sim.Rng.Zipf.draw z
-      | None -> 1 + Sim.Rng.int t.ol_rng t.ol_key_range
+      match (t.ol_dist, t.ol_zipf) with
+      | Latest _, Some z ->
+          (* Skew towards the most recently inserted keys: the zipf draw is
+             a recency rank counted down from the newest key. *)
+          let rank = Sim.Rng.Zipf.draw z in
+          Stdlib.max 1 (t.ol_max_key - rank)
+      | _, Some z -> 1 + Sim.Rng.Zipf.draw z
+      | _, None -> 1 + Sim.Rng.int t.ol_rng t.ol_key_range
 
-  let next t =
+  let fresh_value t =
+    t.ol_fresh <- t.ol_fresh + 1;
+    t.ol_fresh
+
+  let read_arrival t key =
+    { at = t.ol_clock;
+      op = Btree_service.Query { lo = key; hi = key };
+      reads = Btree.Keyset.singleton key;
+      writes = Btree.Keyset.empty;
+      size = cmd_size }
+
+  let scan_arrival t key =
+    let hi = Stdlib.min t.ol_max_key (key + t.ol_span - 1) in
+    { at = t.ol_clock;
+      op = Btree_service.Query { lo = key; hi };
+      reads = Btree.Keyset.range ~lo:key ~hi;
+      writes = Btree.Keyset.empty;
+      size = cmd_size }
+
+  let update_arrival t key =
+    (* Updates read the key they overwrite (insert returns the old value),
+       so they are read-modify-write for conflict purposes. *)
+    { at = t.ol_clock;
+      op = Btree_service.Insert { key; value = fresh_value t };
+      reads = Btree.Keyset.singleton key;
+      writes = Btree.Keyset.singleton key;
+      size = cmd_size }
+
+  let insert_arrival t =
+    t.ol_max_key <- t.ol_max_key + 1;
+    let key = t.ol_max_key in
+    { at = t.ol_clock;
+      op = Btree_service.Insert { key; value = fresh_value t };
+      reads = Btree.Keyset.singleton key;
+      writes = Btree.Keyset.singleton key;
+      size = cmd_size }
+
+  let mixed_arrival t ops =
+    let total = List.fold_left (fun acc (_, w) -> acc + Stdlib.max 0 w) 0 ops in
+    let roll = Sim.Rng.int t.ol_rng (Stdlib.max 1 total) in
+    let kind =
+      let rec pick acc = function
+        | [] -> Read
+        | (k, w) :: rest ->
+            let acc = acc + Stdlib.max 0 w in
+            if roll < acc then k else pick acc rest
+      in
+      pick 0 ops
+    in
+    match kind with
+    | Read -> read_arrival t (draw_key t)
+    | Scan -> scan_arrival t (draw_key t)
+    | Update | Rmw -> update_arrival t (draw_key t)
+    | Insert -> insert_arrival t
+
+  (* Advance the generator clock and produce one arrival.  Does NOT count
+     it as generated: that happens when [next] hands it to the caller, so
+     a lookahead the driver discards (first arrival past its horizon)
+     never inflates the issued-ops denominator. *)
+  let draw t =
     (* Poisson arrivals at the instantaneous rate: open loop, nothing waits
        for a response, so the generator stands in for an unbounded client
        population (a rate of 1e6/s models a million closed-loop clients at
@@ -164,30 +264,53 @@ module Open_loop = struct
     let rate = Stdlib.max 1e-9 (rate_at t t.ol_clock) in
     let dt = Sim.Rng.exponential t.ol_rng ~mean:(1.0 /. rate) in
     t.ol_clock <- t.ol_clock +. dt;
+    match t.ol_ops with
+    | Some ops -> mixed_arrival t ops
+    | None ->
+        (* Legacy mix: [read_pct] range scans, the rest single-key
+           insert/delete read-modify-writes (draw-for-draw identical to the
+           pre-mix generator, so seeded runs reproduce). *)
+        let key = draw_key t in
+        if Sim.Rng.int t.ol_rng 100 < t.ol_read_pct then begin
+          let hi = Stdlib.min t.ol_key_range (key + t.ol_span - 1) in
+          { at = t.ol_clock;
+            op = Btree_service.Query { lo = key; hi };
+            reads = Btree.Keyset.range ~lo:key ~hi;
+            writes = Btree.Keyset.empty;
+            size = cmd_size }
+        end
+        else begin
+          let op =
+            if Sim.Rng.bool t.ol_rng 0.5 then Btree_service.Insert { key; value = key }
+            else Btree_service.Delete { key }
+          in
+          { at = t.ol_clock;
+            op;
+            reads = Btree.Keyset.singleton key;
+            writes = Btree.Keyset.singleton key;
+            size = cmd_size }
+        end
+
+  let next t =
+    let a =
+      match t.ol_pending with
+      | Some a ->
+          t.ol_pending <- None;
+          a
+      | None -> draw t
+    in
     t.ol_generated <- t.ol_generated + 1;
-    let key = draw_key t in
-    if Sim.Rng.int t.ol_rng 100 < t.ol_read_pct then begin
-      let hi = Stdlib.min t.ol_key_range (key + t.ol_span - 1) in
-      { at = t.ol_clock;
-        op = Btree_service.Query { lo = key; hi };
-        reads = Btree.Keyset.range ~lo:key ~hi;
-        writes = Btree.Keyset.empty;
-        size = cmd_size }
-    end
-    else begin
-      let op =
-        if Sim.Rng.bool t.ol_rng 0.5 then Btree_service.Insert { key; value = key }
-        else Btree_service.Delete { key }
-      in
-      (* Updates read the key they overwrite (insert/delete return the old
-         value), so they are read-modify-write for conflict purposes. *)
-      { at = t.ol_clock;
-        op;
-        reads = Btree.Keyset.singleton key;
-        writes = Btree.Keyset.singleton key;
-        size = cmd_size }
-    end
+    a
+
+  let peek t =
+    match t.ol_pending with
+    | Some a -> a
+    | None ->
+        let a = draw t in
+        t.ol_pending <- Some a;
+        a
 
   let generated t = t.ol_generated
   let clock t = t.ol_clock
+  let max_key t = t.ol_max_key
 end

@@ -48,6 +48,25 @@ module Open_loop : sig
         (** sinusoidal day: [base] at the trough, [peak] at the crest *)
     | Storm of { base : float; peak : float; at : float; len : float }
         (** [peak] arrivals during [\[at, at+len)], [base] otherwise *)
+    | Seq of (curve * float) list
+        (** piecewise composition: each [(curve, dur)] segment runs for
+            [dur] seconds of half-open interval [\[start, start+dur)] —
+            the boundary instant belongs to the {e next} segment only, so
+            a ramp→storm transition never evaluates (or issues) the
+            boundary tick twice.  Inner curves see segment-local time;
+            the last segment runs forever. *)
+
+  (** Operation classes for the YCSB-style mixes: [Read] is a single-key
+      point query, [Scan] a [query_span]-key range query, [Update]/[Rmw]
+      overwrite an existing key (read-modify-write: the insert returns the
+      previous value), [Insert] allocates a fresh key above every key
+      allocated so far. *)
+  type op_kind = Read | Update | Insert | Scan | Rmw
+
+  (** Key-choice distribution: [Zipf s] skews towards small keys,
+      [Latest s] skews towards the most recently {!Insert}ed keys (the
+      zipf draw is a recency rank counted down from the newest key). *)
+  type key_dist = Uniform | Zipf of float | Latest of float
 
   type arrival = {
     at : float;  (** arrival time (monotone across calls) *)
@@ -63,12 +82,21 @@ module Open_loop : sig
       uniform); [read_pct] of commands are range queries of [query_span]
       keys, the rest single-key inserts/deletes (read-modify-write);
       [hot_storm = (start, len, pct)] redirects [pct]% of keys drawn in
-      [\[start, start+len)] to the bottom 1% of the key space. *)
+      [\[start, start+len)] to the bottom 1% of the key space.
+
+      [ops] replaces the legacy [read_pct] mix with a weighted
+      {!op_kind} list (e.g. YCSB-A is [[(Update, 50); (Read, 50)]]);
+      [dist] overrides the [zipf_s] shorthand with an explicit key
+      distribution.  Updates carry monotonically increasing values, so
+      every write in a run is unique — handy for linearizability
+      histories. *)
   val create :
     ?zipf_s:float ->
     ?read_pct:int ->
     ?query_span:int ->
     ?hot_storm:float * float * int ->
+    ?ops:(op_kind * int) list ->
+    ?dist:key_dist ->
     Sim.Rng.t ->
     key_range:int ->
     rate:curve ->
@@ -77,11 +105,24 @@ module Open_loop : sig
   (** [next t] draws the next arrival; advances the generator clock. *)
   val next : t -> arrival
 
+  (** [peek t] is the arrival the next {!next} will return, without
+      consuming it: drivers bound by a horizon look ahead and leave an
+      arrival past the horizon unconsumed, so {!generated} counts exactly
+      the arrivals handed out (issued + dropped), never a discarded
+      lookahead. *)
+  val peek : t -> arrival
+
   (** The rate the curve prescribes at a given time. *)
   val rate_at : t -> float -> float
 
+  (** Arrivals consumed through {!next} (a {!peek}ed-but-unconsumed
+      arrival is not counted). *)
   val generated : t -> int
 
-  (** Time of the last arrival generated. *)
+  (** Time of the last arrival drawn (including a pending {!peek}). *)
   val clock : t -> float
+
+  (** Highest key allocated so far ([key_range] until the first
+      {!Insert}). *)
+  val max_key : t -> int
 end

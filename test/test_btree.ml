@@ -144,3 +144,90 @@ let suite =
     QCheck_alcotest.to_alcotest prop_matches_reference;
     QCheck_alcotest.to_alcotest prop_range_matches_reference;
     QCheck_alcotest.to_alcotest prop_deterministic_replay ]
+
+(* --- Keyset: range-edge audit + differential vs a naive set oracle ------- *)
+
+module KS = B.Keyset
+module IS = Set.Make (Int)
+
+let set_of_ranges l =
+  List.fold_left
+    (fun acc (lo, hi) ->
+      let acc = ref acc in
+      if lo <= hi then
+        for k = lo to hi do
+          acc := IS.add k !acc
+        done;
+      !acc)
+    IS.empty l
+
+let test_keyset_edges () =
+  let ks = KS.of_ranges in
+  (* Range endpoints are inclusive: a shared endpoint is a conflict... *)
+  Alcotest.(check bool) "shared endpoint overlaps" true
+    (KS.overlaps (ks [ (1, 5) ]) (ks [ (5, 9) ]));
+  (* ...adjacent ranges are not, but normalisation merges them. *)
+  Alcotest.(check bool) "adjacent ranges disjoint" false
+    (KS.overlaps (ks [ (1, 5) ]) (ks [ (6, 9) ]));
+  Alcotest.(check (list (pair int int))) "adjacent ranges merge" [ (1, 9) ]
+    (KS.ranges (ks [ (6, 9); (1, 5) ]));
+  Alcotest.(check bool) "singleton self-overlap" true
+    (KS.overlaps (KS.singleton 5) (ks [ (5, 5) ]));
+  Alcotest.(check bool) "distinct singletons disjoint" false
+    (KS.overlaps (KS.singleton 5) (KS.singleton 6));
+  (* Inverted ranges are empty and dropped by normalisation. *)
+  let empty = ks [ (4, 2) ] in
+  Alcotest.(check bool) "inverted range is empty" true (KS.is_empty empty);
+  Alcotest.(check bool) "empty overlaps nothing" false
+    (KS.overlaps empty (ks [ (0, 100) ]));
+  Alcotest.(check bool) "empty is subset of anything" true
+    (KS.subset empty (KS.singleton 7));
+  Alcotest.(check bool) "non-empty is not subset of empty" false
+    (KS.subset (KS.singleton 7) empty);
+  (* A gap in the cover defeats subset even when the hull covers. *)
+  Alcotest.(check bool) "gap defeats subset" false
+    (KS.subset (ks [ (1, 10) ]) (ks [ (1, 4); (6, 10) ]));
+  Alcotest.(check bool) "exact cover across pieces" true
+    (KS.subset (ks [ (1, 4); (6, 10) ]) (ks [ (1, 10) ]));
+  Alcotest.(check bool) "full covers everything" true
+    (KS.subset (ks [ (min_int, 0); (max_int, max_int) ]) KS.full)
+
+let range_list =
+  QCheck.(list_of_size Gen.(int_range 0 8) (pair (int_range 0 60) (int_range 0 60)))
+
+let prop_keyset_overlaps_oracle =
+  QCheck.Test.make ~name:"keyset: overlaps matches set oracle" ~count:300
+    QCheck.(pair range_list range_list)
+    (fun (la, lb) ->
+      let sa = set_of_ranges la and sb = set_of_ranges lb in
+      KS.overlaps (KS.of_ranges la) (KS.of_ranges lb)
+      = not (IS.disjoint sa sb))
+
+let prop_keyset_subset_oracle =
+  QCheck.Test.make ~name:"keyset: subset matches set oracle" ~count:300
+    QCheck.(pair range_list range_list)
+    (fun (la, lb) ->
+      let sa = set_of_ranges la and sb = set_of_ranges lb in
+      KS.subset (KS.of_ranges la) (KS.of_ranges lb) = IS.subset sa sb)
+
+let prop_keyset_normalised =
+  (* of_ranges produces ascending, disjoint, non-adjacent ranges denoting
+     exactly the oracle set. *)
+  QCheck.Test.make ~name:"keyset: of_ranges normalises" ~count:300 range_list
+    (fun l ->
+      let rs = KS.ranges (KS.of_ranges l) in
+      let s = set_of_ranges l in
+      let rec well_formed = function
+        | [] -> true
+        | [ (lo, hi) ] -> lo <= hi
+        | (lo, hi) :: ((lo', _) :: _ as rest) ->
+            lo <= hi && hi + 1 < lo' && well_formed rest
+      in
+      well_formed rs && IS.equal s (set_of_ranges rs))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "keyset range edges" `Quick test_keyset_edges;
+      QCheck_alcotest.to_alcotest prop_keyset_overlaps_oracle;
+      QCheck_alcotest.to_alcotest prop_keyset_subset_oracle;
+      QCheck_alcotest.to_alcotest prop_keyset_normalised ]

@@ -10,6 +10,7 @@ let () =
       ("smr", Test_smr.suite);
       ("multiring", Test_multiring.suite);
       ("psmr", Test_psmr.suite);
+      ("kv", Test_kv.suite);
       ("cloud", Test_cloud.suite);
       ("core", Test_core.suite);
       ("extra", Test_extra.suite);

@@ -409,3 +409,37 @@ let suite =
       Alcotest.test_case "executor approaches end to end" `Quick
         test_executor_approaches_end_to_end;
       Alcotest.test_case "open-loop drive" `Quick test_open_loop_drive ]
+
+let test_open_loop_drop_accounting () =
+  (* Shrink the proposer window so the ring refuses arrivals mid-run:
+     every arrival the driver consumes must land in exactly one of
+     issued or drops — no discarded lookahead at the horizon, no
+     double-issue, and drops never enter the completion count. *)
+  let config =
+    { Psmr.default_config with
+      approach = Psmr.Depaware;
+      ring =
+        { Ringpaxos.Mring.default_config with proposer_buffer = 4 * 1024 } }
+  in
+  let engine, sys = make ~config ~n_clients:2 () in
+  let wl =
+    Smr.Workload.Open_loop.create (Sim.Rng.create 9) ~key_range:100_000
+      ~rate:(Smr.Workload.Open_loop.Constant 20_000.0)
+  in
+  Psmr.start_open sys wl ~until:0.4;
+  Sim.Engine.run engine ~until:0.6;
+  Alcotest.(check bool)
+    (Printf.sprintf "window overflow dropped arrivals (%d)"
+       (Psmr.open_drops sys))
+    true
+    (Psmr.open_drops sys > 0);
+  Alcotest.(check int) "generated = issued + drops"
+    (Smr.Workload.Open_loop.generated wl)
+    (Psmr.open_issued sys + Psmr.open_drops sys);
+  Alcotest.(check bool) "completions bounded by issued" true
+    (Smr.Metrics.completed (Psmr.metrics sys) <= Psmr.open_issued sys)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "open-loop drop accounting" `Quick
+        test_open_loop_drop_accounting ]

@@ -455,3 +455,172 @@ let suite =
       Alcotest.test_case "open loop: zipf skew" `Quick test_open_loop_zipf_skew;
       Alcotest.test_case "open loop: storm + rate curve" `Quick
         test_open_loop_storm_and_rate_curve ]
+
+(* --- open loop: peek / YCSB mixes / piecewise curves --------------------- *)
+
+let test_open_loop_peek_semantics () =
+  let wl =
+    OL.create (Sim.Rng.create 3) ~key_range:1_000 ~rate:(OL.Constant 1_000.0)
+  in
+  let p1 = OL.peek wl in
+  Alcotest.(check int) "peek does not count" 0 (OL.generated wl);
+  let p2 = OL.peek wl in
+  Alcotest.(check bool) "peek is idempotent" true
+    (p1.OL.at = p2.OL.at && p1.OL.op == p2.OL.op);
+  let a = OL.next wl in
+  Alcotest.(check bool) "next returns the peeked arrival" true
+    (a.OL.at = p1.OL.at && a.OL.op == p1.OL.op);
+  Alcotest.(check int) "next counts" 1 (OL.generated wl);
+  let b = OL.next wl in
+  Alcotest.(check bool) "arrivals stay monotone past a peek" true
+    (b.OL.at > a.OL.at);
+  Alcotest.(check int) "two consumed" 2 (OL.generated wl)
+
+let test_open_loop_seq_boundaries () =
+  (* Half-open segments: the boundary instant belongs to the next segment
+     only, inner curves see segment-local time, the last runs forever. *)
+  let wl =
+    OL.create (Sim.Rng.create 4) ~key_range:1_000
+      ~rate:
+        (OL.Seq
+           [ (OL.Constant 100.0, 1.0);
+             (OL.Ramp { from_rate = 200.0; to_rate = 400.0; over = 2.0 }, 2.0);
+             (OL.Constant 50.0, 1.0) ])
+  in
+  Alcotest.(check (float 1e-9)) "first segment" 100.0 (OL.rate_at wl 0.5);
+  Alcotest.(check (float 1e-9)) "boundary belongs to next segment" 200.0
+    (OL.rate_at wl 1.0);
+  Alcotest.(check (float 1e-6)) "ramp sees segment-local time" 300.0
+    (OL.rate_at wl 2.0);
+  Alcotest.(check (float 1e-9)) "boundary into last segment" 50.0
+    (OL.rate_at wl 3.0);
+  Alcotest.(check (float 1e-9)) "last segment runs forever" 50.0
+    (OL.rate_at wl 10.0)
+
+let test_open_loop_op_mix_and_inserts () =
+  let key_range = 10_000 in
+  let wl =
+    OL.create
+      ~ops:[ (OL.Read, 40); (OL.Update, 30); (OL.Insert, 20); (OL.Scan, 10) ]
+      ~dist:OL.Uniform (Sim.Rng.create 5) ~key_range
+      ~rate:(OL.Constant 10_000.0)
+  in
+  let reads = ref 0 and updates = ref 0 and inserts = ref 0 and scans = ref 0 in
+  let n = 4_000 in
+  for _ = 1 to n do
+    match (OL.next wl).OL.op with
+    | BS.Query { lo; hi } -> if lo = hi then incr reads else incr scans
+    | BS.Insert { key; _ } ->
+        (* Inserts allocate fresh keys above the preloaded range. *)
+        if key > key_range then incr inserts else incr updates
+    | BS.Delete _ -> incr updates
+    | _ -> ()
+  done;
+  let frac r = float_of_int !r /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mix close to weights (%.2f/%.2f/%.2f/%.2f)" (frac reads)
+       (frac updates) (frac inserts) (frac scans))
+    true
+    (abs_float (frac reads -. 0.40) < 0.05
+    && abs_float (frac updates -. 0.30) < 0.05
+    && abs_float (frac inserts -. 0.20) < 0.05
+    && abs_float (frac scans -. 0.10) < 0.05);
+  Alcotest.(check int) "max_key tracks allocations" (key_range + !inserts)
+    (OL.max_key wl)
+
+let test_open_loop_latest_skew () =
+  (* Latest-key distribution (YCSB-D): reads concentrate near the newest
+     inserted keys, not near key 0 as plain zipf would. *)
+  let wl =
+    OL.create
+      ~ops:[ (OL.Read, 95); (OL.Insert, 5) ]
+      ~dist:(OL.Latest 0.99) (Sim.Rng.create 6) ~key_range:100_000
+      ~rate:(OL.Constant 10_000.0)
+  in
+  let near = ref 0 and total = ref 0 in
+  for _ = 1 to 5_000 do
+    match (OL.next wl).OL.op with
+    | BS.Query { lo; hi } when lo = hi ->
+        incr total;
+        if OL.max_key wl - lo < 1_000 then incr near
+    | _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "reads concentrate near newest keys (%.2f)"
+       (float_of_int !near /. float_of_int (max 1 !total)))
+    true
+    (float_of_int !near /. float_of_int (max 1 !total) > 0.5)
+
+let test_open_loop_update_values_unique () =
+  (* Every update carries a unique value — what makes write responses
+     identifiable in a linearizability history. *)
+  let wl =
+    OL.create
+      ~ops:[ (OL.Update, 100) ]
+      ~dist:OL.Uniform (Sim.Rng.create 7) ~key_range:100
+      ~rate:(OL.Constant 10_000.0)
+  in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 2_000 do
+    match (OL.next wl).OL.op with
+    | BS.Insert { value; _ } ->
+        Alcotest.(check bool) "value not reused" false (Hashtbl.mem seen value);
+        Hashtbl.replace seen value ()
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "updates flowed" true (Hashtbl.length seen > 1_000)
+
+(* --- multi-key linearizability checker ----------------------------------- *)
+
+let test_kv_checker_accepts () =
+  let h =
+    [ { L.Kv.key = 1; kind = `Write (Some 10); inv = 0.0; res = 1.0 };
+      { L.Kv.key = 2; kind = `Read None; inv = 0.5; res = 0.6 };
+      { L.Kv.key = 1; kind = `Read (Some 10); inv = 1.5; res = 1.6 };
+      { L.Kv.key = 1; kind = `Write None; inv = 2.0; res = 3.0 };
+      { L.Kv.key = 1; kind = `Read None; inv = 3.5; res = 3.6 };
+      (* Applied but never acknowledged: open response time. *)
+      { L.Kv.key = 2; kind = `Write (Some 7); inv = 3.0; res = infinity } ]
+  in
+  Alcotest.(check bool) "interleaved multi-key history with delete" true
+    (L.Kv.check ~init:(fun _ -> None) h)
+
+let test_kv_checker_rejects_stale_read () =
+  let init k = if k = 1 then Some 1 else None in
+  let with_read inv =
+    [ { L.Kv.key = 1; kind = `Write (Some 2); inv = 1.0; res = 2.0 };
+      { L.Kv.key = 1; kind = `Read (Some 1); inv; res = inv +. 0.1 } ]
+  in
+  (* A read overlapping the write may still observe the old value... *)
+  Alcotest.(check bool) "overlapping read of old value ok" true
+    (L.Kv.check ~init (with_read 1.2));
+  (* ...but a read invoked after the write responded may not: this is the
+     stale-local-read shape a broken lease produces. *)
+  Alcotest.(check bool) "stale read rejected" false
+    (L.Kv.check ~init (with_read 3.0))
+
+let test_kv_checker_respects_init () =
+  let h = [ { L.Kv.key = 5; kind = `Read (Some 42); inv = 0.0; res = 0.1 } ] in
+  Alcotest.(check bool) "read of initial value" true
+    (L.Kv.check ~init:(fun k -> if k = 5 then Some 42 else None) h);
+  Alcotest.(check bool) "read of absent key rejected" false
+    (L.Kv.check ~init:(fun _ -> None) h)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "open loop: peek semantics" `Quick
+        test_open_loop_peek_semantics;
+      Alcotest.test_case "open loop: seq curve boundaries" `Quick
+        test_open_loop_seq_boundaries;
+      Alcotest.test_case "open loop: op mix + fresh inserts" `Quick
+        test_open_loop_op_mix_and_inserts;
+      Alcotest.test_case "open loop: latest-key skew" `Quick
+        test_open_loop_latest_skew;
+      Alcotest.test_case "open loop: unique update values" `Quick
+        test_open_loop_update_values_unique;
+      Alcotest.test_case "kv checker: accepts valid history" `Quick
+        test_kv_checker_accepts;
+      Alcotest.test_case "kv checker: rejects stale read" `Quick
+        test_kv_checker_rejects_stale_read;
+      Alcotest.test_case "kv checker: respects init" `Quick
+        test_kv_checker_respects_init ]
